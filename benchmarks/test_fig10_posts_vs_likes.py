@@ -1,0 +1,25 @@
+"""F10 — Figure 10: feed posts vs likes scatter."""
+
+from repro.core.analysis import feeds
+from repro.core.report import render_fig10
+
+
+def test_fig10_posts_vs_likes(benchmark, bench_datasets, recorder):
+    points = benchmark(feeds.posts_vs_likes, bench_datasets)
+    assert points
+    stats = feeds.posts_vs_likes_summary(bench_datasets)
+    # Paper: likes are NOT directly proportional to posts; personalized
+    # feeds sit at (0 posts, many likes), aggregators at (many posts, few
+    # likes).
+    assert stats.correlation < 0.8
+    assert stats.never_posted > 0
+    recorder.record("F10", "posts-likes correlation", "weak", round(stats.correlation, 3))
+    recorder.record(
+        "F10", "never-posted share", 0.094, round(stats.never_posted / stats.total_feeds, 3)
+    )
+    recorder.record("F10", "high-like zero-post feeds", ">0", stats.high_like_no_post)
+    top_liked = max(points, key=lambda p: p.likes)
+    top_posted = max(points, key=lambda p: p.posts)
+    assert top_posted.likes < top_liked.likes or top_posted.uri == top_liked.uri
+    print()
+    print(render_fig10(bench_datasets))

@@ -1,0 +1,25 @@
+"""F11 — Figure 11: follow degree distributions, creators highlighted."""
+
+from repro.core.analysis import graph
+from repro.core.report import render_fig11
+
+
+def test_fig11_degree_distributions(benchmark, bench_datasets, recorder):
+    analysis = benchmark(graph.degree_distributions, bench_datasets)
+    assert analysis.accounts > 100
+    # Heavy tail: the max in-degree dwarfs the median.
+    degrees = sorted(analysis.in_degree.histogram.items())
+    max_in = degrees[-1][0]
+    assert max_in > 20
+    # Paper: feed creators concentrate at high in-degree / low out-degree.
+    assert analysis.creators_skew_popular()
+    mean_in_all = analysis.in_degree.mean_degree()
+    mean_in_creators = analysis.in_degree.mean_degree(creators_only=True)
+    recorder.record("F11", "creator/all mean in-degree ratio", ">1", round(mean_in_creators / mean_in_all, 2))
+    mean_out_all = analysis.out_degree.mean_degree()
+    mean_out_creators = analysis.out_degree.mean_degree(creators_only=True)
+    recorder.record(
+        "F11", "creator/all mean out-degree ratio", "<~1", round(mean_out_creators / max(0.01, mean_out_all), 2)
+    )
+    print()
+    print(render_fig11(bench_datasets))

@@ -1,0 +1,32 @@
+"""F12 — Figure 12: feed-generator hosting providers + Pareto."""
+
+from repro.core.analysis import feeds
+from repro.core.report import render_fig12
+
+
+def test_fig12_feed_services(benchmark, bench_datasets, recorder):
+    rows = benchmark(feeds.provider_shares, bench_datasets)
+    assert rows
+    by_provider = {r.provider: r for r in rows}
+    skyfeed = by_provider.get("did:web:skyfeed.me")
+    goodfeeds = by_provider.get("did:web:goodfeeds.co")
+    assert skyfeed is not None and rows[0] is skyfeed
+    # Paper: Skyfeed hosts 85.86% of feeds but only 30.3% of posts while
+    # drawing 61.2% of likes; Goodfeeds is the reverse (4.36% of feeds,
+    # 35.6% of posts, 1.2% of likes).
+    recorder.record("F12", "Skyfeed feed share", 0.8586, round(skyfeed.feed_share, 3))
+    recorder.record("F12", "Skyfeed post share", 0.303, round(skyfeed.post_share, 3))
+    recorder.record("F12", "Skyfeed like share", 0.612, round(skyfeed.like_share, 3))
+    assert skyfeed.feed_share > 0.7
+    assert skyfeed.post_share < skyfeed.feed_share
+    if goodfeeds is not None:
+        recorder.record("F12", "Goodfeeds feed share", 0.0436, round(goodfeeds.feed_share, 3))
+        recorder.record("F12", "Goodfeeds post share", 0.356, round(goodfeeds.post_share, 3))
+        recorder.record("F12", "Goodfeeds like share", 0.012, round(goodfeeds.like_share, 3))
+        assert goodfeeds.post_share > goodfeeds.feed_share
+        assert goodfeeds.like_share < goodfeeds.post_share
+    top3 = feeds.top_provider_concentration(bench_datasets)
+    recorder.record("F12", "top-3 provider share", 0.958, round(top3, 3))
+    assert top3 > 0.85
+    print()
+    print(render_fig12(bench_datasets))

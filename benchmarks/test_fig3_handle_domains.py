@@ -1,0 +1,22 @@
+"""F3 — Figure 3: subdomain handles per registered domain."""
+
+from repro.core.analysis import identity
+from repro.core.report import render_fig3
+
+
+def test_fig3_handle_domains(benchmark, bench_datasets, recorder):
+    fig = benchmark(identity.subdomain_distribution, bench_datasets)
+    counts = fig.sorted_counts()
+    assert counts, "non-bsky.social handles must exist"
+    # Paper: no provider exceeds a few hundred FQDNs (256 for the largest,
+    # swifties.social); the distribution is a long tail of mostly-1 counts.
+    top = fig.top(3)
+    assert top[0][1] < 0.5 * sum(counts)
+    ones = sum(1 for c in counts if c == 1)
+    recorder.record("F3", "largest provider handle count (scaled)", 256, top[0][1])
+    recorder.record("F3", "share of domains with a single handle", 0.9, round(ones / len(counts), 3))
+    conc = identity.handle_concentration(bench_datasets)
+    recorder.record("F3/S5", "bsky.social handle share", 0.989, round(conc.bsky_share, 4))
+    assert conc.bsky_share > 0.97
+    print()
+    print(render_fig3(bench_datasets))

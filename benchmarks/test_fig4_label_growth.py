@@ -1,0 +1,23 @@
+"""F4 — Figure 4: labels by source per month + labeler count."""
+
+from repro.core.analysis import moderation
+from repro.core.report import render_fig4
+
+
+def test_fig4_label_growth(benchmark, bench_datasets, recorder):
+    official = moderation.find_official_labeler_did(bench_datasets)
+    fig = benchmark(moderation.label_growth, bench_datasets, official)
+    # Before March 2024, only the official labeler exists.
+    for month in fig.months:
+        if month < "2024-03":
+            assert fig.community_by_month.get(month, 0) <= fig.official_by_month.get(month, 0) + 2
+    # Paper: community labelers issued 88.7% of April 2024 labels, only
+    # two months after the ecosystem opened.
+    april_share = fig.community_share("2024-04")
+    assert april_share > 0.5
+    recorder.record("F4", "community share of April labels", 0.887, round(april_share, 3))
+    count_series = [fig.labeler_count_by_month[m] for m in fig.months]
+    assert count_series == sorted(count_series)
+    recorder.record("F4", "community labelers by 2024-05", 61, count_series[-1])
+    print()
+    print(render_fig4(bench_datasets))

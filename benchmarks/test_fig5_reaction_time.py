@@ -1,0 +1,26 @@
+"""F5 — Figure 5: labels produced vs reaction time (per labeler)."""
+
+from repro.core.analysis import feeds as feeds_analysis
+from repro.core.analysis import moderation
+from repro.core.report import render_fig5
+
+import math
+
+
+def test_fig5_reaction_time(benchmark, bench_datasets, recorder):
+    rows = benchmark(moderation.labeler_reaction_times, bench_datasets)
+    assert len(rows) >= 5
+    # Paper's relationship: more labels → faster reactions (automation).
+    xs = [math.log10(max(1, r.total)) for r in rows]
+    ys = [math.log10(max(0.05, r.reaction.median_s)) for r in rows]
+    correlation = feeds_analysis.pearson(xs, ys)
+    assert correlation < -0.3, "volume and reaction time must anti-correlate"
+    recorder.record("F5", "log-volume vs log-median-RT correlation", "negative", round(correlation, 3))
+    busiest = rows[0]
+    assert busiest.reaction.median_s < 30
+    recorder.record("F5", "busiest labeler median RT (s)", 0.58, round(busiest.reaction.median_s, 2))
+    slowest = max(rows, key=lambda r: r.reaction.median_s)
+    recorder.record("F5", "slowest labeler median RT (s)", 1_585_404.55, round(slowest.reaction.median_s, 1))
+    assert slowest.reaction.median_s > 1000
+    print()
+    print(render_fig5(bench_datasets))

@@ -1,0 +1,28 @@
+"""F6 — Figure 6: labels per value vs reaction time."""
+
+from repro.core.analysis import moderation
+from repro.core.report import render_fig6
+
+
+def test_fig6_value_reaction_time(benchmark, bench_datasets, recorder):
+    rows = benchmark(moderation.value_reaction_times, bench_datasets)
+    by_value = {}
+    for row in rows:
+        by_value.setdefault(row.value, row)
+    # The high-volume automated values sit in the fast corner...
+    for value in ("no-alt-text", "porn"):
+        if value in by_value:
+            assert by_value[value].reaction.median_s < 60
+    # ...while the official labeler's deliberated values are slow.
+    slow_values = [r for r in rows if r.value in ("spam", "!takedown", "intolerant")]
+    for row in slow_values:
+        assert row.reaction.median_s > 60, "%s should be manually reviewed" % row.value
+    if "no-alt-text" in by_value:
+        recorder.record(
+            "F6", "no-alt-text median RT (s)", 0.58, round(by_value["no-alt-text"].reaction.median_s, 2)
+        )
+    if "porn" in by_value:
+        recorder.record("F6", "porn median RT (s)", "seconds", round(by_value["porn"].reaction.median_s, 2))
+    recorder.record("F6", "distinct (labeler,value) points", ">100", len(rows))
+    print()
+    print(render_fig6(bench_datasets))

@@ -1,0 +1,27 @@
+"""F7 — Figure 7: cumulative feed generators, likes, creator followers."""
+
+from repro.core.analysis import feeds
+from repro.core.report import render_fig7
+
+
+def test_fig7_feedgen_growth(benchmark, bench_datasets, recorder):
+    fig = benchmark(feeds.feed_growth, bench_datasets)
+    assert fig.days
+    for series in (
+        fig.cumulative_feeds,
+        fig.cumulative_feed_likes,
+        fig.cumulative_creator_followers,
+    ):
+        values = [series[d] for d in fig.days]
+        assert values == sorted(values), "cumulative series must be monotone"
+    # Feeds only exist after the May 2023 introduction.
+    first_feed_day = next(d for d in fig.days if fig.cumulative_feeds[d] > 0)
+    assert first_feed_day >= "2023-05"
+    # Growth acceleration at the February 2024 public opening.
+    jan = fig.cumulative_feeds.get(max((d for d in fig.days if d < "2024-02"), default=fig.days[0]), 0)
+    final = fig.cumulative_feeds[fig.days[-1]]
+    assert final > jan
+    recorder.record("F7", "first feed generator month", "2023-05", first_feed_day[:7])
+    recorder.record("F7", "feeds at window end (scaled)", 43063, final)
+    print()
+    print(render_fig7(bench_datasets))

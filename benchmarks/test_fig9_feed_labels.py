@@ -1,0 +1,23 @@
+"""F9 — Figure 9: top labels on posts curated by feed generators."""
+
+from repro.core.analysis import feeds
+from repro.core.report import render_fig9
+
+
+def test_fig9_feed_labels(benchmark, bench_datasets, recorder):
+    stats = benchmark(feeds.feed_label_analysis, bench_datasets)
+    assert stats.feeds_examined > 0
+    assert stats.heavily_labeled <= stats.feeds_with_any_label
+    # Paper: 12.6% of feeds have some labeled content; 0.53% are ≥10%
+    # labeled, dominated by explicit-content labels.
+    recorder.record("F9", "feeds with labeled content share", 0.126, round(stats.labeled_share, 3))
+    recorder.record(
+        "F9", "heavily-labeled feed share", 0.0053, round(stats.heavily_labeled_share, 4)
+    )
+    if stats.dominant_label_counts:
+        dominant = [value for value, _ in stats.dominant_label_counts.most_common(3)]
+        explicit = {"porn", "sexual", "nudity", "nsfw", "no-alt-text", "spam"}
+        assert explicit & set(dominant)
+        recorder.record("F9", "top dominant label", "porn", dominant[0])
+    print()
+    print(render_fig9(bench_datasets))

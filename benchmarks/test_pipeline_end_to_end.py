@@ -1,0 +1,19 @@
+"""End-to-end: build a world and run the full measurement pipeline.
+
+Uses the tiny preset (the bench-scale world is already timed implicitly as
+the session fixture); one round is enough for an end-to-end figure.
+"""
+
+from repro.core.pipeline import run_study
+from repro.simulation.config import SimulationConfig
+
+
+def test_pipeline_end_to_end(benchmark, recorder):
+    def run():
+        world, datasets = run_study(SimulationConfig.tiny())
+        return datasets
+
+    datasets = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert datasets.labels.announced_count() == 62
+    assert datasets.repositories.repo_count > 0
+    recorder.record("pipeline", "tiny study firehose events", "-", datasets.firehose.total_events())

@@ -1,0 +1,34 @@
+"""S4 — Section 4 text: operation totals, popularity, non-Bluesky content."""
+
+from repro.core.analysis import activity
+
+
+def test_sec4_totals(benchmark, bench_datasets, bench_world, recorder):
+    totals = benchmark(activity.operation_totals, bench_datasets)
+    # Paper ordering: 740M likes > 225M posts > 160.9M follows >
+    # 77.9M reposts > 10.8M blocks.
+    assert totals["likes"] > totals["posts"] > totals["reposts"] > totals["blocks"]
+    assert totals["follows"] > totals["reposts"]
+    recorder.record("S4", "likes/posts ratio", round(740 / 225, 2), round(totals["likes"] / totals["posts"], 2))
+    recorder.record(
+        "S4", "follows/posts ratio", round(160.9 / 225, 2), round(totals["follows"] / totals["posts"], 2)
+    )
+    recorder.record(
+        "S4", "blocks/posts ratio", round(10.8 / 225, 3), round(totals["blocks"] / totals["posts"], 3)
+    )
+
+    pop = activity.account_popularity(bench_datasets)
+    official = next(u for u in bench_world.users if u.spec.is_official)
+    assert pop.top_followed[0][0] == official.did
+    follower_ratio = pop.top_followed[0][1] / max(1, pop.top_followed[1][1])
+    recorder.record("S4", "official/runner-up follower ratio", round(775 / 220, 1), round(follower_ratio, 1))
+
+    impersonators = {u.did for u in bench_world.users if u.spec.is_impersonator}
+    top_blocked_dids = {did for did, _ in pop.top_blocked[:3]}
+    assert impersonators & top_blocked_dids
+
+    content = activity.non_bsky_content(bench_datasets)
+    # Paper: 1,855 of ~280M events (~7e-6) — vanishingly rare.
+    assert content.share_of_events < 0.01
+    recorder.record("S4", "non-bsky event share", 1855 / 279289739, round(content.share_of_events, 6))
+    assert "com.whtwnd.blog.entry" in content.repo_collections

@@ -1,0 +1,31 @@
+"""S5 — Section 5 text: identity statistics."""
+
+from repro.core.analysis import identity
+
+
+def test_sec5_identity(benchmark, bench_datasets, recorder):
+    mechanisms = benchmark(identity.ownership_mechanisms, bench_datasets)
+    # Paper: 98.7% DNS TXT vs 1.3% well-known.
+    assert mechanisms.dns_share > 0.9
+    recorder.record("S5", "DNS TXT mechanism share", 0.987, round(mechanisms.dns_share, 3))
+
+    methods = identity.identity_methods(bench_datasets)
+    recorder.record("S5", "did:web documents", 6, methods.web)
+    assert methods.web <= 6
+    assert methods.plc > 100 * max(1, methods.web)
+
+    cross = identity.tranco_cross_reference(bench_datasets)
+    recorder.record("S5", "Tranco top-1M share", 0.028, round(cross.ranked_share, 3))
+    assert cross.ranked_share < 0.25
+
+    updates = identity.handle_update_stats(bench_datasets)
+    assert updates.total_updates >= updates.unique_dids
+    recorder.record("S5", "handle updates (scaled)", 44456, updates.total_updates)
+    recorder.record(
+        "S5", "final handle on bsky.social", 0.7574,
+        round(updates.final_bsky_share, 3) if updates.unique_dids else None,
+    )
+
+    conc = identity.handle_concentration(bench_datasets)
+    recorder.record("S5", "bsky.social share", 0.989, round(conc.bsky_share, 4))
+    assert conc.bsky_share > 0.97

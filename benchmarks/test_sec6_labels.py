@@ -1,0 +1,43 @@
+"""S6 — Section 6 text: labeler counts, label statistics, hosting."""
+
+from repro.core.analysis import moderation
+
+
+def test_sec6_labels(benchmark, bench_datasets, recorder):
+    official = moderation.find_official_labeler_did(bench_datasets)
+    stats = benchmark(moderation.label_statistics, bench_datasets, official)
+
+    labels = bench_datasets.labels
+    # Paper: 62 announced, 46 functional, 36 issued ≥1 label.
+    assert labels.announced_count() == 62
+    assert labels.functional_count() == 46
+    assert labels.active_count() == 36
+    recorder.record("S6", "labelers announced", 62, labels.announced_count())
+    recorder.record("S6", "labelers functional", 46, labels.functional_count())
+    recorder.record("S6", "labelers active", 36, labels.active_count())
+
+    # Rescinds: 23,394 of 3,402,009 (0.69%).
+    rescind_share = stats.rescinded / max(1, stats.total_interactions)
+    recorder.record("S6", "rescinded share", 0.0069, round(rescind_share, 4))
+    assert rescind_share < 0.05
+
+    # Distinct values: 222 raw → 196 after cleaning.
+    recorder.record("S6", "distinct label values (raw)", 222, stats.distinct_values_raw)
+    recorder.record("S6", "distinct label values (clean)", 196, stats.distinct_values_clean)
+    assert stats.distinct_values_clean <= stats.distinct_values_raw
+
+    # Overlap: 3.2% multi-labeler objects; 1.8% official+community.
+    recorder.record("S6", "multi-labeler object share", 0.032, round(stats.multi_labeler_share, 3))
+    recorder.record("S6", "official+community overlap", 0.018, round(stats.overlap_share, 3))
+    assert stats.multi_labeler_share < 0.15
+
+    # ~4.21% of April posts carried at least one label.
+    if stats.window_posts:
+        share = stats.labeled_window_posts / stats.window_posts
+        recorder.record("S6", "labeled share of window posts", 0.0421, round(share, 4))
+
+    hosting = moderation.labeler_hosting(bench_datasets)
+    recorder.record("S6", "cloud/proxied labelers", 40, hosting.cloud_or_proxied)
+    recorder.record("S6", "residential labelers", 6, hosting.residential)
+    recorder.record("S6", "unreachable labelers", 16, hosting.unreachable)
+    assert (hosting.cloud_or_proxied, hosting.residential, hosting.unreachable) == (40, 6, 16)

@@ -1,0 +1,30 @@
+"""S7 — Section 7 text: feed ecosystem statistics."""
+
+from repro.core.analysis import feeds
+
+
+def test_sec7_feeds(benchmark, bench_datasets, bench_world, recorder):
+    stats = benchmark(feeds.feed_activity_stats, bench_datasets, bench_world.config.end_us)
+    # Paper: 9.4% never curated; 21.8% inactive in the last month.
+    recorder.record("S7", "never-posted share", 0.094, round(stats.never_posted_share, 3))
+    recorder.record("S7", "inactive share", 0.218, round(stats.inactive_share, 3))
+    assert 0.0 < stats.never_posted_share < 0.35
+    # Bogus pre-launch timestamps exist (paper: 2,202 posts, years 1185+).
+    recorder.record("S7", "bogus-timestamp posts (scaled)", 2202, stats.bogus_timestamp_posts)
+
+    per_account = feeds.feeds_per_account(bench_datasets)
+    recorder.record("S7", "one-feed manager share", 0.621, round(per_account.one_feed_share, 3))
+    recorder.record("S7", "max feeds per account (scaled)", 1799, per_account.max_feeds)
+    assert per_account.one_feed_share > 0.45
+    assert per_account.max_feeds >= 3
+
+    corr = feeds.popularity_correlations(bench_datasets)
+    recorder.record("S7", "r(feed count, followers)", 0.005, round(corr.feed_count_vs_followers, 3))
+    recorder.record("S7", "r(feed likes, followers)", 0.533, round(corr.feed_likes_vs_followers, 3))
+    # The paper's contrast: likes predict followership, raw counts do not.
+    assert corr.feed_likes_vs_followers > corr.feed_count_vs_followers
+
+    discovered = bench_datasets.feed_generators.discovered_count()
+    reachable = len(bench_datasets.feed_generators.reachable())
+    recorder.record("S7", "reachable/discovered", 40398 / 43063, round(reachable / discovered, 3))
+    assert reachable / discovered > 0.85

@@ -1,0 +1,22 @@
+"""S9 — Discussion: firehose bandwidth per subscriber.
+
+The paper estimates the Firehose already delivers ≈30 GB/day to every
+subscribed client.  The simulated stream's measured volume, scaled back up
+by the population factor, should land in the same order of magnitude.
+"""
+
+from repro.core.analysis import summary
+
+
+def test_sec9_firehose_bandwidth(benchmark, bench_datasets, bench_world, recorder):
+    estimate = benchmark(
+        summary.firehose_bandwidth, bench_datasets, bench_world.config.scale
+    )
+    assert estimate.days_observed > 30  # the ~8-week collection window
+    assert estimate.bytes_per_day > 0
+    recorder.record(
+        "S9", "firehose GB/day (full-scale equivalent)", 30.0,
+        round(estimate.full_scale_gb_per_day, 1),
+    )
+    # Same order of magnitude: a tenth to ten times the paper's estimate.
+    assert 3.0 < estimate.full_scale_gb_per_day < 300.0

@@ -1,0 +1,25 @@
+"""T1 — Table 1: Firehose event-type mix."""
+
+from repro.core.analysis import summary
+from repro.core.report import render_table1
+
+
+def test_table1_firehose_events(benchmark, bench_datasets, recorder):
+    rows = benchmark(summary.table1_firehose_event_types, bench_datasets)
+    by_type = {row.event_type: row for row in rows}
+    # Paper: commits 99.78%, identity 0.19%, handle 0.02%, tombstone 0.01%.
+    assert rows[0].event_type == "Repo Commit"
+    assert by_type["Repo Commit"].share_pct > 97.0
+    assert by_type["Identity Update"].total > by_type["User Handle Update"].total
+    recorder.record("T1", "commit share (%)", 99.78, round(by_type["Repo Commit"].share_pct, 2))
+    recorder.record(
+        "T1", "identity share (%)", 0.19, round(by_type["Identity Update"].share_pct, 2)
+    )
+    recorder.record(
+        "T1", "handle share (%)", 0.02, round(by_type["User Handle Update"].share_pct, 3)
+    )
+    recorder.record(
+        "T1", "tombstone share (%)", 0.01, round(by_type["Repo Tombstone"].share_pct, 3)
+    )
+    print()
+    print(render_table1(bench_datasets))

@@ -1,0 +1,27 @@
+"""T3 — Table 3: top community labelers."""
+
+from repro.core.analysis import moderation
+from repro.core.report import render_table3
+
+
+def test_table3_top_labelers(benchmark, bench_datasets, bench_world, recorder):
+    official = moderation.find_official_labeler_did(bench_datasets)
+    rows = benchmark(moderation.table3_top_community_labelers, bench_datasets, official)
+    assert len(rows) == 5
+    # Paper's #1 community labeler is the alt-text labeler (1.36M labels,
+    # 72.9% of everything); ours must likewise lead by a wide margin.
+    by_did = {r.did: r for r in bench_world.labelers if r.did}
+    top = by_did.get(rows[0].did)
+    assert top is not None and top.spec.key == "baatl"
+    assert rows[0].applied > 2 * rows[1].applied
+    post_times = bench_datasets.firehose.post_created_us
+    total_applied = sum(
+        1 for l in bench_datasets.labels.labels if not l.neg and l.uri in post_times
+    )
+    recorder.record(
+        "T3", "top labeler share of window labels", 0.729,
+        round(rows[0].applied / total_applied, 3),
+    )
+    recorder.record("T3", "rank-1/rank-2 volume ratio", 1360224 / 76599, round(rows[0].applied / max(1, rows[1].applied), 1))
+    print()
+    print(render_table3(bench_datasets))

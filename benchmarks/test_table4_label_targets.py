@@ -1,0 +1,24 @@
+"""T4 — Table 4: label targets and most-applied labels."""
+
+from repro.core.analysis import moderation
+from repro.core.report import render_table4
+
+
+def test_table4_label_targets(benchmark, bench_datasets, recorder):
+    rows = benchmark(moderation.table4_label_targets, bench_datasets)
+    by_type = {r.object_type: r for r in rows}
+    # Paper: posts 99.63%, accounts 0.23%, banner/avatar 0.14%.
+    assert rows[0].object_type == "post"
+    assert by_type["post"].share_pct > 90
+    recorder.record("T4", "post share (%)", 99.63, round(by_type["post"].share_pct, 2))
+    recorder.record("T4", "account share (%)", 0.23, round(by_type["account"].share_pct, 2))
+    recorder.record(
+        "T4", "banner/avatar share (%)", 0.14, round(by_type["banner/avatar"].share_pct, 2)
+    )
+    # The dominant post labels: no-alt-text first, then porn / sexual.
+    top_post_labels = [value for value, _ in by_type["post"].top_labels]
+    assert "no-alt-text" in top_post_labels[:2]
+    assert "porn" in top_post_labels[:3]
+    recorder.record("T4", "top post label", "no-alt-text", top_post_labels[0])
+    print()
+    print(render_table4(bench_datasets))

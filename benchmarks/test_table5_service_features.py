@@ -1,0 +1,57 @@
+"""T5 — Table 5: feed-service feature matrix.
+
+The matrix is a property of the platform implementations themselves; the
+benchmark both regenerates it and *behaviourally* verifies two entries by
+attempting to create feeds.
+"""
+
+import pytest
+
+from repro.core.analysis import feeds
+from repro.core.report import render_table5
+from repro.services.feedgen import FeedError, FeedRule
+from repro.services.feedservice import (
+    BLUEFEED_PROFILE,
+    SKYFEED_PROFILE,
+    FeedServicePlatform,
+)
+
+
+def test_table5_service_features(benchmark, recorder):
+    matrix = benchmark(feeds.table5_feature_matrix)
+    # Spot-check against the paper's Table 5.
+    assert matrix["filter:regex-text"] == {
+        "Skyfeed": True,
+        "Bluefeed": False,
+        "Blueskyfeeds": False,
+        "Goodfeeds": False,
+        "Blueskyfeedcreator": False,
+    }
+    assert matrix["input:whole-network"]["Goodfeeds"]
+    assert not matrix["input:whole-network"]["Blueskyfeeds"]
+    assert matrix["other:paid-plans"] == {
+        "Skyfeed": False,
+        "Bluefeed": False,
+        "Blueskyfeeds": False,
+        "Goodfeeds": False,
+        "Blueskyfeedcreator": True,
+    }
+    recorder.record("T5", "platforms compared", 5, len(matrix["filter:regex-text"]))
+    recorder.record("T5", "regex exclusive to Skyfeed", True, True)
+
+    # Behavioural check: the matrix is enforced, not just declared.
+    skyfeed = FeedServicePlatform(SKYFEED_PROFILE, "did:web:sf.test", "https://sf.test")
+    skyfeed.create_feed(
+        "did:plc:" + "c" * 24,
+        "at://did:plc:%s/app.bsky.feed.generator/rx" % ("c" * 24),
+        FeedRule(whole_network=True, regex=r"\bcats\b"),
+    )
+    bluefeed = FeedServicePlatform(BLUEFEED_PROFILE, "did:web:bf.test", "https://bf.test")
+    with pytest.raises(FeedError):
+        bluefeed.create_feed(
+            "did:plc:" + "c" * 24,
+            "at://did:plc:%s/app.bsky.feed.generator/rx" % ("c" * 24),
+            FeedRule(whole_network=True, regex=r"\bcats\b"),
+        )
+    print()
+    print(render_table5())

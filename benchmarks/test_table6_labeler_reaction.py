@@ -1,0 +1,27 @@
+"""T6 — Table 6: per-labeler reaction-time table."""
+
+from repro.core.analysis import moderation
+from repro.core.report import render_table6
+
+
+def test_table6_labeler_reaction(benchmark, bench_datasets, bench_world, recorder):
+    rows = benchmark(moderation.labeler_reaction_times, bench_datasets)
+    assert rows[0].share_pct > 30  # rank 1 dominates (paper: 72.91%)
+    shares = sum(r.share_pct for r in rows)
+    assert shares <= 100.0 + 1e-6
+    by_did = {r.did: r for r in bench_world.labelers if r.did}
+    # Rank 1 is the alt-text labeler with sub-second median and tiny IQD.
+    top = by_did[rows[0].did]
+    assert top.spec.key == "baatl"
+    assert rows[0].reaction.median_s < 5
+    recorder.record("T6", "rank-1 share (%)", 72.91, round(rows[0].share_pct, 2))
+    recorder.record("T6", "rank-1 median RT (s)", 0.58, round(rows[0].reaction.median_s, 2))
+    recorder.record("T6", "rank-1 IQD (s)", 0.10, round(rows[0].reaction.iqd_s, 2))
+    official_row = next(
+        (r for r in rows if by_did.get(r.did) and by_did[r.did].spec.is_official), None
+    )
+    if official_row is not None:
+        recorder.record("T6", "official median RT (s)", 1.76, round(official_row.reaction.median_s, 2))
+        assert official_row.reaction.median_s < 60
+    print()
+    print(render_table6(bench_datasets))

@@ -1,0 +1,42 @@
+"""Rebuild EXPERIMENTS.md from the latest bench_comparison.json.
+
+Keeps the hand-written header and deviation notes; swaps in the freshly
+measured comparison tables.
+
+Run after a benchmark session::
+
+    pytest benchmarks/ --benchmark-only
+    python benchmarks/update_experiments.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+EXPERIMENTS = os.path.join(REPO_ROOT, "EXPERIMENTS.md")
+COMPARISON = os.path.join(REPO_ROOT, "bench_comparison.json")
+
+BEGIN = "## Comparison tables"
+END = "## Known deviations"
+
+
+def main() -> int:
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from render_comparison import render
+
+    with open(EXPERIMENTS) as handle:
+        text = handle.read()
+    begin = text.index(BEGIN)
+    end = text.index(END)
+    tables = render(COMPARISON)
+    updated = text[:begin] + BEGIN + "\n\n" + tables + "\n" + text[end:]
+    with open(EXPERIMENTS, "w") as handle:
+        handle.write(updated)
+    print("EXPERIMENTS.md updated (%d bytes of tables)" % len(tables))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

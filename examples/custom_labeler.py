@@ -1,0 +1,147 @@
+"""Run your own Labeler (Section 6 of the paper, hands-on).
+
+Shows the full labeler lifecycle against a live mini-network:
+
+1. announce the labeler (service record + DID-document endpoint),
+2. consume the firehose and label matching posts,
+3. let a user subscribe and configure per-label reactions,
+4. rescind a label,
+5. measure the labeler's reaction time the way the paper does.
+
+Run:  python examples/custom_labeler.py
+"""
+
+from repro.atproto.events import CommitEvent
+from repro.atproto.keys import HmacKeypair
+from repro.identity.plc import PlcDirectory
+from repro.identity.resolver import DidResolver
+from repro.netsim.web import WebHostRegistry
+from repro.services.appview import AppView
+from repro.services.client import Client, LabelAction
+from repro.services.feedgen import CuratedFeed, FeedGeneratorHost, FeedRule, PostFeatures, tokenize
+from repro.services.labeler import LabelerPolicies, LabelerService
+from repro.services.pds import Pds
+from repro.services.relay import Relay
+from repro.services.xrpc import ServiceDirectory
+
+NOW = 1_713_000_000_000_000
+
+
+def main() -> None:
+    plc = PlcDirectory()
+    web = WebHostRegistry()
+    services = ServiceDirectory()
+    resolver = DidResolver(plc, web)
+    pds = Pds("https://pds.example")
+    relay = Relay("https://relay.example")
+    relay.crawl_pds(pds)
+    appview = AppView("https://appview.example", resolver, services)
+    appview.attach(relay)
+    for service in (pds, relay, appview):
+        services.register(service.url, service)
+
+    def account(name):
+        keypair = HmacKeypair.from_seed(name.encode())
+        did = plc.create(keypair, keypair.did_key(), "%s.bsky.social" % name, pds.url)
+        pds.create_account(did, keypair)
+        return did, keypair
+
+    # --- 1. announce the labeler -------------------------------------------------
+    labeler_did, labeler_key = account("gifpolice")
+    labeler = LabelerService(
+        labeler_did,
+        "https://gifpolice.example",
+        LabelerPolicies(("tenor-gif",), {"tenor-gif": {"severity": "inform"}}),
+    )
+    services.register(labeler.endpoint, labeler)
+    pds.create_record(
+        labeler_did,
+        "app.bsky.labeler.service",
+        labeler.service_record("2024-03-15T00:00:00Z"),
+        NOW,
+        rkey="self",
+    )
+    plc.update(labeler_did, labeler_key, labeler_endpoint=labeler.endpoint)
+    appview.add_labeler(labeler)
+    print("labeler announced at", plc.resolve(labeler_did).labeler_endpoint)
+
+    # --- 2. label posts straight off the firehose ---------------------------------
+    def automatic_moderator(event):
+        if not isinstance(event, CommitEvent):
+            return
+        for op in event.ops:
+            if op.collection != "app.bsky.feed.post" or op.action != "create":
+                continue
+            record = op.record or {}
+            external = (record.get("embed") or {}).get("external", {})
+            if "tenor.com" in external.get("uri", ""):
+                uri = "at://%s/%s" % (event.did, op.path)
+                labeler.emit(uri, "tenor-gif", event.time_us + 350_000)  # ~0.35s
+
+    relay.firehose.subscribe(automatic_moderator)
+
+    poster_did, _ = account("poster")
+    poster = Client(poster_did, pds, appview)
+    clean = poster.post("a thoughtful text post", NOW + 1_000_000, langs=["en"])
+    gif = poster.post(
+        "reaction incoming",
+        NOW + 2_000_000,
+        langs=["en"],
+        embed={"external": {"uri": "https://media.tenor.com/funny.gif"}},
+    )
+    gif_uri = "at://%s/%s" % (poster_did, gif.ops[0][1])
+    clean_uri = "at://%s/%s" % (poster_did, clean.ops[0][1])
+    appview.sync_labels()
+    print("labels on gif post:", [l.val for l in appview.labels_for(gif_uri)])
+    print("labels on clean post:", [l.val for l in appview.labels_for(clean_uri)])
+
+    # --- 3. a user subscribes and hides labeled content -----------------------------
+    host = FeedGeneratorHost("did:web:feeds.example", "https://feeds.example")
+    services.register(host.endpoint, host)
+    feed_uri = "at://%s/app.bsky.feed.generator/everything" % poster_did
+    feed = CuratedFeed(feed_uri, FeedRule(whole_network=True))
+    host.add_feed(feed)
+    pds.create_record(
+        poster_did,
+        "app.bsky.feed.generator",
+        {
+            "$type": "app.bsky.feed.generator",
+            "did": host.service_did,
+            "displayName": "everything",
+            "createdAt": "2024-04-13T00:00:00Z",
+        },
+        NOW + 3_000_000,
+        rkey="everything",
+    )
+    for uri, text in ((clean_uri, "a thoughtful text post"), (gif_uri, "reaction incoming")):
+        feed.ingest(
+            PostFeatures(
+                uri=uri, author=poster_did, time_us=NOW, text=text,
+                langs=("en",), tokens=frozenset(tokenize(text)),
+            )
+        )
+
+    reader_did, _ = account("reader")
+    reader = Client(reader_did, pds, appview)
+    print("feed before subscribing:", len(reader.view_feed(feed_uri, NOW + 4_000_000)), "posts")
+    reader.subscribe_labeler(labeler_did)
+    reader.set_label_action(labeler_did, "tenor-gif", LabelAction.HIDE)
+    print("feed after HIDE rule:   ", len(reader.view_feed(feed_uri, NOW + 4_000_000)), "posts")
+
+    # --- 4. rescind ------------------------------------------------------------------
+    labeler.rescind(gif_uri, "tenor-gif", NOW + 5_000_000)
+    appview.sync_labels()
+    print("after rescind:          ", len(reader.view_feed(feed_uri, NOW + 4_000_000)), "posts")
+
+    # --- 5. measure reaction time like the paper does ---------------------------------
+    stream = labeler.xrpc_subscribeLabels(cursor=0)
+    applications = [l for l in stream if not l.neg]
+    post_times = {gif_uri: NOW + 2_000_000}
+    reactions = [
+        (l.cts - post_times[l.uri]) / 1e6 for l in applications if l.uri in post_times
+    ]
+    print("reaction times observed:", ["%.2fs" % r for r in reactions])
+
+
+if __name__ == "__main__":
+    main()

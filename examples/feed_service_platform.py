@@ -1,0 +1,113 @@
+"""Operate a feed-generator-as-a-service platform (Section 7.2).
+
+Creates a Skyfeed-like platform and a Goodfeeds-like platform, registers
+user feeds on each (the feature matrices decide what each can express),
+routes a stream of posts through the feed router, and compares what the
+paper compares: feed share vs post share vs like share per provider, and
+what retention policies do to a crawl.
+
+Run:  python examples/feed_service_platform.py
+"""
+
+from repro.services.feedgen import (
+    FeedError,
+    FeedRouter,
+    FeedRule,
+    PostFeatures,
+    RetentionPolicy,
+    tokenize,
+)
+from repro.services.feedservice import (
+    GOODFEEDS_PROFILE,
+    SKYFEED_PROFILE,
+    FeedServicePlatform,
+    rule_required_features,
+)
+
+DAY_US = 24 * 3600 * 1_000_000
+CREATOR = "did:plc:" + "c" * 24
+
+
+def main() -> None:
+    skyfeed = FeedServicePlatform(SKYFEED_PROFILE, "did:web:skyfeed.example", "https://skyfeed.example")
+    goodfeeds = FeedServicePlatform(
+        GOODFEEDS_PROFILE, "did:web:goodfeeds.example", "https://goodfeeds.example"
+    )
+    router = FeedRouter()
+
+    # Skyfeed expresses rich rules — keywords, language filters, regex.
+    cats = skyfeed.create_feed(
+        CREATOR,
+        "at://%s/app.bsky.feed.generator/cats" % CREATOR,
+        FeedRule(keywords=frozenset({"cats"}), regex=r"\bcats?\b"),
+        RetentionPolicy.days(7),
+    )
+    german = skyfeed.create_feed(
+        CREATOR,
+        "at://%s/app.bsky.feed.generator/deutsch" % CREATOR,
+        FeedRule(languages=frozenset({"de"})),
+        RetentionPolicy.last(100),
+    )
+    # Goodfeeds can only mirror the whole network or single users.
+    mirror = goodfeeds.create_feed(
+        CREATOR,
+        "at://%s/app.bsky.feed.generator/mirror" % CREATOR,
+        FeedRule(whole_network=True),
+    )
+    try:
+        goodfeeds.create_feed(
+            CREATOR,
+            "at://%s/app.bsky.feed.generator/impossible" % CREATOR,
+            FeedRule(keywords=frozenset({"cats"})),
+        )
+    except FeedError as error:
+        print("goodfeeds rejected a keyword feed:", error)
+    needed = rule_required_features(FeedRule(keywords=frozenset({"x"}), regex="x"))
+    print("a keyword+regex rule needs:", sorted(needed))
+
+    for feed in (cats, german, mirror):
+        router.register(feed)
+
+    # A day of traffic.
+    posts = [
+        ("my two cats are asleep", ("en",)),
+        ("der Kaffee ist heute gut", ("de",)),
+        ("just a normal tuesday", ("en",)),
+        ("cats cats cats", ("en",)),
+        ("noch ein Beitrag auf Deutsch", ("de",)),
+    ]
+    for index, (text, langs) in enumerate(posts * 40):
+        router.route(
+            PostFeatures(
+                uri="at://did:plc:%s/app.bsky.feed.post/p%04d" % ("u" * 24, index),
+                author="did:plc:" + "u" * 24,
+                time_us=index * 600 * 1_000_000,
+                text=text,
+                langs=langs,
+                tokens=frozenset(tokenize(text)),
+            )
+        )
+
+    now = 200 * 600 * 1_000_000
+    print("\nprovider comparison (the Figure 12 effect):")
+    for platform in (skyfeed, goodfeeds):
+        posts_served = sum(
+            len(feed.skeleton(None, now, limit=10_000)["feed"]) for feed in platform.feeds()
+        )
+        print(
+            "  %-10s feeds=%d posts-served=%d"
+            % (platform.profile.name, platform.feed_count(), posts_served)
+        )
+    print("\nretention at work:")
+    print("  cats feed (7-day retention):", cats.post_count(now), "posts visible")
+    print("  german feed (last-100):     ", german.post_count(now), "posts visible")
+    print("  mirror (unlimited):         ", mirror.post_count(now), "posts visible")
+
+    skeleton = cats.skeleton(None, now, limit=5)
+    print("\ncats skeleton page 1:", [item["post"][-6:] for item in skeleton["feed"]])
+    page2 = cats.skeleton(None, now, limit=5, cursor=skeleton["cursor"])
+    print("cats skeleton page 2:", [item["post"][-6:] for item in page2["feed"]])
+
+
+if __name__ == "__main__":
+    main()

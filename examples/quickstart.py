@@ -1,0 +1,109 @@
+"""Quickstart: assemble a miniature Bluesky from the library's parts.
+
+Builds the full service stack by hand — PLC directory, a PDS, the Relay
+with its Firehose, and the AppView — then walks through the core user
+journey: create accounts, post, follow, like, and read a custom feed.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.atproto.keys import HmacKeypair
+from repro.identity.plc import PlcDirectory
+from repro.identity.resolver import DidResolver
+from repro.netsim.web import WebHostRegistry
+from repro.services.appview import AppView
+from repro.services.client import Client
+from repro.services.feedgen import CuratedFeed, FeedGeneratorHost, FeedRule, PostFeatures, tokenize
+from repro.services.pds import Pds
+from repro.services.relay import Relay
+from repro.services.xrpc import ServiceDirectory
+
+
+def main() -> None:
+    # --- infrastructure -----------------------------------------------------
+    plc = PlcDirectory()
+    web = WebHostRegistry()
+    services = ServiceDirectory()
+    resolver = DidResolver(plc, web)
+
+    pds = Pds("https://pds.example")
+    relay = Relay("https://relay.example")
+    relay.crawl_pds(pds)
+    appview = AppView("https://appview.example", resolver, services)
+    appview.attach(relay)
+    for service in (pds, relay, appview):
+        services.register(service.url, service)
+
+    # --- accounts -----------------------------------------------------------
+    def create_account(name: str) -> Client:
+        keypair = HmacKeypair.from_seed(name.encode())
+        did = plc.create(
+            rotation_keypair=keypair,
+            signing_key=keypair.did_key(),
+            handle="%s.bsky.social" % name,
+            pds_endpoint=pds.url,
+        )
+        pds.create_account(did, keypair)
+        return Client(did, pds, appview)
+
+    alice = create_account("alice")
+    bob = create_account("bob")
+    now = 1_713_000_000_000_000  # 2024-04-13, microseconds
+
+    # --- the basic social loop ------------------------------------------------
+    meta = alice.post("Hello Bluesky! Loving the open skies here.", now, langs=["en"])
+    post_uri = "at://%s/%s" % (alice.did, meta.ops[0][1])
+    bob.follow(alice.did, now + 1_000_000)
+    bob.like(post_uri, str(meta.ops[0][2]), now + 2_000_000)
+
+    profile = appview.xrpc_getProfile(actor=alice.did)
+    print("alice followers:", profile["followersCount"])
+    print("post likes:", appview.index.like_counts[post_uri])
+
+    # --- a custom feed generator ----------------------------------------------
+    host = FeedGeneratorHost("did:web:feeds.example", "https://feeds.example")
+    services.register(host.endpoint, host)
+    feed_uri = "at://%s/app.bsky.feed.generator/greetings" % alice.did
+    feed = CuratedFeed(feed_uri, FeedRule(keywords=frozenset({"hello"})))
+    host.add_feed(feed)
+    pds.create_record(
+        alice.did,
+        "app.bsky.feed.generator",
+        {
+            "$type": "app.bsky.feed.generator",
+            "did": host.service_did,
+            "displayName": "Greetings",
+            "description": "posts that say hello",
+            "createdAt": "2024-04-13T00:00:00Z",
+        },
+        now + 3_000_000,
+        rkey="greetings",
+    )
+    # Feed generators consume the firehose; here we route the post directly.
+    feed.ingest(
+        PostFeatures(
+            uri=post_uri,
+            author=alice.did,
+            time_us=now,
+            text="Hello Bluesky! Loving the open skies here.",
+            langs=("en",),
+            tokens=frozenset(tokenize("Hello Bluesky! Loving the open skies here.")),
+        )
+    )
+
+    view = appview.xrpc_getFeedGenerator(feed=feed_uri)
+    print("feed online:", view["isOnline"], "valid:", view["isValid"])
+    timeline = bob.view_feed(feed_uri, now + 4_000_000)
+    print("bob's view of the Greetings feed:")
+    for item in timeline:
+        print("  -", item["record"]["text"], "(likes: %d)" % item["likeCount"])
+
+    # --- sync interfaces (what crawlers use) -----------------------------------
+    repos = relay.xrpc_listRepos()
+    print("relay mirrors %d repos" % len(repos["repos"]))
+    events = relay.xrpc_subscribeRepos()
+    print("firehose carried %d events" % len(events))
+
+
+if __name__ == "__main__":
+    main()

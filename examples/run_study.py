@@ -1,0 +1,47 @@
+"""Reproduce the paper end to end.
+
+Builds a calibrated synthetic Bluesky (scaled down from the paper's 5.5M
+users), runs the full measurement pipeline on the paper's schedule — live
+firehose subscription, weekly listRepos crawls, DID-document and repo
+snapshots, bi-weekly feed crawls, daily labeler reconnects, active
+DNS/WHOIS probes — and prints every table and figure.
+
+Run:  python examples/run_study.py [--scale DENOM] [--seed N]
+(default scale denominator 12000 keeps this under a minute).
+"""
+
+import argparse
+import sys
+import time
+
+from repro.core.pipeline import run_study
+from repro.core.report import full_report
+from repro.simulation.config import SimulationConfig
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", type=float, default=12000,
+        help="population scale denominator (users = 5.52M / SCALE)",
+    )
+    parser.add_argument("--seed", type=int, default=2024)
+    args = parser.parse_args(argv)
+
+    config = SimulationConfig(
+        seed=args.seed, scale=1 / args.scale, feed_scale=1 / 500
+    )
+    print(
+        "building a world with %d users, %d feed generators, %d labelers..."
+        % (config.n_users, config.n_feed_generators, config.n_labelers)
+    )
+    started = time.time()
+    world, datasets = run_study(config, progress=lambda msg: print("  " + msg))
+    print("study complete in %.1fs" % (time.time() - started))
+    print()
+    print(full_report(datasets))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets ``pip install -e .`` work offline without the
+``wheel`` package (the environment has no network to fetch build deps)."""
+
+from setuptools import setup
+
+setup()

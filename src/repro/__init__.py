@@ -1,0 +1,27 @@
+"""Reproduction of "Looking AT the Blue Skies of Bluesky" (IMC 2024).
+
+A complete, self-contained AT Protocol stack plus the paper's measurement
+pipeline and analyses:
+
+* :mod:`repro.atproto` — the protocol data model (DAG-CBOR, CIDs, TIDs,
+  MSTs, signed repositories, CAR files, secp256k1),
+* :mod:`repro.identity` — DIDs, the PLC directory, handle verification,
+* :mod:`repro.netsim` — simulated DNS / HTTPS / PSL / WHOIS / Tranco,
+* :mod:`repro.services` — PDS, Relay + Firehose, AppView, Labelers,
+  Feed Generators and feed-service platforms, the Client,
+* :mod:`repro.simulation` — the calibrated synthetic population and the
+  timeline engine,
+* :mod:`repro.core` — the five dataset collectors, the active
+  measurements, and one analysis per paper table/figure.
+
+Quick start::
+
+    from repro.core.pipeline import run_study
+    from repro.core.report import full_report
+    from repro.simulation.config import SimulationConfig
+
+    world, datasets = run_study(SimulationConfig.tiny())
+    print(full_report(datasets))
+"""
+
+__version__ = "1.0.0"

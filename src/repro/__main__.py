@@ -1,0 +1,98 @@
+"""Command-line entry point: ``python -m repro``.
+
+Runs the full study at a chosen scale and prints every table and figure,
+or a single artefact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core import report
+from repro.core.pipeline import run_study
+from repro.simulation.config import SimulationConfig
+
+ARTEFACTS = {
+    "table1": report.render_table1,
+    "fig1": report.render_fig1,
+    "fig2": report.render_fig2,
+    "fig3": report.render_fig3,
+    "table2": report.render_table2,
+    "fig4": report.render_fig4,
+    "table3": report.render_table3,
+    "table4": report.render_table4,
+    "fig5": report.render_fig5,
+    "fig6": report.render_fig6,
+    "table6": report.render_table6,
+    "fig7": report.render_fig7,
+    "fig8": report.render_fig8,
+    "fig9": report.render_fig9,
+    "fig10": report.render_fig10,
+    "fig11": report.render_fig11,
+    "fig12": report.render_fig12,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce 'Looking AT the Blue Skies of Bluesky' (IMC 2024).",
+    )
+    parser.add_argument(
+        "artefact",
+        nargs="?",
+        default="all",
+        choices=["all", "table5"] + sorted(ARTEFACTS),
+        help="which table/figure to print (default: all)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=20000,
+        metavar="DENOM",
+        help="population scale denominator; users = 5.52M / DENOM (default 20000)",
+    )
+    parser.add_argument("--feed-scale", type=float, default=800, metavar="DENOM")
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument("--quiet", action="store_true", help="suppress progress output")
+    parser.add_argument(
+        "--export",
+        metavar="DIR",
+        help="also write every artefact's underlying data as CSV/JSON",
+    )
+    args = parser.parse_args(argv)
+
+    config = SimulationConfig(
+        seed=args.seed, scale=1 / args.scale, feed_scale=1 / args.feed_scale
+    )
+    if args.artefact == "table5":
+        print(report.render_table5())
+        return 0
+    progress = None if args.quiet else (lambda msg: print("  " + msg, file=sys.stderr))
+    if not args.quiet:
+        print(
+            "simulating %d users / %d feeds / %d labelers..."
+            % (config.n_users, config.n_feed_generators, config.n_labelers),
+            file=sys.stderr,
+        )
+    started = time.time()
+    _, datasets = run_study(config, progress=progress)
+    if not args.quiet:
+        print("study ready in %.1fs" % (time.time() - started), file=sys.stderr)
+    if args.artefact == "all":
+        print(report.full_report(datasets))
+    else:
+        print(ARTEFACTS[args.artefact](datasets))
+    if args.export:
+        from repro.core.export import export_artefacts
+
+        paths = export_artefacts(datasets, args.export)
+        if not args.quiet:
+            print("exported %d artefact files to %s" % (len(paths), args.export), file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

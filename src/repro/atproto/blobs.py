@@ -1,0 +1,125 @@
+"""Blob storage.
+
+Media (avatars, banners, post images) is not stored in repositories —
+records reference *blobs* by CID and the hosting PDS stores the bytes.
+``com.atproto.sync.getBlob`` serves them; uploads are content-addressed
+and deduplicated; blobs are reference-counted so deleting the last
+referring record garbage-collects the bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.atproto.cid import Cid, cid_for_raw
+
+MAX_BLOB_BYTES = 5 * 1024 * 1024  # the real PDS default upload cap
+
+
+class BlobError(ValueError):
+    """Raised on invalid blob operations."""
+
+
+@dataclass
+class BlobRef:
+    """The record-side reference: ``{"$type": "blob", "ref": cid, ...}``."""
+
+    cid: Cid
+    mime_type: str
+    size: int
+
+    def to_record_field(self) -> dict:
+        return {
+            "$type": "blob",
+            "ref": self.cid,
+            "mimeType": self.mime_type,
+            "size": self.size,
+        }
+
+    @classmethod
+    def from_record_field(cls, field: dict) -> "BlobRef":
+        if field.get("$type") != "blob" or not isinstance(field.get("ref"), Cid):
+            raise BlobError("not a blob reference: %r" % (field,))
+        return cls(cid=field["ref"], mime_type=field.get("mimeType", ""), size=field.get("size", 0))
+
+
+@dataclass
+class _StoredBlob:
+    data: bytes
+    mime_type: str
+    refs: int
+
+
+class BlobStore:
+    """Content-addressed, reference-counted blob storage for one PDS."""
+
+    def __init__(self, max_bytes: int = MAX_BLOB_BYTES):
+        self.max_bytes = max_bytes
+        self._blobs: dict[Cid, _StoredBlob] = {}
+
+    def upload(self, data: bytes, mime_type: str) -> BlobRef:
+        """Store bytes; returns the reference to embed in a record."""
+        if len(data) > self.max_bytes:
+            raise BlobError("blob exceeds %d bytes" % self.max_bytes)
+        if not data:
+            raise BlobError("empty blob")
+        cid = cid_for_raw(data)
+        existing = self._blobs.get(cid)
+        if existing is None:
+            # Uploaded blobs start unreferenced; add_ref happens when a
+            # record pointing at them is committed.
+            self._blobs[cid] = _StoredBlob(data, mime_type, refs=0)
+        return BlobRef(cid=cid, mime_type=mime_type, size=len(data))
+
+    def get(self, cid: Cid) -> bytes:
+        blob = self._blobs.get(cid)
+        if blob is None:
+            raise BlobError("unknown blob %s" % cid)
+        return blob.data
+
+    def has(self, cid: Cid) -> bool:
+        return cid in self._blobs
+
+    def add_ref(self, cid: Cid) -> None:
+        blob = self._blobs.get(cid)
+        if blob is None:
+            raise BlobError("cannot reference unknown blob %s" % cid)
+        blob.refs += 1
+
+    def release(self, cid: Cid) -> None:
+        """Drop one reference; garbage-collect at zero."""
+        blob = self._blobs.get(cid)
+        if blob is None:
+            return
+        blob.refs -= 1
+        if blob.refs <= 0:
+            del self._blobs[cid]
+
+    def blob_count(self) -> int:
+        return len(self._blobs)
+
+    def total_bytes(self) -> int:
+        return sum(len(blob.data) for blob in self._blobs.values())
+
+
+def extract_blob_refs(record: dict) -> list[BlobRef]:
+    """Find every blob reference inside a record (nested dicts/lists)."""
+    found: list[BlobRef] = []
+
+    def walk(value) -> None:
+        if isinstance(value, dict):
+            if value.get("$type") == "blob":
+                try:
+                    found.append(BlobRef.from_record_field(value))
+                    return
+                except BlobError:
+                    pass
+            for child in value.values():
+                walk(child)
+        elif isinstance(value, list):
+            for child in value:
+                walk(child)
+
+    walk(record)
+    return found

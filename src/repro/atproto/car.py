@@ -1,0 +1,97 @@
+"""CARv1 (Content Addressable aRchive) reading and writing.
+
+Repositories are exported over ``com.atproto.sync.getRepo`` as CAR files: a
+CBOR header naming the root CID(s), followed by length-prefixed
+``CID || block-bytes`` sections.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Iterator
+
+from repro.atproto.cbor import cbor_decode, cbor_encode
+from repro.atproto.cid import Cid
+from repro.atproto.varint import encode_varint, read_varint
+
+CAR_VERSION = 1
+
+
+class CarError(ValueError):
+    """Raised on malformed CAR data."""
+
+
+def write_car(root: Cid, blocks: Iterable[tuple[Cid, bytes]]) -> bytes:
+    """Serialize blocks into a CARv1 byte string with a single root."""
+    out = io.BytesIO()
+    header = cbor_encode({"version": CAR_VERSION, "roots": [root]})
+    out.write(encode_varint(len(header)))
+    out.write(header)
+    for cid, data in blocks:
+        cid_bytes = cid.to_bytes()
+        out.write(encode_varint(len(cid_bytes) + len(data)))
+        out.write(cid_bytes)
+        out.write(data)
+    return out.getvalue()
+
+
+def read_car(data: bytes) -> tuple[list[Cid], dict[Cid, bytes]]:
+    """Parse a CARv1 file into its roots and a CID → block map."""
+    stream = io.BytesIO(data)
+    try:
+        header_len = read_varint(stream)
+    except EOFError as exc:
+        raise CarError("empty CAR file") from exc
+    header_bytes = stream.read(header_len)
+    if len(header_bytes) != header_len:
+        raise CarError("truncated CAR header")
+    header = cbor_decode(header_bytes)
+    if not isinstance(header, dict) or header.get("version") != CAR_VERSION:
+        raise CarError("unsupported CAR header: %r" % (header,))
+    roots = header.get("roots")
+    if not isinstance(roots, list) or not all(isinstance(r, Cid) for r in roots):
+        raise CarError("CAR header must list root CIDs")
+    blocks: dict[Cid, bytes] = {}
+    while True:
+        try:
+            section_len = read_varint(stream)
+        except EOFError:
+            break
+        section = stream.read(section_len)
+        if len(section) != section_len:
+            raise CarError("truncated CAR section")
+        # CIDv1 with sha2-256: varint(1) varint(codec) varint(0x12) varint(32)
+        # is at most 4+32 bytes for our codecs; parse by splitting greedily.
+        cid, body = _split_cid(section)
+        blocks[cid] = body
+    return roots, blocks
+
+
+def _split_cid(section: bytes) -> tuple[Cid, bytes]:
+    from repro.atproto.varint import decode_varint
+
+    pos = 0
+    _, pos = decode_varint(section, pos)  # version
+    _, pos = decode_varint(section, pos)  # codec
+    _, pos = decode_varint(section, pos)  # multihash fn
+    hash_len, pos = decode_varint(section, pos)
+    end = pos + hash_len
+    if end > len(section):
+        raise CarError("truncated CID in CAR section")
+    return Cid.from_bytes(section[:end]), section[end:]
+
+
+def iter_car_blocks(data: bytes) -> Iterator[tuple[Cid, bytes]]:
+    """Stream the block sections of a CAR file without building a dict."""
+    stream = io.BytesIO(data)
+    header_len = read_varint(stream)
+    stream.seek(header_len, io.SEEK_CUR)
+    while True:
+        try:
+            section_len = read_varint(stream)
+        except EOFError:
+            return
+        section = stream.read(section_len)
+        if len(section) != section_len:
+            raise CarError("truncated CAR section")
+        yield _split_cid(section)

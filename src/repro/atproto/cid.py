@@ -1,0 +1,109 @@
+"""Content identifiers (CIDs).
+
+ATProto uses CIDv1 with the ``dag-cbor`` codec (0x71) and a SHA2-256
+multihash (0x12, length 32) for repository blocks, and the ``raw`` codec
+(0x55) for blobs.  CIDs are rendered in lowercase base32 with the ``b``
+multibase prefix, e.g. ``bafyrei...``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from repro.atproto.multibase import base32_decode, base32_encode
+from repro.atproto.varint import decode_varint, encode_varint
+
+CODEC_DAG_CBOR = 0x71
+CODEC_RAW = 0x55
+MULTIHASH_SHA2_256 = 0x12
+SHA2_256_LENGTH = 32
+
+
+class CidError(ValueError):
+    """Raised on malformed CIDs."""
+
+
+class Cid:
+    """An immutable CIDv1 (version, codec, sha2-256 digest)."""
+
+    __slots__ = ("version", "codec", "digest", "_str")
+
+    def __init__(self, version: int, codec: int, digest: bytes):
+        if version != 1:
+            raise CidError("only CIDv1 is supported, got version %d" % version)
+        if codec not in (CODEC_DAG_CBOR, CODEC_RAW):
+            raise CidError("unsupported codec 0x%02x" % codec)
+        if len(digest) != SHA2_256_LENGTH:
+            raise CidError("sha2-256 digest must be 32 bytes, got %d" % len(digest))
+        object.__setattr__(self, "version", version)
+        object.__setattr__(self, "codec", codec)
+        object.__setattr__(self, "digest", digest)
+        object.__setattr__(self, "_str", None)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Cid is immutable")
+
+    def to_bytes(self) -> bytes:
+        """Binary CID: varint(version) varint(codec) multihash."""
+        return (
+            encode_varint(self.version)
+            + encode_varint(self.codec)
+            + encode_varint(MULTIHASH_SHA2_256)
+            + encode_varint(SHA2_256_LENGTH)
+            + self.digest
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Cid":
+        version, pos = decode_varint(data)
+        codec, pos = decode_varint(data, pos)
+        hash_fn, pos = decode_varint(data, pos)
+        hash_len, pos = decode_varint(data, pos)
+        if hash_fn != MULTIHASH_SHA2_256:
+            raise CidError("unsupported multihash function 0x%02x" % hash_fn)
+        digest = data[pos : pos + hash_len]
+        if len(digest) != hash_len:
+            raise CidError("truncated multihash digest")
+        if pos + hash_len != len(data):
+            raise CidError("trailing bytes after CID")
+        return cls(version, codec, digest)
+
+    def __str__(self) -> str:
+        cached = self._str
+        if cached is None:
+            cached = "b" + base32_encode(self.to_bytes())
+            object.__setattr__(self, "_str", cached)
+        return cached
+
+    @classmethod
+    def parse(cls, text: str) -> "Cid":
+        if not text.startswith("b"):
+            raise CidError("only base32 multibase CIDs are supported")
+        return cls.from_bytes(base32_decode(text[1:]))
+
+    def __repr__(self) -> str:
+        return "Cid(%s)" % str(self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Cid):
+            return NotImplemented
+        return self.codec == other.codec and self.digest == other.digest
+
+    def __lt__(self, other: "Cid") -> bool:
+        return self.to_bytes() < other.to_bytes()
+
+    def __hash__(self) -> int:
+        return hash((self.codec, self.digest))
+
+
+def cid_for_cbor(obj: Any) -> Cid:
+    """CID of a value's canonical DAG-CBOR encoding."""
+    from repro.atproto.cbor import cbor_encode
+
+    return Cid(1, CODEC_DAG_CBOR, hashlib.sha256(cbor_encode(obj)).digest())
+
+
+def cid_for_raw(data: bytes) -> Cid:
+    """CID of a raw (uninterpreted) byte blob."""
+    return Cid(1, CODEC_RAW, hashlib.sha256(data).digest())

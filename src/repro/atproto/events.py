@@ -1,0 +1,106 @@
+"""Firehose event frames.
+
+``com.atproto.sync.subscribeRepos`` streams four event kinds, matching the
+rows of Table 1 in the paper:
+
+* ``#commit`` — a repository update (record create/update/delete),
+* ``#identity`` — a DID document change (cache invalidation),
+* ``#handle`` — a handle change (legacy event, still emitted),
+* ``#tombstone`` — an account deletion.
+
+Events carry a relay-assigned sequence number and a microsecond timestamp.
+The payloads mirror the real lexicon closely enough that a consumer written
+against the real stream maps 1:1 onto these classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.atproto.cid import Cid
+
+KIND_COMMIT = "#commit"
+KIND_IDENTITY = "#identity"
+KIND_HANDLE = "#handle"
+KIND_TOMBSTONE = "#tombstone"
+
+ALL_KINDS = (KIND_COMMIT, KIND_IDENTITY, KIND_HANDLE, KIND_TOMBSTONE)
+
+
+@dataclass(frozen=True)
+class CommitOp:
+    """One record-level operation inside a commit event.
+
+    ``record`` is the written record body (None for deletes) — the real
+    firehose ships the new blocks inside each commit frame.
+    """
+
+    action: str  # "create" | "update" | "delete"
+    path: str  # "collection/rkey"
+    cid: Optional[Cid]  # None for deletes
+    record: Optional[dict] = None
+
+    @property
+    def collection(self) -> str:
+        return self.path.split("/", 1)[0]
+
+    @property
+    def rkey(self) -> str:
+        return self.path.split("/", 1)[1]
+
+
+@dataclass(frozen=True)
+class FirehoseEvent:
+    """Base frame: sequence number, repo DID, event time."""
+
+    seq: int
+    did: str
+    time_us: int
+
+    @property
+    def kind(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class CommitEvent(FirehoseEvent):
+    rev: str = ""
+    commit_cid: Optional[Cid] = None
+    ops: tuple[CommitOp, ...] = ()
+    too_big: bool = False
+
+    @property
+    def kind(self) -> str:
+        return KIND_COMMIT
+
+
+@dataclass(frozen=True)
+class IdentityEvent(FirehoseEvent):
+    """Signals that the DID document changed and caches must refresh."""
+
+    handle: Optional[str] = None
+
+    @property
+    def kind(self) -> str:
+        return KIND_IDENTITY
+
+
+@dataclass(frozen=True)
+class HandleEvent(FirehoseEvent):
+    """Legacy handle-change notification; carries only the *new* handle."""
+
+    handle: str = ""
+
+    @property
+    def kind(self) -> str:
+        return KIND_HANDLE
+
+
+@dataclass(frozen=True)
+class TombstoneEvent(FirehoseEvent):
+    """The account was deleted and its repo removed."""
+
+    @property
+    def kind(self) -> str:
+        return KIND_TOMBSTONE

@@ -1,0 +1,165 @@
+"""Wire framing for event streams.
+
+Real ATProto subscriptions deliver each event as two concatenated DAG-CBOR
+items: a *header* (``{"op": 1, "t": "#commit"}``, or ``{"op": -1}`` for
+errors) followed by the *payload*.  This module implements that framing
+for the firehose event types and for label streams, so the simulator's
+streams can be serialized to actual bytes — which is also what the
+Section 9 bandwidth estimate is grounded in.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.atproto.cbor import CborError, cbor_encode, _Decoder
+from repro.atproto.cid import Cid
+from repro.atproto.events import (
+    KIND_COMMIT,
+    KIND_HANDLE,
+    KIND_IDENTITY,
+    KIND_TOMBSTONE,
+    CommitEvent,
+    CommitOp,
+    FirehoseEvent,
+    HandleEvent,
+    IdentityEvent,
+    TombstoneEvent,
+)
+
+
+def iso_timestamp(time_us: int) -> str:
+    """ISO-8601 rendering with millisecond precision (wire `time` field)."""
+    import datetime
+
+    moment = datetime.datetime(1970, 1, 1, tzinfo=datetime.timezone.utc) + datetime.timedelta(
+        microseconds=time_us
+    )
+    return moment.strftime("%Y-%m-%dT%H:%M:%S.%f")[:-3] + "Z"
+
+
+class FrameError(ValueError):
+    """Raised on malformed frames."""
+
+
+def _decode_two(data: bytes):
+    """Decode exactly two concatenated DAG-CBOR items."""
+    decoder = _Decoder(data)
+    header = decoder.decode_value()
+    payload = decoder.decode_value()
+    if decoder.pos != len(data):
+        raise FrameError("trailing bytes after frame payload")
+    return header, payload
+
+
+def encode_event_frame(event: FirehoseEvent) -> bytes:
+    """Serialize a firehose event to its two-item wire frame."""
+    header = {"op": 1, "t": event.kind}
+    payload: dict = {"seq": event.seq, "repo": event.did, "time": iso_timestamp(event.time_us)}
+    payload["timeUs"] = event.time_us
+    if isinstance(event, CommitEvent):
+        payload["rev"] = event.rev
+        payload["commit"] = event.commit_cid
+        payload["tooBig"] = event.too_big
+        payload["ops"] = [
+            {
+                "action": op.action,
+                "path": op.path,
+                "cid": op.cid,
+                "record": op.record,
+            }
+            for op in event.ops
+        ]
+    elif isinstance(event, (HandleEvent, IdentityEvent)):
+        if getattr(event, "handle", None):
+            payload["handle"] = event.handle
+    return cbor_encode(header) + cbor_encode(payload)
+
+
+def decode_event_frame(data: bytes) -> FirehoseEvent:
+    """Parse a wire frame back into a typed event."""
+    header, payload = _decode_two(data)
+    if not isinstance(header, dict) or header.get("op") != 1:
+        raise FrameError("not a message frame: %r" % (header,))
+    kind = header.get("t")
+    seq = payload["seq"]
+    did = payload["repo"]
+    time_us = payload["timeUs"]
+    if kind == KIND_COMMIT:
+        ops = tuple(
+            CommitOp(
+                action=op["action"],
+                path=op["path"],
+                cid=op.get("cid"),
+                record=op.get("record"),
+            )
+            for op in payload.get("ops", [])
+        )
+        return CommitEvent(
+            seq=seq,
+            did=did,
+            time_us=time_us,
+            rev=payload.get("rev", ""),
+            commit_cid=payload.get("commit"),
+            ops=ops,
+            too_big=payload.get("tooBig", False),
+        )
+    if kind == KIND_IDENTITY:
+        return IdentityEvent(seq=seq, did=did, time_us=time_us, handle=payload.get("handle"))
+    if kind == KIND_HANDLE:
+        return HandleEvent(seq=seq, did=did, time_us=time_us, handle=payload.get("handle", ""))
+    if kind == KIND_TOMBSTONE:
+        return TombstoneEvent(seq=seq, did=did, time_us=time_us)
+    raise FrameError("unknown event kind %r" % kind)
+
+
+def encode_error_frame(error: str, message: str = "") -> bytes:
+    """The ``op: -1`` error frame subscriptions send before closing."""
+    return cbor_encode({"op": -1}) + cbor_encode({"error": error, "message": message})
+
+
+def decode_any_frame(data: bytes):
+    """Decode either a message or an error frame.
+
+    Returns ``("event", event)`` or ``("error", payload_dict)``.
+    """
+    header, payload = _decode_two(data)
+    if not isinstance(header, dict):
+        raise FrameError("frame header must be a map")
+    if header.get("op") == -1:
+        return ("error", payload)
+    return ("event", decode_event_frame(data))
+
+
+def encode_label_frame(label, signature: Optional[bytes] = None) -> bytes:
+    """Serialize one label event (``com.atproto.label.subscribeLabels``)."""
+    header = {"op": 1, "t": "#labels"}
+    body = {
+        "seq": label.seq,
+        "labels": [
+            {
+                "src": label.src,
+                "uri": label.uri,
+                "val": label.val,
+                "neg": label.neg,
+                "cts": iso_timestamp(label.cts),
+                "ctsUs": label.cts,
+            }
+        ],
+    }
+    if signature is not None:
+        body["labels"][0]["sig"] = signature
+    return cbor_encode(header) + cbor_encode(body)
+
+
+def decode_label_frame(data: bytes):
+    """Parse a label frame into (seq, list-of-label-dicts)."""
+    header, payload = _decode_two(data)
+    if header.get("t") != "#labels":
+        raise FrameError("not a label frame")
+    return payload["seq"], payload["labels"]
+
+
+def frame_size(event: FirehoseEvent) -> int:
+    """Exact wire size of an event's frame."""
+    return len(encode_event_frame(event))

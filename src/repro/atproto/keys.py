@@ -1,0 +1,155 @@
+"""Signing-key abstraction used by repositories and PLC operations.
+
+Two interchangeable implementations:
+
+* :class:`Secp256k1Keypair` — real ECDSA over secp256k1
+  (:mod:`repro.atproto.crypto`), byte-compatible with ATProto.  Used by the
+  protocol-level tests and small scenarios.
+* :class:`HmacKeypair` — an HMAC-SHA256 "signature" scheme.  Pure-Python
+  ECDSA costs milliseconds per signature, which is prohibitive when a
+  simulation signs millions of commits; HMAC keys keep the exact same
+  commit/operation formats (a 64-byte signature over the same canonical
+  bytes) at microsecond cost.  DESIGN.md records this substitution.
+
+Verification goes through the public key object in both cases, so service
+code never branches on the scheme.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.atproto.crypto import SigningKey, VerifyingKey
+from repro.atproto.multibase import base58btc_decode, base58btc_encode
+from repro.atproto.varint import decode_varint, encode_varint
+
+# Private multicodec from the experimental range, marking simulator-only keys.
+MULTICODEC_HMAC_SIM = 0x300101
+DID_KEY_PREFIX = "did:key:"
+
+
+class KeyError_(ValueError):
+    """Raised on malformed key material."""
+
+
+class PublicKey:
+    """Common interface: verify a 64-byte signature and render as did:key."""
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        raise NotImplementedError
+
+    def to_did_key(self) -> str:
+        raise NotImplementedError
+
+
+class Keypair:
+    """Common interface: sign bytes, expose the public half."""
+
+    def sign(self, message: bytes) -> bytes:
+        raise NotImplementedError
+
+    @property
+    def public_key(self) -> PublicKey:
+        raise NotImplementedError
+
+    def did_key(self) -> str:
+        return self.public_key.to_did_key()
+
+
+class Secp256k1PublicKey(PublicKey):
+    def __init__(self, inner: VerifyingKey):
+        self.inner = inner
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        return self.inner.verify(message, signature)
+
+    def to_did_key(self) -> str:
+        return self.inner.to_did_key()
+
+
+class Secp256k1Keypair(Keypair):
+    """Real ECDSA keypair; deterministic derivation from a seed."""
+
+    def __init__(self, signing_key: SigningKey):
+        self._key = signing_key
+        self._public = Secp256k1PublicKey(signing_key.public_key)
+
+    @classmethod
+    def from_seed(cls, seed: bytes) -> "Secp256k1Keypair":
+        return cls(SigningKey.from_seed(seed))
+
+    def sign(self, message: bytes) -> bytes:
+        return self._key.sign(message)
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self._public
+
+
+class HmacPublicKey(PublicKey):
+    """The 'public' half of an HMAC key.
+
+    HMAC is symmetric, so this object carries the shared secret; within the
+    simulator that is acceptable because nothing adversarial runs inside the
+    process.  The did:key form tags the key with a private-use multicodec so
+    it can never be confused with a real secp256k1 key.
+    """
+
+    def __init__(self, secret: bytes):
+        self.secret = secret
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        if len(signature) != 64:
+            return False
+        expected = _hmac_sig(self.secret, message)
+        return hmac.compare_digest(expected, signature)
+
+    def to_did_key(self) -> str:
+        payload = encode_varint(MULTICODEC_HMAC_SIM) + self.secret
+        return DID_KEY_PREFIX + "z" + base58btc_encode(payload)
+
+
+def _hmac_sig(secret: bytes, message: bytes) -> bytes:
+    first = hmac.new(secret, message, hashlib.sha256).digest()
+    second = hmac.new(secret, first + message, hashlib.sha256).digest()
+    return first + second
+
+
+class HmacKeypair(Keypair):
+    """Fast simulator keypair producing 64-byte verifiable signatures."""
+
+    def __init__(self, secret: bytes):
+        if len(secret) != 32:
+            raise KeyError_("HMAC key secret must be 32 bytes")
+        self.secret = secret
+        self._public = HmacPublicKey(secret)
+
+    @classmethod
+    def from_seed(cls, seed: bytes) -> "HmacKeypair":
+        return cls(hashlib.sha256(b"hmac-keypair:" + seed).digest())
+
+    def sign(self, message: bytes) -> bytes:
+        return _hmac_sig(self.secret, message)
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self._public
+
+
+def public_key_from_did_key(did_key: str) -> PublicKey:
+    """Parse either key flavour from its did:key rendering."""
+    if not did_key.startswith(DID_KEY_PREFIX + "z"):
+        raise KeyError_("not a base58btc did:key: %r" % did_key)
+    payload = base58btc_decode(did_key[len(DID_KEY_PREFIX) + 1 :])
+    codec, pos = decode_varint(payload)
+    if codec == MULTICODEC_HMAC_SIM:
+        return HmacPublicKey(payload[pos:])
+    return Secp256k1PublicKey(VerifyingKey.from_did_key(did_key))
+
+
+def make_keypair(seed: bytes, fast: bool = True) -> Keypair:
+    """Factory used by the simulation: fast HMAC keys by default."""
+    if fast:
+        return HmacKeypair.from_seed(seed)
+    return Secp256k1Keypair.from_seed(seed)

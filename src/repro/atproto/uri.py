@@ -1,0 +1,79 @@
+"""AT-URIs.
+
+Records are addressed as ``at://<authority>/<collection>/<rkey>`` where the
+authority is a DID (or handle), the collection an NSID, and the rkey a
+record key (commonly a TID).  Shorter forms address a whole collection
+(``at://did/collection``) or a whole repository (``at://did``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.atproto.nsid import Nsid, NsidError
+
+_RKEY_RE = re.compile(r"^[a-zA-Z0-9._:~-]{1,512}$")
+
+
+class AtUriError(ValueError):
+    """Raised on malformed AT-URIs."""
+
+
+class AtUri:
+    """A parsed AT-URI with optional collection and rkey components."""
+
+    __slots__ = ("authority", "collection", "rkey")
+
+    def __init__(self, authority: str, collection: str | None = None, rkey: str | None = None):
+        if not authority:
+            raise AtUriError("AT-URI requires an authority")
+        if rkey is not None and collection is None:
+            raise AtUriError("rkey requires a collection")
+        if collection is not None:
+            try:
+                Nsid(collection)
+            except NsidError as exc:
+                raise AtUriError("invalid collection NSID: %s" % exc) from exc
+        if rkey is not None and not _RKEY_RE.match(rkey):
+            raise AtUriError("invalid record key %r" % rkey)
+        self.authority = authority
+        self.collection = collection
+        self.rkey = rkey
+
+    @classmethod
+    def parse(cls, text: str) -> "AtUri":
+        if not text.startswith("at://"):
+            raise AtUriError("AT-URI must start with at://, got %r" % text[:16])
+        rest = text[len("at://") :]
+        parts = rest.split("/")
+        if len(parts) > 3 or (parts and parts[-1] == "" and len(parts) > 1):
+            raise AtUriError("too many path components in %r" % text)
+        authority = parts[0]
+        collection = parts[1] if len(parts) > 1 else None
+        rkey = parts[2] if len(parts) > 2 else None
+        return cls(authority, collection, rkey)
+
+    def __str__(self) -> str:
+        pieces = ["at://", self.authority]
+        if self.collection is not None:
+            pieces.append("/" + self.collection)
+            if self.rkey is not None:
+                pieces.append("/" + self.rkey)
+        return "".join(pieces)
+
+    def __repr__(self) -> str:
+        return "AtUri(%s)" % str(self)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, str):
+            return str(self) == other
+        if isinstance(other, AtUri):
+            return (self.authority, self.collection, self.rkey) == (
+                other.authority,
+                other.collection,
+                other.rkey,
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.authority, self.collection, self.rkey))

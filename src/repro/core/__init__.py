@@ -1,0 +1,12 @@
+"""The paper's measurement pipeline and analyses.
+
+:mod:`repro.core.collect` implements the data collection of Section 3 —
+the five datasets plus the active DNS / WHOIS measurements — against any
+world exposing the standard service endpoints.  :mod:`repro.core.analysis`
+turns the collected datasets into every table and figure of the paper.
+:mod:`repro.core.pipeline` wires both to a simulated world.
+"""
+
+from repro.core.pipeline import MeasurementPipeline, StudyDatasets
+
+__all__ = ["MeasurementPipeline", "StudyDatasets"]

@@ -1,0 +1,11 @@
+"""Analyses reproducing every table and figure of the paper.
+
+One module per paper section:
+
+* :mod:`repro.core.analysis.summary` — datasets overview + Table 1,
+* :mod:`repro.core.analysis.activity` — Section 4 (Figures 1–2),
+* :mod:`repro.core.analysis.identity` — Section 5 (Figure 3, Table 2),
+* :mod:`repro.core.analysis.moderation` — Section 6 (Figures 4–6, Tables 3–4, 6),
+* :mod:`repro.core.analysis.feeds` — Section 7 (Figures 7–10, 12, Table 5),
+* :mod:`repro.core.analysis.graph` — Figure 11 degree distributions.
+"""

@@ -1,0 +1,189 @@
+"""Section 4 — User Activity.
+
+Figure 1 (daily operations and active users), Figure 2 (language
+communities), lifetime operation totals, account popularity, and the
+non-Bluesky content observed on the firehose.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.pipeline import StudyDatasets
+from repro.simulation.clock import day_key
+
+
+@dataclass
+class DailyActivity:
+    """Figure 1: per-day operation counts and distinct active users."""
+
+    days: list[str] = field(default_factory=list)  # sorted YYYY-MM-DD
+    ops_by_type: dict[str, dict[str, int]] = field(default_factory=dict)
+    active_users: dict[str, int] = field(default_factory=dict)
+
+
+def daily_activity(datasets: StudyDatasets) -> DailyActivity:
+    """Rebuild the Figure 1 series from the repositories snapshot."""
+    repos = datasets.repositories
+    ops_by_type: dict[str, Counter] = {
+        "posts": Counter(),
+        "likes": Counter(),
+        "reposts": Counter(),
+        "follows": Counter(),
+        "blocks": Counter(),
+    }
+    active: dict[str, set] = defaultdict(set)
+
+    def bucket(rows, name, did_getter, time_getter):
+        counter = ops_by_type[name]
+        for row in rows:
+            t = time_getter(row)
+            if t is None or t < 0:
+                continue
+            day = day_key(t)
+            counter[day] += 1
+            active[day].add(did_getter(row))
+
+    bucket(repos.posts, "posts", lambda r: r.did, lambda r: r.created_us)
+    bucket(repos.likes, "likes", lambda r: r.did, lambda r: r.created_us)
+    bucket(repos.reposts, "reposts", lambda r: r.did, lambda r: r.created_us)
+    bucket(repos.follows, "follows", lambda r: r.did, lambda r: r.created_us)
+    bucket(repos.blocks, "blocks", lambda r: r.did, lambda r: r.created_us)
+
+    days = sorted(active)
+    return DailyActivity(
+        days=days,
+        ops_by_type={name: dict(counter) for name, counter in ops_by_type.items()},
+        active_users={day: len(users) for day, users in active.items()},
+    )
+
+
+@dataclass
+class LanguageCommunities:
+    """Figure 2: daily active users per language community."""
+
+    user_language: dict[str, str] = field(default_factory=dict)
+    daily_active_by_lang: dict[str, dict[str, int]] = field(default_factory=dict)
+    users_per_language: Counter = field(default_factory=Counter)
+
+
+def language_communities(datasets: StudyDatasets) -> LanguageCommunities:
+    """Assign each poster a language from their posts' self-assigned tags,
+    then count daily actives per community."""
+    repos = datasets.repositories
+    tag_votes: dict[str, Counter] = defaultdict(Counter)
+    for post in repos.posts:
+        if post.lang:
+            tag_votes[post.did][post.lang] += 1
+    user_language = {
+        did: votes.most_common(1)[0][0] for did, votes in tag_votes.items()
+    }
+    daily: dict[str, dict[str, set]] = defaultdict(lambda: defaultdict(set))
+    for post in repos.posts:
+        lang = user_language.get(post.did)
+        if lang is None or post.created_us is None or post.created_us < 0:
+            continue
+        daily[lang][day_key(post.created_us)].add(post.did)
+    result = LanguageCommunities(user_language=user_language)
+    result.users_per_language = Counter(user_language.values())
+    result.daily_active_by_lang = {
+        lang: {day: len(users) for day, users in per_day.items()}
+        for lang, per_day in daily.items()
+    }
+    return result
+
+
+@dataclass
+class AccountPopularity:
+    """Most-followed and most-blocked accounts (Section 4)."""
+
+    top_followed: list[tuple[str, int]] = field(default_factory=list)
+    top_blocked: list[tuple[str, int]] = field(default_factory=list)
+    display_names: dict[str, str] = field(default_factory=dict)
+
+
+def account_popularity(datasets: StudyDatasets, top_n: int = 10) -> AccountPopularity:
+    repos = datasets.repositories
+    followers = Counter(row.subject for row in repos.follows if row.subject)
+    blocks = Counter(row.subject for row in repos.blocks if row.subject)
+    return AccountPopularity(
+        top_followed=followers.most_common(top_n),
+        top_blocked=blocks.most_common(top_n),
+        display_names=dict(repos.profiles),
+    )
+
+
+@dataclass
+class NonBskyContent:
+    """Section 4: records for applications other than Bluesky."""
+
+    firehose_ops: dict[str, int] = field(default_factory=dict)
+    repo_collections: dict[str, int] = field(default_factory=dict)
+    total_firehose: int = 0
+    share_of_events: float = 0.0
+
+
+def non_bsky_content(datasets: StudyDatasets) -> NonBskyContent:
+    firehose = datasets.firehose
+    total = sum(firehose.non_bsky_ops.values())
+    events = firehose.total_events()
+    return NonBskyContent(
+        firehose_ops=dict(firehose.non_bsky_ops),
+        repo_collections=dict(datasets.repositories.other_collections),
+        total_firehose=total,
+        share_of_events=(total / events) if events else 0.0,
+    )
+
+
+def operation_totals(datasets: StudyDatasets) -> dict[str, int]:
+    """The Section 4 headline: 740M likes, 225M posts, ... (scaled)."""
+    return datasets.repositories.operation_totals()
+
+
+@dataclass
+class ActivityConcentration:
+    """How unevenly activity spreads over accounts (an extension stat)."""
+
+    gini: float = 0.0
+    top_percentile_share: float = 0.0  # ops by the most active 1%
+    accounts: int = 0
+
+
+def activity_concentration(datasets: StudyDatasets) -> ActivityConcentration:
+    """Gini coefficient of per-user operation counts."""
+    repos = datasets.repositories
+    per_user: Counter = Counter()
+    for rows in (repos.posts, repos.likes, repos.reposts, repos.follows, repos.blocks):
+        for row in rows:
+            per_user[row.did] += 1
+    counts = sorted(per_user.values())
+    n = len(counts)
+    result = ActivityConcentration(accounts=n)
+    if n == 0:
+        return result
+    total = sum(counts)
+    if total == 0:
+        return result
+    # Gini via the sorted-rank formula.
+    weighted = sum((index + 1) * value for index, value in enumerate(counts))
+    result.gini = (2.0 * weighted) / (n * total) - (n + 1.0) / n
+    top = max(1, n // 100)
+    result.top_percentile_share = sum(counts[-top:]) / total
+    return result
+
+
+def steady_state_dailies(
+    datasets: StudyDatasets, month_prefix: str = "2024-04"
+) -> dict[str, float]:
+    """Average daily ops and actives in a month (the 'Current Status')."""
+    fig1 = daily_activity(datasets)
+    days = [day for day in fig1.days if day.startswith(month_prefix)]
+    if not days:
+        return {}
+    out: dict[str, float] = {}
+    for name, series in fig1.ops_by_type.items():
+        out[name] = sum(series.get(day, 0) for day in days) / len(days)
+    out["active_users"] = sum(fig1.active_users.get(day, 0) for day in days) / len(days)
+    return out

@@ -1,0 +1,375 @@
+"""Section 7 — Content Recommendation.
+
+Figure 7 (cumulative feed generators / likes / followers), Figure 8
+(description word frequencies), Figure 9 (labels on curated posts),
+Figure 10 (posts vs likes), Figure 12 (hosting providers), Table 5
+(platform feature matrix), feeds-per-account statistics, description
+languages, timestamp anomalies, and the Pearson correlations.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.analysis.langid import detect_language
+from repro.core.collect.repos import parse_created_at_us
+from repro.core.pipeline import StudyDatasets
+from repro.simulation.clock import US_PER_DAY, day_key, date_us
+
+BLUESKY_LAUNCH_US = date_us("2022-11-01")
+
+
+def pearson(xs: list[float], ys: list[float]) -> float:
+    """Pearson correlation coefficient (0.0 for degenerate input)."""
+    n = len(xs)
+    if n < 2 or n != len(ys):
+        return 0.0
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — growth
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FeedGrowth:
+    days: list[str] = field(default_factory=list)
+    cumulative_feeds: dict[str, int] = field(default_factory=dict)
+    cumulative_feed_likes: dict[str, int] = field(default_factory=dict)
+    cumulative_creator_followers: dict[str, int] = field(default_factory=dict)
+
+
+def feed_growth(datasets: StudyDatasets) -> FeedGrowth:
+    repos = datasets.repositories
+    feed_uris = {row.uri for row in repos.feed_generators}
+    creators = {row.did for row in repos.feed_generators}
+
+    feeds_per_day = Counter(
+        day_key(row.created_us) for row in repos.feed_generators if row.created_us
+    )
+    likes_per_day = Counter(
+        day_key(row.created_us)
+        for row in repos.likes
+        if row.created_us and row.created_us > 0 and row.subject in feed_uris
+    )
+    follows_per_day = Counter(
+        day_key(row.created_us)
+        for row in repos.follows
+        if row.created_us and row.created_us > 0 and row.subject in creators
+    )
+    days = sorted(set(feeds_per_day) | set(likes_per_day) | set(follows_per_day))
+    result = FeedGrowth(days=days)
+    totals = [0, 0, 0]
+    for day in days:
+        totals[0] += feeds_per_day.get(day, 0)
+        totals[1] += likes_per_day.get(day, 0)
+        totals[2] += follows_per_day.get(day, 0)
+        result.cumulative_feeds[day] = totals[0]
+        result.cumulative_feed_likes[day] = totals[1]
+        result.cumulative_creator_followers[day] = totals[2]
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — description words
+# ---------------------------------------------------------------------------
+
+_WORD_RE = re.compile(r"[a-z][a-z'#.-]+")
+_STOPWORDS = frozenset(
+    "the and for with all this that you your are was not of to in on a an".split()
+)
+
+
+def description_word_frequencies(datasets: StudyDatasets, top_n: int = 30) -> list[tuple[str, int]]:
+    """Figure 8's word cloud, as a ranked word-frequency list."""
+    counter: Counter = Counter()
+    for meta in datasets.feed_generators.metadata.values():
+        for word in _WORD_RE.findall(meta.description.lower()):
+            if word not in _STOPWORDS:
+                counter[word] += 1
+    return counter.most_common(top_n)
+
+
+def description_languages(datasets: StudyDatasets) -> Counter:
+    """Language mix of feed descriptions (Section 7.1: en 45%, ja 36%...)."""
+    counter: Counter = Counter()
+    for meta in datasets.feed_generators.metadata.values():
+        lang = detect_language(meta.description)
+        if lang is not None:
+            counter[lang] += 1
+    return counter
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — labels on curated posts
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FeedLabelStats:
+    feeds_with_any_label: int = 0
+    feeds_examined: int = 0
+    heavily_labeled: int = 0  # >= 10% of content labeled
+    dominant_label_counts: Counter = field(default_factory=Counter)
+
+    @property
+    def labeled_share(self) -> float:
+        return self.feeds_with_any_label / self.feeds_examined if self.feeds_examined else 0.0
+
+    @property
+    def heavily_labeled_share(self) -> float:
+        return self.heavily_labeled / self.feeds_examined if self.feeds_examined else 0.0
+
+
+def feed_label_analysis(datasets: StudyDatasets, threshold: float = 0.10) -> FeedLabelStats:
+    """Figure 9: feeds whose content is heavily labeled and by what."""
+    labels_by_uri: dict[str, list[str]] = defaultdict(list)
+    negated: set = set()
+    for label in datasets.labels.labels:
+        if label.neg:
+            negated.add((label.uri, label.src, label.val))
+    for label in datasets.labels.labels:
+        if not label.neg and (label.uri, label.src, label.val) not in negated:
+            labels_by_uri[label.uri].append(label.val)
+    stats = FeedLabelStats()
+    for uri, posts in datasets.feed_generators.feed_posts.items():
+        if not posts:
+            continue
+        stats.feeds_examined += 1
+        label_values: Counter = Counter()
+        labeled_posts = 0
+        for post_uri in posts:
+            values = labels_by_uri.get(post_uri)
+            if values:
+                labeled_posts += 1
+                label_values.update(values)
+        if labeled_posts == 0:
+            continue
+        stats.feeds_with_any_label += 1
+        if labeled_posts / len(posts) >= threshold:
+            stats.heavily_labeled += 1
+            stats.dominant_label_counts[label_values.most_common(1)[0][0]] += 1
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 — posts vs likes
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FeedScatterPoint:
+    uri: str
+    posts: int
+    likes: int
+
+
+def posts_vs_likes(datasets: StudyDatasets) -> list[FeedScatterPoint]:
+    points = []
+    for meta in datasets.feed_generators.reachable():
+        posts = len(datasets.feed_generators.posts_for(meta.uri))
+        points.append(FeedScatterPoint(meta.uri, posts, meta.like_count))
+    return points
+
+
+@dataclass
+class ScatterSummary:
+    total_feeds: int = 0
+    never_posted: int = 0
+    high_like_no_post: int = 0  # the personalized-feed corner
+    high_post_feeds: int = 0  # the aggregator corner
+    correlation: float = 0.0
+
+
+def posts_vs_likes_summary(
+    datasets: StudyDatasets,
+    high_like_quantile: float = 0.95,
+    high_post_quantile: float = 0.95,
+) -> ScatterSummary:
+    points = posts_vs_likes(datasets)
+    summary = ScatterSummary(total_feeds=len(points))
+    if not points:
+        return summary
+    likes_sorted = sorted(point.likes for point in points)
+    posts_sorted = sorted(point.posts for point in points)
+    like_cut = likes_sorted[int(high_like_quantile * (len(points) - 1))]
+    post_cut = posts_sorted[int(high_post_quantile * (len(points) - 1))]
+    for point in points:
+        if point.posts == 0:
+            summary.never_posted += 1
+            if point.likes >= max(1, like_cut):
+                summary.high_like_no_post += 1
+        if point.posts >= max(1, post_cut):
+            summary.high_post_feeds += 1
+    summary.correlation = pearson(
+        [float(p.posts) for p in points], [float(p.likes) for p in points]
+    )
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# Figure 12 — providers
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ProviderShare:
+    provider: str  # service DID
+    feeds: int
+    feed_share: float
+    posts: int
+    post_share: float
+    likes: int
+    like_share: float
+
+
+def provider_shares(datasets: StudyDatasets) -> list[ProviderShare]:
+    """Figure 12 + the Section 7.2 post/like share comparison."""
+    by_provider_feeds: Counter = Counter()
+    by_provider_posts: Counter = Counter()
+    by_provider_likes: Counter = Counter()
+    for meta in datasets.feed_generators.reachable():
+        provider = meta.service_did
+        by_provider_feeds[provider] += 1
+        by_provider_posts[provider] += len(datasets.feed_generators.posts_for(meta.uri))
+        by_provider_likes[provider] += meta.like_count
+    total_feeds = sum(by_provider_feeds.values())
+    total_posts = sum(by_provider_posts.values())
+    total_likes = sum(by_provider_likes.values())
+    rows = []
+    for provider, feeds in by_provider_feeds.most_common():
+        rows.append(
+            ProviderShare(
+                provider=provider,
+                feeds=feeds,
+                feed_share=feeds / total_feeds if total_feeds else 0.0,
+                posts=by_provider_posts[provider],
+                post_share=by_provider_posts[provider] / total_posts if total_posts else 0.0,
+                likes=by_provider_likes[provider],
+                like_share=by_provider_likes[provider] / total_likes if total_likes else 0.0,
+            )
+        )
+    return rows
+
+
+def top_provider_concentration(datasets: StudyDatasets, top_n: int = 3) -> float:
+    rows = provider_shares(datasets)
+    return sum(row.feed_share for row in rows[:top_n])
+
+
+# ---------------------------------------------------------------------------
+# Section 7.1 statistics
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FeedActivityStats:
+    reachable: int = 0
+    never_posted: int = 0
+    inactive_last_month: int = 0
+    bogus_timestamp_posts: int = 0
+
+    @property
+    def never_posted_share(self) -> float:
+        return self.never_posted / self.reachable if self.reachable else 0.0
+
+    @property
+    def inactive_share(self) -> float:
+        return self.inactive_last_month / self.reachable if self.reachable else 0.0
+
+
+def feed_activity_stats(datasets: StudyDatasets, as_of_us: int) -> FeedActivityStats:
+    stats = FeedActivityStats()
+    month_ago = as_of_us - 30 * US_PER_DAY
+    for meta in datasets.feed_generators.reachable():
+        stats.reachable += 1
+        posts = datasets.feed_generators.posts_for(meta.uri)
+        if not posts:
+            stats.never_posted += 1
+            continue
+        newest = None
+        for observation in posts.values():
+            created = parse_created_at_us(observation.created_at)
+            if created is None:
+                continue
+            if created < BLUESKY_LAUNCH_US:
+                stats.bogus_timestamp_posts += 1
+            if newest is None or created > newest:
+                newest = created
+        if newest is not None and newest < month_ago:
+            stats.inactive_last_month += 1
+    return stats
+
+
+@dataclass
+class FeedsPerAccount:
+    one_feed_share: float = 0.0
+    two_to_ten_share: float = 0.0
+    over_hundred_share: float = 0.0
+    max_feeds: int = 0
+    managers: int = 0
+
+
+def feeds_per_account(datasets: StudyDatasets) -> FeedsPerAccount:
+    per_creator = Counter(row.did for row in datasets.repositories.feed_generators)
+    result = FeedsPerAccount(managers=len(per_creator))
+    if not per_creator:
+        return result
+    counts = list(per_creator.values())
+    result.one_feed_share = sum(1 for c in counts if c == 1) / len(counts)
+    result.two_to_ten_share = sum(1 for c in counts if 2 <= c <= 10) / len(counts)
+    result.over_hundred_share = sum(1 for c in counts if c > 100) / len(counts)
+    result.max_feeds = max(counts)
+    return result
+
+
+@dataclass
+class PopularityCorrelations:
+    """Section 7.1: what predicts creator followership."""
+
+    feed_count_vs_followers: float = 0.0
+    feed_likes_vs_followers: float = 0.0
+    creators: int = 0
+
+
+def popularity_correlations(datasets: StudyDatasets) -> PopularityCorrelations:
+    repos = datasets.repositories
+    followers = Counter(row.subject for row in repos.follows if row.subject)
+    feed_count = Counter(row.did for row in repos.feed_generators)
+    feed_uris_by_creator: dict[str, list[str]] = defaultdict(list)
+    for row in repos.feed_generators:
+        feed_uris_by_creator[row.did].append(row.uri)
+    feed_likes = Counter()
+    feed_uris = {row.uri for row in repos.feed_generators}
+    for row in repos.likes:
+        if row.subject in feed_uris:
+            feed_likes[row.subject] += 1
+    creators = sorted(feed_count)
+    xs_count, xs_likes, ys = [], [], []
+    for creator in creators:
+        ys.append(float(followers.get(creator, 0)))
+        xs_count.append(float(feed_count[creator]))
+        xs_likes.append(float(sum(feed_likes.get(uri, 0) for uri in feed_uris_by_creator[creator])))
+    return PopularityCorrelations(
+        feed_count_vs_followers=pearson(xs_count, ys),
+        feed_likes_vs_followers=pearson(xs_likes, ys),
+        creators=len(creators),
+    )
+
+
+def table5_feature_matrix() -> dict[str, dict[str, bool]]:
+    """Table 5 (static: the platforms' capabilities are code, not data)."""
+    from repro.services.feedservice import feature_matrix_table
+
+    return feature_matrix_table()

@@ -1,0 +1,81 @@
+"""Extended social-graph analysis (beyond the paper's scope).
+
+The paper "deliberately omit[s] a deeper analysis of the social graph";
+follow-up work (Quelle & Bovet 2024) studies Bluesky's topology.  This
+module provides the standard network-science measures over the collected
+follow graph, built on :mod:`networkx`: reciprocity, weak components,
+clustering, PageRank, and a log-log degree-slope estimate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.pipeline import StudyDatasets
+
+
+@dataclass
+class GraphSummary:
+    nodes: int = 0
+    edges: int = 0
+    reciprocity: float = 0.0
+    weakly_connected_components: int = 0
+    giant_component_share: float = 0.0
+    average_clustering_sample: float = 0.0
+    top_pagerank: list = field(default_factory=list)  # [(did, score)]
+    in_degree_slope: float = 0.0  # log-log tail slope (negative)
+
+
+def build_follow_graph(datasets: StudyDatasets):
+    """The directed follow graph as a networkx DiGraph."""
+    import networkx as nx
+
+    graph = nx.DiGraph()
+    for row in datasets.repositories.follows:
+        if row.subject:
+            graph.add_edge(row.did, row.subject)
+    return graph
+
+
+def degree_slope(degrees: list[int]) -> float:
+    """Least-squares slope of the log-log degree histogram tail."""
+    from collections import Counter
+
+    histogram = Counter(d for d in degrees if d > 0)
+    points = [(math.log(d), math.log(c)) for d, c in histogram.items() if c > 0]
+    if len(points) < 3:
+        return 0.0
+    n = len(points)
+    sum_x = sum(x for x, _ in points)
+    sum_y = sum(y for _, y in points)
+    sum_xx = sum(x * x for x, _ in points)
+    sum_xy = sum(x * y for x, y in points)
+    denominator = n * sum_xx - sum_x * sum_x
+    if denominator == 0:
+        return 0.0
+    return (n * sum_xy - sum_x * sum_y) / denominator
+
+
+def graph_summary(datasets: StudyDatasets, clustering_sample: int = 300) -> GraphSummary:
+    """Compute the extended topology measures."""
+    import networkx as nx
+
+    graph = build_follow_graph(datasets)
+    result = GraphSummary(nodes=graph.number_of_nodes(), edges=graph.number_of_edges())
+    if graph.number_of_nodes() == 0:
+        return result
+    result.reciprocity = nx.reciprocity(graph) or 0.0
+    undirected = graph.to_undirected()
+    components = list(nx.connected_components(undirected))
+    result.weakly_connected_components = len(components)
+    giant = max(components, key=len)
+    result.giant_component_share = len(giant) / graph.number_of_nodes()
+    sample_nodes = sorted(giant)[:clustering_sample]
+    result.average_clustering_sample = nx.average_clustering(
+        undirected, nodes=sample_nodes
+    )
+    pagerank = nx.pagerank(graph, alpha=0.85, max_iter=200)
+    result.top_pagerank = sorted(pagerank.items(), key=lambda kv: -kv[1])[:10]
+    result.in_degree_slope = degree_slope([d for _, d in graph.in_degree()])
+    return result

@@ -1,0 +1,214 @@
+"""Section 5 — (De)centralized Identity.
+
+Handle concentration (bsky.social vs the rest), Figure 3 (subdomain
+handles per registered domain), Table 2 (registrars), handle-ownership
+mechanisms, did:web counts, Tranco cross-reference, and handle updates.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.pipeline import StudyDatasets
+from repro.netsim.psl import default_psl
+
+BSKY_SUFFIX = ".bsky.social"
+
+
+@dataclass
+class HandleConcentration:
+    total_handles: int = 0
+    bsky_social: int = 0
+    non_bsky: int = 0
+
+    @property
+    def bsky_share(self) -> float:
+        return self.bsky_social / self.total_handles if self.total_handles else 0.0
+
+
+def handle_concentration(datasets: StudyDatasets) -> HandleConcentration:
+    result = HandleConcentration()
+    for handle in datasets.did_documents.handles():
+        result.total_handles += 1
+        if handle.endswith(BSKY_SUFFIX):
+            result.bsky_social += 1
+        else:
+            result.non_bsky += 1
+    return result
+
+
+@dataclass
+class SubdomainDistribution:
+    """Figure 3: FQDN handles per registered domain (bsky.social excluded)."""
+
+    handles_per_domain: Counter = field(default_factory=Counter)
+
+    def top(self, n: int = 10) -> list[tuple[str, int]]:
+        return self.handles_per_domain.most_common(n)
+
+    def sorted_counts(self) -> list[int]:
+        return sorted(self.handles_per_domain.values(), reverse=True)
+
+
+def subdomain_distribution(datasets: StudyDatasets) -> SubdomainDistribution:
+    psl = default_psl()
+    result = SubdomainDistribution()
+    for handle in datasets.did_documents.handles():
+        if handle.endswith(BSKY_SUFFIX):
+            continue
+        try:
+            registered = psl.registered_domain(handle)
+        except ValueError:
+            continue
+        if registered is not None:
+            result.handles_per_domain[registered] += 1
+    return result
+
+
+@dataclass
+class Table2Row:
+    iana_id: int
+    registrar_name: str
+    total: int
+    share_pct: float
+
+
+def table2_registrars(datasets: StudyDatasets, top_n: int = 7) -> list[Table2Row]:
+    """Table 2: domain-name handles per registrar (IANA-extractable)."""
+    counts = datasets.active.registrar_counts()
+    total = sum(counts.values())
+    rows = [
+        Table2Row(
+            iana_id=iana_id,
+            registrar_name=name,
+            total=count,
+            share_pct=100.0 * count / total if total else 0.0,
+        )
+        for (iana_id, name), count in counts.most_common(top_n)
+    ]
+    return rows
+
+
+@dataclass
+class RegistrarConcentration:
+    registrar_count: int = 0
+    domains_with_iana_id: int = 0
+    top4_share: float = 0.0
+
+
+def registrar_concentration(datasets: StudyDatasets) -> RegistrarConcentration:
+    counts = datasets.active.registrar_counts()
+    total = sum(counts.values())
+    top4 = sum(count for _, count in counts.most_common(4))
+    return RegistrarConcentration(
+        registrar_count=len(counts),
+        domains_with_iana_id=total,
+        top4_share=(top4 / total) if total else 0.0,
+    )
+
+
+@dataclass
+class OwnershipMechanisms:
+    """DNS TXT vs well-known verification split (Section 5)."""
+
+    dns_txt: int = 0
+    well_known: int = 0
+    unverifiable: int = 0
+
+    @property
+    def verified(self) -> int:
+        return self.dns_txt + self.well_known
+
+    @property
+    def dns_share(self) -> float:
+        return self.dns_txt / self.verified if self.verified else 0.0
+
+
+def ownership_mechanisms(datasets: StudyDatasets) -> OwnershipMechanisms:
+    result = OwnershipMechanisms()
+    for row in datasets.active.handle_probes:
+        if row.mechanism == "dns-txt":
+            result.dns_txt += 1
+        elif row.mechanism == "well-known":
+            result.well_known += 1
+        else:
+            result.unverifiable += 1
+    return result
+
+
+@dataclass
+class IdentityMethodCounts:
+    plc: int = 0
+    web: int = 0
+
+
+def identity_methods(datasets: StudyDatasets) -> IdentityMethodCounts:
+    result = IdentityMethodCounts()
+    for row in datasets.did_documents.documents.values():
+        if row.method == "web":
+            result.web += 1
+        else:
+            result.plc += 1
+    return result
+
+
+@dataclass
+class TrancoCrossReference:
+    registered_domains: int = 0
+    ranked: int = 0
+
+    @property
+    def ranked_share(self) -> float:
+        return self.ranked / self.registered_domains if self.registered_domains else 0.0
+
+
+def tranco_cross_reference(datasets: StudyDatasets) -> TrancoCrossReference:
+    return TrancoCrossReference(
+        registered_domains=len(datasets.active.registered_domains),
+        ranked=len(datasets.active.tranco_ranked),
+    )
+
+
+@dataclass
+class HandleUpdateStats:
+    """Section 5, 'User Handles Updates' (from the firehose)."""
+
+    total_updates: int = 0
+    unique_dids: int = 0
+    unique_handles: int = 0
+    final_bsky: int = 0
+    final_custom: int = 0
+    # Users who switched back to a handle they had used before (the paper
+    # infers "switching back and forth" from unique_handles < updates).
+    ping_pong_users: int = 0
+
+    @property
+    def final_bsky_share(self) -> float:
+        finals = self.final_bsky + self.final_custom
+        return self.final_bsky / finals if finals else 0.0
+
+
+def handle_update_stats(datasets: StudyDatasets) -> HandleUpdateStats:
+    updates = datasets.firehose.handle_updates
+    result = HandleUpdateStats(total_updates=len(updates))
+    final_handle: dict[str, str] = {}
+    seen_per_did: dict[str, set] = {}
+    handles = set()
+    ping_pong: set = set()
+    for time_us, did, handle in sorted(updates):
+        history = seen_per_did.setdefault(did, set())
+        if handle in history:
+            ping_pong.add(did)
+        history.add(handle)
+        final_handle[did] = handle
+        handles.add(handle)
+    result.unique_dids = len(final_handle)
+    result.unique_handles = len(handles)
+    result.ping_pong_users = len(ping_pong)
+    for handle in final_handle.values():
+        if handle.endswith(BSKY_SUFFIX):
+            result.final_bsky += 1
+        else:
+            result.final_custom += 1
+    return result

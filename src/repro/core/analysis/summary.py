@@ -1,0 +1,104 @@
+"""Dataset overview and Table 1 (Firehose event types)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.atproto.events import (
+    KIND_COMMIT,
+    KIND_HANDLE,
+    KIND_IDENTITY,
+    KIND_TOMBSTONE,
+)
+from repro.core.pipeline import StudyDatasets
+
+EVENT_LABELS = {
+    KIND_COMMIT: "Repo Commit",
+    KIND_IDENTITY: "Identity Update",
+    KIND_HANDLE: "User Handle Update",
+    KIND_TOMBSTONE: "Repo Tombstone",
+}
+
+
+@dataclass
+class Table1Row:
+    event_type: str
+    total: int
+    share_pct: float
+
+
+def table1_firehose_event_types(datasets: StudyDatasets) -> list[Table1Row]:
+    """Table 1: event counts and shares, most frequent first."""
+    counts = datasets.firehose.event_counts
+    total = sum(counts.values())
+    rows = []
+    for kind in (KIND_COMMIT, KIND_IDENTITY, KIND_HANDLE, KIND_TOMBSTONE):
+        count = counts.get(kind, 0)
+        share = (100.0 * count / total) if total else 0.0
+        rows.append(Table1Row(EVENT_LABELS[kind], count, share))
+    rows.sort(key=lambda row: -row.total)
+    return rows
+
+
+@dataclass
+class DatasetOverview:
+    """The Section 3 headline numbers."""
+
+    identifiers: int
+    did_documents: int
+    did_web_documents: int
+    repositories: int
+    firehose_events: int
+    feed_generators_discovered: int
+    feed_generators_reachable: int
+    feed_posts_collected: int
+    labelers_announced: int
+    labelers_functional: int
+    labelers_active: int
+    label_interactions: int
+    labels_rescinded: int
+
+
+@dataclass
+class FirehoseBandwidth:
+    """Section 9's scalability estimate: stream volume per subscriber."""
+
+    days_observed: float
+    bytes_per_day: float
+    full_scale_gb_per_day: float  # scaled up by the population factor
+
+
+def firehose_bandwidth(datasets: StudyDatasets, scale: float) -> FirehoseBandwidth:
+    """Estimate the firehose's daily volume, extrapolated to full scale.
+
+    The paper estimates ~30 GB/day per subscribed client; the simulated
+    stream's volume times the population scale factor should land in the
+    same order of magnitude.
+    """
+    firehose = datasets.firehose
+    span_us = max(1, firehose.end_us - firehose.start_us)
+    days = span_us / (24 * 3600 * 1_000_000)
+    per_day = firehose.bytes_received / days
+    return FirehoseBandwidth(
+        days_observed=days,
+        bytes_per_day=per_day,
+        full_scale_gb_per_day=per_day / scale / 1e9,
+    )
+
+
+def dataset_overview(datasets: StudyDatasets) -> DatasetOverview:
+    return DatasetOverview(
+        identifiers=len(datasets.identifiers.all_dids()),
+        did_documents=len(datasets.did_documents),
+        did_web_documents=len(datasets.did_documents.did_web_rows()),
+        repositories=datasets.repositories.repo_count,
+        firehose_events=datasets.firehose.total_events(),
+        feed_generators_discovered=datasets.feed_generators.discovered_count(),
+        feed_generators_reachable=len(datasets.feed_generators.reachable()),
+        feed_posts_collected=datasets.feed_generators.total_observed_posts(),
+        labelers_announced=datasets.labels.announced_count(),
+        labelers_functional=datasets.labels.functional_count(),
+        labelers_active=datasets.labels.active_count(),
+        label_interactions=len(datasets.labels.labels),
+        labels_rescinded=sum(1 for label in datasets.labels.labels if label.neg),
+    )

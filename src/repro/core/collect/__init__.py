@@ -1,0 +1,26 @@
+"""Dataset collectors (Section 3 of the paper)."""
+
+from repro.core.collect.identifiers import ListReposCollector, UserIdentifierDataset
+from repro.core.collect.diddocs import DidDocumentCollector, DidDocumentDataset
+from repro.core.collect.repos import RepositoriesCollector, RepositoriesDataset
+from repro.core.collect.firehose import FirehoseCollector, FirehoseDataset
+from repro.core.collect.labelers import LabelerCollector, LabelerDataset
+from repro.core.collect.feedgens import FeedGeneratorCollector, FeedGeneratorDataset
+from repro.core.collect.active import ActiveMeasurements, ActiveMeasurementDataset
+
+__all__ = [
+    "ActiveMeasurementDataset",
+    "ActiveMeasurements",
+    "DidDocumentCollector",
+    "DidDocumentDataset",
+    "FeedGeneratorCollector",
+    "FeedGeneratorDataset",
+    "FirehoseCollector",
+    "FirehoseDataset",
+    "LabelerCollector",
+    "LabelerDataset",
+    "ListReposCollector",
+    "RepositoriesCollector",
+    "RepositoriesDataset",
+    "UserIdentifierDataset",
+]

@@ -1,0 +1,130 @@
+"""Active measurements (Section 5).
+
+Three probes the paper ran from university machines:
+
+* handle-ownership verification — for every non-``bsky.social`` FQDN
+  handle, check the ``_atproto.`` DNS TXT record, then the
+  ``/.well-known/atproto-did`` file (98.7% / 1.3% split);
+* a WHOIS scan of the registered domains (92% answered; IANA IDs for 76%);
+* a Tranco top-1M cross-reference of registered domains (2.8% ranked).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.identity.handles import HandleResolver
+from repro.netsim.psl import PublicSuffixList
+from repro.netsim.tranco import TrancoList
+from repro.netsim.whois import WhoisService
+
+
+@dataclass
+class HandleProbeRow:
+    handle: str
+    did: Optional[str]
+    mechanism: Optional[str]  # "dns-txt" | "well-known" | None
+
+
+@dataclass
+class WhoisRow:
+    domain: str
+    responded: bool
+    registrar_name: Optional[str] = None
+    iana_id: Optional[int] = None
+
+
+@dataclass
+class ActiveMeasurementDataset:
+    handle_probes: list[HandleProbeRow] = field(default_factory=list)
+    whois_rows: list[WhoisRow] = field(default_factory=list)
+    registered_domains: list[str] = field(default_factory=list)
+    tranco_ranked: set = field(default_factory=set)
+
+    def mechanism_counts(self) -> Counter:
+        return Counter(
+            row.mechanism for row in self.handle_probes if row.mechanism is not None
+        )
+
+    def whois_response_rate(self) -> float:
+        if not self.whois_rows:
+            return 0.0
+        return sum(1 for r in self.whois_rows if r.responded) / len(self.whois_rows)
+
+    def iana_id_rate(self) -> float:
+        if not self.whois_rows:
+            return 0.0
+        return sum(1 for r in self.whois_rows if r.iana_id is not None) / len(self.whois_rows)
+
+    def registrar_counts(self) -> Counter:
+        return Counter(
+            (r.iana_id, r.registrar_name)
+            for r in self.whois_rows
+            if r.iana_id is not None
+        )
+
+
+class ActiveMeasurements:
+    """Runs the three probe campaigns."""
+
+    def __init__(
+        self,
+        handle_resolver: HandleResolver,
+        whois: WhoisService,
+        tranco: TrancoList,
+        psl: PublicSuffixList,
+    ):
+        self.handle_resolver = handle_resolver
+        self.whois = whois
+        self.tranco = tranco
+        self.psl = psl
+        self.dataset = ActiveMeasurementDataset()
+
+    def probe_handles(self, handles: Iterable[str]) -> None:
+        """Verify ownership mechanisms for (non-bsky.social) handles."""
+        for handle in handles:
+            try:
+                probe = self.handle_resolver.probe(handle)
+            except ValueError:
+                self.dataset.handle_probes.append(HandleProbeRow(handle, None, None))
+                continue
+            self.dataset.handle_probes.append(
+                HandleProbeRow(handle, probe.did, probe.mechanism)
+            )
+
+    def extract_registered_domains(self, handles: Iterable[str]) -> list[str]:
+        """Registered (effective second-level) domains via the PSL."""
+        seen: dict[str, None] = {}
+        for handle in handles:
+            try:
+                registered = self.psl.registered_domain(handle)
+            except ValueError:
+                continue
+            if registered is not None:
+                seen.setdefault(registered, None)
+        self.dataset.registered_domains = list(seen)
+        return self.dataset.registered_domains
+
+    def scan_whois(self, domains: Optional[Iterable[str]] = None) -> None:
+        targets = list(domains) if domains is not None else self.dataset.registered_domains
+        for domain in targets:
+            record = self.whois.query(domain)
+            if record is None:
+                self.dataset.whois_rows.append(WhoisRow(domain, responded=False))
+            else:
+                self.dataset.whois_rows.append(
+                    WhoisRow(
+                        domain,
+                        responded=True,
+                        registrar_name=record.registrar_name,
+                        iana_id=record.iana_id,
+                    )
+                )
+
+    def cross_reference_tranco(self, domains: Optional[Iterable[str]] = None) -> set:
+        targets = list(domains) if domains is not None else self.dataset.registered_domains
+        ranked = {domain for domain in targets if self.tranco.in_top(domain)}
+        self.dataset.tranco_ranked = ranked
+        return ranked

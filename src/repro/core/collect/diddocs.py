@@ -1,0 +1,70 @@
+"""DID Documents and FQDN Handles dataset (Section 3).
+
+Downloads the DID document for every identifier — from the PLC directory
+for ``did:plc`` (the paper took a full snapshot of plc.directory) and via
+``https://<fqdn>/.well-known/did.json`` for ``did:web`` — and extracts the
+FQDN handles, PDS endpoints, and labeler endpoints used downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.identity.plc import PlcDirectory
+from repro.identity.resolver import DidResolver
+
+
+@dataclass
+class DidDocumentRow:
+    did: str
+    method: str  # "plc" | "web"
+    handle: Optional[str]
+    pds_endpoint: Optional[str]
+    labeler_endpoint: Optional[str]
+
+
+@dataclass
+class DidDocumentDataset:
+    time_us: int = 0
+    documents: dict[str, DidDocumentRow] = field(default_factory=dict)
+    failed: set[str] = field(default_factory=set)  # identifiers with no doc
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    def handles(self) -> list[str]:
+        return [row.handle for row in self.documents.values() if row.handle]
+
+    def did_web_rows(self) -> list[DidDocumentRow]:
+        return [row for row in self.documents.values() if row.method == "web"]
+
+    def handle_of(self, did: str) -> Optional[str]:
+        row = self.documents.get(did)
+        return row.handle if row else None
+
+
+class DidDocumentCollector:
+    """Bulk DID-document downloader."""
+
+    def __init__(self, resolver: DidResolver):
+        self.resolver = resolver
+        self.dataset = DidDocumentDataset()
+
+    def crawl(self, dids: Iterable[str], now_us: int) -> DidDocumentDataset:
+        self.dataset.time_us = now_us
+        for did in dids:
+            doc = self.resolver.resolve(did)
+            if doc is None:
+                # Tombstoned or unresolvable — the paper likewise obtained
+                # fewer documents (5.08M) than identifiers (5.59M).
+                self.dataset.failed.add(did)
+                continue
+            self.dataset.documents[did] = DidDocumentRow(
+                did=did,
+                method=did.split(":", 2)[1],
+                handle=doc.handle,
+                pds_endpoint=doc.pds_endpoint,
+                labeler_endpoint=doc.labeler_endpoint,
+            )
+        return self.dataset

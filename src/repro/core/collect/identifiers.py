@@ -1,0 +1,89 @@
+"""User Identifier Dataset (Section 3).
+
+Weekly ``com.atproto.sync.listRepos`` crawls of the Relay yield the set of
+all active users, their DIDs, and the latest repo commit revision — used
+both as the seed list for every other crawl and to detect which repos
+changed between snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.services.xrpc import ServiceDirectory
+from repro.simulation.clock import US_PER_DAY
+
+
+@dataclass
+class IdentifierSnapshot:
+    """One listRepos crawl: DID → (head CID, rev)."""
+
+    time_us: int
+    repos: dict[str, tuple[str, str]] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.repos)
+
+
+@dataclass
+class UserIdentifierDataset:
+    snapshots: list[IdentifierSnapshot] = field(default_factory=list)
+
+    def all_dids(self) -> set[str]:
+        """Every identifier seen in any snapshot (the paper's 5.59M)."""
+        seen: set[str] = set()
+        for snapshot in self.snapshots:
+            seen.update(snapshot.repos)
+        return seen
+
+    def latest(self) -> IdentifierSnapshot:
+        if not self.snapshots:
+            raise ValueError("no snapshots collected")
+        return self.snapshots[-1]
+
+    def changed_between(self, earlier: int, later: int) -> set[str]:
+        """DIDs whose rev advanced between two snapshot indexes."""
+        before = self.snapshots[earlier].repos
+        after = self.snapshots[later].repos
+        changed = set()
+        for did, (_, rev) in after.items():
+            old = before.get(did)
+            if old is None or old[1] != rev:
+                changed.add(did)
+        return changed
+
+
+class ListReposCollector:
+    """Paginates ``sync.listRepos`` against the Relay."""
+
+    def __init__(self, services: ServiceDirectory, relay_url: str, page_size: int = 1000):
+        self.services = services
+        self.relay_url = relay_url
+        self.page_size = page_size
+        self.dataset = UserIdentifierDataset()
+
+    def crawl(self, now_us: int) -> IdentifierSnapshot:
+        snapshot = IdentifierSnapshot(time_us=now_us)
+        cursor = None
+        while True:
+            page = self.services.call(
+                self.relay_url,
+                "com.atproto.sync.listRepos",
+                cursor=cursor,
+                limit=self.page_size,
+            )
+            for entry in page["repos"]:
+                snapshot.repos[entry["did"]] = (entry["head"], entry["rev"])
+            cursor = page["cursor"]
+            if cursor is None:
+                break
+        self.dataset.snapshots.append(snapshot)
+        return snapshot
+
+    def schedule_weekly(self, world, start_us: int, end_us: int) -> None:
+        """Register weekly crawls on the world's timeline (the paper
+        queried the endpoint weekly during March and April 2024)."""
+        t = start_us
+        while t < end_us:
+            world.schedule(t, lambda now_us: self.crawl(now_us))
+            t += 7 * US_PER_DAY

@@ -1,0 +1,228 @@
+"""Repositories Dataset (Section 3).
+
+Downloads a snapshot of every user's repository via the Relay's
+``com.atproto.sync.getRepo`` (served from the Relay cache, so self-hosted
+PDSes are never loaded — the recommended, ethics-friendly method the paper
+used) and reduces each record to a compact analysis row.
+"""
+
+from __future__ import annotations
+
+import datetime
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.atproto.lexicon import (
+    BLOCK,
+    FEED_GENERATOR,
+    FOLLOW,
+    LABELER_SERVICE,
+    LIKE,
+    POST,
+    PROFILE,
+    REPOST,
+)
+from repro.atproto.repo import import_car
+from repro.services.xrpc import ServiceDirectory, XrpcError
+
+
+def parse_created_at_us(text: str) -> Optional[int]:
+    """Parse a record's createdAt into epoch microseconds.
+
+    Returns None for unparseable strings.  Pre-epoch timestamps (the
+    "1185" bug the paper reported) come back negative.
+    """
+    if not text:
+        return None
+    try:
+        moment = datetime.datetime.fromisoformat(text.replace("Z", "+00:00"))
+    except ValueError:
+        return None
+    if moment.tzinfo is None:
+        moment = moment.replace(tzinfo=datetime.timezone.utc)
+    epoch = datetime.datetime(1970, 1, 1, tzinfo=datetime.timezone.utc)
+    return int((moment - epoch).total_seconds() * 1_000_000)
+
+
+@dataclass
+class PostRow:
+    did: str
+    rkey: str
+    created_us: Optional[int]
+    created_year: int
+    lang: Optional[str]
+    has_media: bool
+
+
+@dataclass
+class SubjectRow:
+    did: str
+    created_us: Optional[int]
+    subject: str
+
+
+@dataclass
+class FeedGenRow:
+    did: str
+    rkey: str
+    created_us: Optional[int]
+    service_did: str
+    display_name: str
+    description: str
+
+    @property
+    def uri(self) -> str:
+        return "at://%s/app.bsky.feed.generator/%s" % (self.did, self.rkey)
+
+
+@dataclass
+class RepositoriesDataset:
+    time_us: int = 0
+    repo_count: int = 0
+    # Virtual wall-clock the crawl takes at the negotiated scan rate (the
+    # paper's snapshot ran for 10 days; see netsim.ratelimit).
+    crawl_duration_us: int = 0
+    verified_signatures: int = 0
+    signature_failures: int = 0
+    failed_dids: set = field(default_factory=set)
+    posts: list[PostRow] = field(default_factory=list)
+    likes: list[SubjectRow] = field(default_factory=list)
+    follows: list[SubjectRow] = field(default_factory=list)
+    reposts: list[SubjectRow] = field(default_factory=list)
+    blocks: list[SubjectRow] = field(default_factory=list)
+    feed_generators: list[FeedGenRow] = field(default_factory=list)
+    labeler_services: list[tuple[str, Optional[int]]] = field(default_factory=list)
+    profiles: dict[str, str] = field(default_factory=dict)  # did -> displayName
+    other_collections: Counter = field(default_factory=Counter)
+    records_per_repo: Counter = field(default_factory=Counter)
+
+    @property
+    def labeler_service_dids(self) -> list[str]:
+        return [did for did, _ in self.labeler_services]
+
+    def operation_totals(self) -> dict[str, int]:
+        """The Section 4 headline totals."""
+        return {
+            "likes": len(self.likes),
+            "posts": len(self.posts),
+            "follows": len(self.follows),
+            "reposts": len(self.reposts),
+            "blocks": len(self.blocks),
+        }
+
+
+class RepositoriesCollector:
+    """Downloads and parses every repository.
+
+    ``rate_per_second`` models the scan rate agreed with the operator
+    (paper ethics section); the resulting virtual crawl duration is
+    recorded on the dataset.
+    """
+
+    def __init__(
+        self,
+        services: ServiceDirectory,
+        relay_url: str,
+        rate_per_second: float = 6.4,
+        resolver=None,
+    ):
+        self.services = services
+        self.relay_url = relay_url
+        self.rate_per_second = rate_per_second
+        # Optional DID resolver: when present, every downloaded repo's
+        # commit signature is verified against the account's published
+        # signing key (end-to-end authenticated transfer).
+        self.resolver = resolver
+        self.dataset = RepositoriesDataset()
+
+    def crawl(self, dids: Iterable[str], now_us: int) -> RepositoriesDataset:
+        from repro.netsim.ratelimit import TokenBucket
+
+        bucket = TokenBucket(self.rate_per_second, burst=10)
+        virtual_now = now_us
+        data = self.dataset
+        data.time_us = now_us
+        for did in dids:
+            virtual_now = bucket.acquire(virtual_now)
+            try:
+                car = self.services.call(self.relay_url, "com.atproto.sync.getRepo", did=did)
+            except XrpcError:
+                data.failed_dids.add(did)
+                continue
+            verify_key = self._signing_key_for(did)
+            try:
+                snapshot = import_car(car, verify_key=verify_key)
+            except ValueError:
+                data.signature_failures += 1
+                snapshot = import_car(car)
+            else:
+                if verify_key is not None:
+                    data.verified_signatures += 1
+            data.repo_count += 1
+            count = 0
+            for path, record in snapshot.records.items():
+                count += 1
+                self._ingest(did, path, record)
+            data.records_per_repo[did] = count
+        data.crawl_duration_us = virtual_now - now_us
+        return data
+
+    def _signing_key_for(self, did: str):
+        if self.resolver is None:
+            return None
+        doc = self.resolver.resolve(did)
+        if doc is None or doc.signing_key is None:
+            return None
+        from repro.atproto.keys import public_key_from_did_key
+
+        try:
+            return public_key_from_did_key(doc.signing_key)
+        except ValueError:
+            return None
+
+    def _ingest(self, did: str, path: str, record: dict) -> None:
+        collection, _, rkey = path.partition("/")
+        created = record.get("createdAt", "")
+        created_us = parse_created_at_us(created)
+        data = self.dataset
+        if collection == POST:
+            year = int(created[:4]) if created[:4].isdigit() else 0
+            langs = record.get("langs") or []
+            data.posts.append(
+                PostRow(
+                    did=did,
+                    rkey=rkey,
+                    created_us=created_us,
+                    created_year=year,
+                    lang=langs[0] if langs else None,
+                    has_media="images" in (record.get("embed") or {}),
+                )
+            )
+        elif collection == LIKE:
+            subject = (record.get("subject") or {}).get("uri", "")
+            data.likes.append(SubjectRow(did, created_us, subject))
+        elif collection == FOLLOW:
+            data.follows.append(SubjectRow(did, created_us, record.get("subject", "")))
+        elif collection == REPOST:
+            subject = (record.get("subject") or {}).get("uri", "")
+            data.reposts.append(SubjectRow(did, created_us, subject))
+        elif collection == BLOCK:
+            data.blocks.append(SubjectRow(did, created_us, record.get("subject", "")))
+        elif collection == FEED_GENERATOR:
+            data.feed_generators.append(
+                FeedGenRow(
+                    did=did,
+                    rkey=rkey,
+                    created_us=created_us,
+                    service_did=record.get("did", ""),
+                    display_name=record.get("displayName", ""),
+                    description=record.get("description", ""),
+                )
+            )
+        elif collection == LABELER_SERVICE:
+            data.labeler_services.append((did, created_us))
+        elif collection == PROFILE:
+            data.profiles[did] = record.get("displayName", "")
+        else:
+            data.other_collections[collection] += 1

@@ -1,0 +1,168 @@
+"""The end-to-end measurement pipeline.
+
+Reproduces the paper's collection schedule against a simulated world:
+
+* live Firehose subscription from 2024-03-06,
+* weekly ``listRepos`` crawls during March and April 2024,
+* a full DID-document snapshot in March 2024,
+* a full repository snapshot on April 24,
+* bi-weekly feed crawls from April 16 to May 10,
+* daily labeler reconnect/backfill, with the label dataset closed on
+  May 1,
+* active DNS / WHOIS / Tranco measurements after the identity snapshot.
+
+``MeasurementPipeline(world).run()`` returns a :class:`StudyDatasets`
+bundle, the input to every analysis in :mod:`repro.core.analysis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.collect.active import ActiveMeasurementDataset, ActiveMeasurements
+from repro.core.collect.diddocs import DidDocumentCollector, DidDocumentDataset
+from repro.core.collect.feedgens import FeedGeneratorCollector, FeedGeneratorDataset
+from repro.core.collect.firehose import FirehoseCollector, FirehoseDataset
+from repro.core.collect.identifiers import ListReposCollector, UserIdentifierDataset
+from repro.core.collect.labelers import LabelerCollector, LabelerDataset
+from repro.core.collect.repos import RepositoriesCollector, RepositoriesDataset
+from repro.identity.handles import HandleResolver
+from repro.netsim.psl import default_psl
+from repro.simulation.config import (
+    DIDDOC_SNAPSHOT_US,
+    FEED_COLLECT_END_US,
+    FEED_COLLECT_START_US,
+    FIREHOSE_COLLECT_END_US,
+    FIREHOSE_COLLECT_START_US,
+    LABEL_SNAPSHOT_US,
+    REPO_SNAPSHOT_US,
+)
+from repro.simulation.world import World
+
+
+@dataclass
+class StudyDatasets:
+    """Everything the analyses consume."""
+
+    identifiers: UserIdentifierDataset
+    did_documents: DidDocumentDataset
+    repositories: RepositoriesDataset
+    firehose: FirehoseDataset
+    feed_generators: FeedGeneratorDataset
+    labels: LabelerDataset
+    active: ActiveMeasurementDataset
+
+
+class MeasurementPipeline:
+    """Wires the collectors to a world and executes the study."""
+
+    def __init__(self, world: World):
+        self.world = world
+        services = world.services
+        self.identifier_collector = ListReposCollector(services, world.relay.url)
+        self.diddoc_collector = DidDocumentCollector(world.resolver)
+        self.repo_collector = RepositoriesCollector(
+            services, world.relay.url, resolver=world.resolver
+        )
+        self.firehose_collector = FirehoseCollector(start_us=FIREHOSE_COLLECT_START_US)
+        self.labeler_collector = LabelerCollector(services, world.resolver, world.dns)
+        self.feedgen_collector = FeedGeneratorCollector(services, world.appview.url)
+        self.active_measurements = ActiveMeasurements(
+            HandleResolver(world.dns, world.web),
+            world.whois,
+            world.tranco,
+            default_psl(),
+        )
+        self._schedule()
+
+    def _schedule(self) -> None:
+        world = self.world
+        self.firehose_collector.attach(world)
+        self.identifier_collector.schedule_weekly(
+            world, FIREHOSE_COLLECT_START_US, FIREHOSE_COLLECT_END_US
+        )
+        world.schedule(DIDDOC_SNAPSHOT_US, self._snapshot_did_documents)
+        world.schedule(REPO_SNAPSHOT_US, self._snapshot_repositories)
+        self.labeler_collector.schedule_daily_reconnects(
+            world, FIREHOSE_COLLECT_START_US, LABEL_SNAPSHOT_US
+        )
+        world.schedule(FEED_COLLECT_START_US, self._start_feed_collection)
+        t = FEED_COLLECT_START_US + 1
+        from repro.simulation.clock import US_PER_DAY
+
+        while t < FEED_COLLECT_END_US:
+            world.schedule(t, self._feed_crawl_sweep)
+            t += 14 * US_PER_DAY
+
+    # -- scheduled actions ------------------------------------------------------
+
+    def _snapshot_did_documents(self, now_us: int) -> None:
+        dids = self.identifier_collector.dataset.all_dids()
+        if not dids:
+            # The DID snapshot depends on at least one identifier crawl.
+            self.identifier_collector.crawl(now_us)
+            dids = self.identifier_collector.dataset.all_dids()
+        self.diddoc_collector.crawl(sorted(dids), now_us)
+
+    def _snapshot_repositories(self, now_us: int) -> None:
+        self.identifier_collector.crawl(now_us)
+        dids = self.identifier_collector.dataset.all_dids()
+        self.repo_collector.crawl(sorted(dids), now_us)
+        # Repos reveal labeler accounts and feed generators for discovery.
+        self.labeler_collector.discover(self.repo_collector.dataset.labeler_service_dids)
+        self.feedgen_collector.discover(
+            row.uri for row in self.repo_collector.dataset.feed_generators
+        )
+
+    def _start_feed_collection(self, now_us: int) -> None:
+        self.feedgen_collector.discover(self.firehose_collector.dataset.feed_generator_records)
+        self.feedgen_collector.fetch_metadata(now_us)
+
+    def _feed_crawl_sweep(self, now_us: int) -> None:
+        """Bi-weekly sweep: refresh discovery, then crawl posts."""
+        self.feedgen_collector.discover(self.firehose_collector.dataset.feed_generator_records)
+        self.feedgen_collector.crawl_feed_posts(now_us)
+
+    # -- execution -----------------------------------------------------------------
+
+    def run(self, progress=None) -> StudyDatasets:
+        self.world.run(progress=progress)
+        # Final labeler discovery/backfill (as of 2024-05-01 in the paper;
+        # the firehose may have surfaced labelers the repo snapshot missed).
+        self.labeler_collector.discover(self.firehose_collector.dataset.labeler_service_dids)
+        self.labeler_collector.connect_and_backfill(LABEL_SNAPSHOT_US)
+        # Active identity measurements over the DID-document handles.
+        non_bsky = [
+            handle
+            for handle in self.diddoc_collector.dataset.handles()
+            if not handle.endswith(".bsky.social")
+        ]
+        self.active_measurements.probe_handles(non_bsky)
+        self.active_measurements.extract_registered_domains(non_bsky)
+        self.active_measurements.scan_whois()
+        self.active_measurements.cross_reference_tranco()
+        return self.datasets()
+
+    def datasets(self) -> StudyDatasets:
+        return StudyDatasets(
+            identifiers=self.identifier_collector.dataset,
+            did_documents=self.diddoc_collector.dataset,
+            repositories=self.repo_collector.dataset,
+            firehose=self.firehose_collector.dataset,
+            feed_generators=self.feedgen_collector.dataset,
+            labels=self.labeler_collector.dataset,
+            active=self.active_measurements.dataset,
+        )
+
+
+def run_study(config=None, progress=None) -> tuple[World, StudyDatasets]:
+    """Convenience: build a world, run the full pipeline, return both."""
+    from repro.simulation.config import SimulationConfig
+
+    if config is None:
+        config = SimulationConfig.tiny()
+    world = World(config)
+    pipeline = MeasurementPipeline(world)
+    datasets = pipeline.run(progress=progress)
+    return world, datasets

@@ -1,0 +1,19 @@
+"""Decentralized identity: DIDs, DID documents, the PLC directory, handles.
+
+Implements the two DID methods Bluesky recognises — ``did:plc`` (operated
+via a central operation-log directory) and ``did:web`` (resolved from a
+``/.well-known/did.json`` document) — plus handle↔DID verification through
+DNS TXT records and HTTPS well-known files (Section 2 and 5 of the paper).
+"""
+
+from repro.identity.did import DidDocument, ServiceEndpoint, is_valid_did
+from repro.identity.plc import PlcDirectory
+from repro.identity.handles import HandleResolver
+
+__all__ = [
+    "DidDocument",
+    "HandleResolver",
+    "PlcDirectory",
+    "ServiceEndpoint",
+    "is_valid_did",
+]

@@ -1,0 +1,102 @@
+"""Handle ↔ DID verification.
+
+Handles are FQDNs; ownership is proven in one of two ways (Section 2):
+
+1. a DNS TXT record at ``_atproto.<handle>`` containing ``did=<did>``, or
+2. an HTTPS file at ``https://<handle>/.well-known/atproto-did`` whose body
+   is the DID.
+
+Verification is bidirectional: the handle must resolve to the DID *and*
+the DID document must list the handle in ``alsoKnownAs``.  The paper's
+active measurement (Section 5, "Validating Handle Ownership") probes both
+mechanisms for every non-``bsky.social`` handle; :meth:`HandleResolver.probe`
+reports which mechanism answered so the analysis can reproduce the
+98.7% DNS / 1.3% well-known split.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.netsim.dns import DnsResolver
+from repro.netsim.web import WELL_KNOWN_ATPROTO_DID, WebHostRegistry
+
+_HANDLE_RE = re.compile(
+    r"^(?=.{4,253}$)([a-z0-9]([a-z0-9-]{0,61}[a-z0-9])?\.)+[a-z]([a-z0-9-]{0,61}[a-z0-9])?$"
+)
+
+MECHANISM_DNS = "dns-txt"
+MECHANISM_WELL_KNOWN = "well-known"
+
+
+class HandleError(ValueError):
+    """Raised on malformed handles."""
+
+
+def is_valid_handle(handle: str) -> bool:
+    return bool(_HANDLE_RE.match(handle.lower()))
+
+
+def publish_dns_proof(resolver_zone, handle: str, did: str) -> None:
+    """Install the ``_atproto.`` TXT proof for a handle."""
+    from repro.netsim.dns import DnsRecordType
+
+    resolver_zone.set("_atproto." + handle, DnsRecordType.TXT, ["did=" + did])
+
+
+def publish_well_known_proof(web: WebHostRegistry, handle: str, did: str) -> None:
+    """Install the ``/.well-known/atproto-did`` proof for a handle."""
+    web.serve(handle, WELL_KNOWN_ATPROTO_DID, did)
+
+
+@dataclass(frozen=True)
+class HandleProbe:
+    """Result of actively probing a handle's verification mechanisms."""
+
+    handle: str
+    did: Optional[str]
+    mechanism: Optional[str]  # MECHANISM_DNS / MECHANISM_WELL_KNOWN / None
+
+
+class HandleResolver:
+    """Resolves handles to DIDs the way Bluesky clients and crawlers do."""
+
+    def __init__(self, dns: DnsResolver, web: WebHostRegistry):
+        self.dns = dns
+        self.web = web
+
+    def resolve(self, handle: str) -> Optional[str]:
+        """Resolve handle → DID, trying DNS first, then the well-known file."""
+        probe = self.probe(handle)
+        return probe.did
+
+    def probe(self, handle: str) -> HandleProbe:
+        """Like :meth:`resolve` but reports which mechanism succeeded."""
+        handle = handle.lower()
+        if not is_valid_handle(handle):
+            raise HandleError("invalid handle %r" % handle)
+        records = self.dns.try_lookup_txt("_atproto." + handle)
+        if records:
+            for record in records:
+                if record.startswith("did="):
+                    return HandleProbe(handle, record[len("did=") :], MECHANISM_DNS)
+        body = self.web.try_get(handle, WELL_KNOWN_ATPROTO_DID)
+        if body:
+            did = body.strip()
+            if did.startswith("did:"):
+                return HandleProbe(handle, did, MECHANISM_WELL_KNOWN)
+        return HandleProbe(handle, None, None)
+
+    def verify_bidirectional(
+        self, handle: str, resolve_did_doc: Callable[[str], Optional[object]]
+    ) -> bool:
+        """Full verification: handle → DID and DID document → handle."""
+        did = self.resolve(handle)
+        if did is None:
+            return False
+        doc = resolve_did_doc(did)
+        if doc is None:
+            return False
+        return getattr(doc, "handle", None) == handle.lower()

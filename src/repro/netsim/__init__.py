@@ -1,0 +1,30 @@
+"""Simulated Internet substrate.
+
+The paper's active measurements (handle verification, WHOIS scans,
+Tranco cross-referencing, labeler IP analysis) run against the public
+Internet.  This package provides in-process equivalents with the same
+query semantics: a DNS resolver with TXT records and NXDOMAIN, an HTTPS
+host registry for ``.well-known`` documents, a Public Suffix List
+implementation, a registrar/WHOIS database with IANA-ID redaction quirks,
+a Tranco-style popularity ranking, and an IP/hosting-class model.
+"""
+
+from repro.netsim.dns import DnsRecordType, DnsResolver, DnsZone, NxDomain
+from repro.netsim.psl import PublicSuffixList, default_psl
+from repro.netsim.tranco import TrancoList
+from repro.netsim.web import WebHostRegistry, WebError
+from repro.netsim.whois import RegistrarDatabase, WhoisService
+
+__all__ = [
+    "DnsRecordType",
+    "DnsResolver",
+    "DnsZone",
+    "NxDomain",
+    "PublicSuffixList",
+    "RegistrarDatabase",
+    "TrancoList",
+    "WebError",
+    "WebHostRegistry",
+    "WhoisService",
+    "default_psl",
+]

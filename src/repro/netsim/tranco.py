@@ -1,0 +1,68 @@
+"""A Tranco-style domain popularity ranking.
+
+The paper cross-references registered handle domains against the Tranco
+top-1M list and finds only 2.8% of them ranked.  We model the list as a
+ranked set seeded with well-known domains (tech companies, media outlets,
+universities — the categories the paper calls out) plus synthetic filler.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+# Domains the paper explicitly mentions finding in the top 1M.
+SEED_POPULAR_DOMAINS = (
+    "amazonaws.com",
+    "microsoft.com",
+    "cloudflare.com",
+    "cnn.com",
+    "nytimes.com",
+    "washingtonpost.com",
+    "stanford.edu",
+    "columbia.edu",
+    "github.io",
+    "google.com",
+    "bsky.social",
+    "theguardian.com",
+    "bbc.co.uk",
+    "wired.com",
+    "mit.edu",
+    "berkeley.edu",
+)
+
+
+class TrancoList:
+    """An ordered ranking; rank 1 is the most popular domain."""
+
+    def __init__(self, domains: Optional[Iterable[str]] = None, size_cap: int = 1_000_000):
+        self._ranks: dict[str, int] = {}
+        self.size_cap = size_cap
+        if domains is None:
+            domains = SEED_POPULAR_DOMAINS
+        for domain in domains:
+            self.append(domain)
+
+    def append(self, domain: str) -> int:
+        """Add a domain at the next rank (idempotent); returns its rank."""
+        domain = domain.lower()
+        existing = self._ranks.get(domain)
+        if existing is not None:
+            return existing
+        rank = len(self._ranks) + 1
+        if rank > self.size_cap:
+            raise ValueError("ranking is full (cap %d)" % self.size_cap)
+        self._ranks[domain] = rank
+        return rank
+
+    def rank(self, domain: str) -> Optional[int]:
+        return self._ranks.get(domain.lower())
+
+    def in_top(self, domain: str, top_n: int = 1_000_000) -> bool:
+        rank = self.rank(domain)
+        return rank is not None and rank <= top_n
+
+    def __len__(self) -> int:
+        return len(self._ranks)
+
+    def __contains__(self, domain: str) -> bool:
+        return domain.lower() in self._ranks

@@ -1,0 +1,18 @@
+"""Network services: the five Bluesky system components.
+
+* :mod:`repro.services.pds` — Personal Data Servers hosting user repos,
+* :mod:`repro.services.relay` — the Relay: PDS crawler, repo cache, Firehose,
+* :mod:`repro.services.appview` — the AppView: global index + public API,
+* :mod:`repro.services.labeler` — Labelers emitting moderation labels,
+* :mod:`repro.services.feedgen` — Feed Generators and their rule engine,
+* :mod:`repro.services.feedservice` — feed-generator-as-a-service platforms,
+* :mod:`repro.services.client` — the client tying a user session together.
+
+Services communicate through :class:`repro.services.xrpc.ServiceDirectory`,
+which maps endpoint URLs to in-process service objects, so the measurement
+code addresses services exactly as it would over HTTP.
+"""
+
+from repro.services.xrpc import ServiceDirectory, XrpcError
+
+__all__ = ["ServiceDirectory", "XrpcError"]

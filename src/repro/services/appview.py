@@ -1,0 +1,442 @@
+"""The AppView — the global index behind the Bluesky application.
+
+Consumes the Firehose, stores everything in query-friendly indexes, pulls
+labels from every known Labeler, and serves the public API the paper's
+Feed-Generator collectors use (``getFeedGenerator`` / ``getFeed``).  There
+is exactly one AppView, operated by Bluesky PBC — one of the two
+centralised choke points the discussion section calls out (the other being
+the Relay).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.atproto.events import CommitEvent, FirehoseEvent, HandleEvent, TombstoneEvent
+from repro.atproto.lexicon import (
+    BLOCK,
+    FEED_GENERATOR,
+    FOLLOW,
+    LABELER_SERVICE,
+    LIKE,
+    POST,
+    PROFILE,
+    REPOST,
+)
+from repro.identity.resolver import DidResolver
+from repro.services.labeler import Label, LabelerService
+from repro.services.relay import Relay
+from repro.services.xrpc import ServiceDirectory, XrpcError, XrpcService
+
+
+@dataclass
+class PostView:
+    """Indexed representation of one post."""
+
+    uri: str
+    author: str
+    time_us: int
+    text: str
+    langs: tuple[str, ...]
+    created_at: str
+    has_media: bool = False
+    reply_to: Optional[str] = None
+
+
+@dataclass
+class FeedGeneratorInfo:
+    """Indexed representation of one app.bsky.feed.generator record."""
+
+    uri: str
+    creator: str
+    service_did: str
+    display_name: str
+    description: str
+    created_at: str
+    time_us: int = 0
+
+
+@dataclass
+class _Indexes:
+    posts: dict[str, PostView] = field(default_factory=dict)
+    like_counts: Counter = field(default_factory=Counter)
+    repost_counts: Counter = field(default_factory=Counter)
+    follower_counts: Counter = field(default_factory=Counter)
+    following_counts: Counter = field(default_factory=Counter)
+    block_counts: Counter = field(default_factory=Counter)
+    like_subject_by_path: dict[str, str] = field(default_factory=dict)
+    follow_subject_by_path: dict[str, str] = field(default_factory=dict)
+    following: dict[str, set] = field(default_factory=dict)  # did -> followed dids
+    posts_by_author: dict[str, list] = field(default_factory=dict)  # did -> [uri]
+    profiles: dict[str, dict] = field(default_factory=dict)
+    feed_generators: dict[str, FeedGeneratorInfo] = field(default_factory=dict)
+    labeler_services: dict[str, dict] = field(default_factory=dict)
+    handles: dict[str, str] = field(default_factory=dict)
+    # token -> post uris, for app.bsky.feed.searchPosts
+    search_index: dict[str, list] = field(default_factory=dict)
+    # list uri -> member dids (app.bsky.graph.list / listitem)
+    list_members: dict[str, set] = field(default_factory=dict)
+    non_bsky_records: int = 0
+
+
+class AppView(XrpcService):
+    """The single global AppView."""
+
+    def __init__(
+        self,
+        url: str,
+        resolver: DidResolver,
+        services: ServiceDirectory,
+        official_labeler_did: Optional[str] = None,
+        index_posts: bool = True,
+        index_search: bool = False,
+    ):
+        self.url = url.rstrip("/")
+        self.resolver = resolver
+        self.services = services
+        self.official_labeler_did = official_labeler_did
+        self.index_posts = index_posts
+        self.index_search = index_search
+        self.index = _Indexes()
+        self._labelers: dict[str, LabelerService] = {}
+        self._label_cursors: dict[str, int] = {}
+        self._labels: list[Label] = []
+        self._labels_by_subject: dict[str, list[Label]] = {}
+        self._takedowns: set[str] = set()
+        self.events_consumed = 0
+
+    # -- firehose ingestion ---------------------------------------------------
+
+    def attach(self, relay: Relay) -> None:
+        """Subscribe to the relay's firehose for live indexing."""
+        relay.firehose.subscribe(self.consume_event)
+
+    def consume_event(self, event: FirehoseEvent) -> None:
+        self.events_consumed += 1
+        if isinstance(event, CommitEvent):
+            for op in event.ops:
+                self._consume_op(event.did, event.time_us, op)
+        elif isinstance(event, HandleEvent):
+            self.index.handles[event.did] = event.handle
+        elif isinstance(event, TombstoneEvent):
+            self._remove_account(event.did)
+
+    def _consume_op(self, did: str, time_us: int, op) -> None:
+        collection = op.collection
+        uri = "at://%s/%s" % (did, op.path)
+        if op.action == "delete":
+            self._consume_delete(did, uri, collection, op.path)
+            return
+        record = op.record or {}
+        if collection == POST:
+            if self.index_posts:
+                embed = record.get("embed") or {}
+                self.index.posts[uri] = PostView(
+                    uri=uri,
+                    author=did,
+                    time_us=time_us,
+                    text=record.get("text", ""),
+                    langs=tuple(record.get("langs") or ()),
+                    created_at=record.get("createdAt", ""),
+                    has_media="images" in embed or "video" in embed,
+                    reply_to=(record.get("reply") or {}).get("parent", {}).get("uri"),
+                )
+                self.index.posts_by_author.setdefault(did, []).append(uri)
+                if self.index_search:
+                    from repro.services.feedgen import tokenize
+
+                    for token in tokenize(record.get("text", "")):
+                        self.index.search_index.setdefault(token, []).append(uri)
+        elif collection == LIKE:
+            subject = (record.get("subject") or {}).get("uri")
+            if subject:
+                self.index.like_counts[subject] += 1
+                self.index.like_subject_by_path[did + "|" + op.path] = subject
+        elif collection == REPOST:
+            subject = (record.get("subject") or {}).get("uri")
+            if subject:
+                self.index.repost_counts[subject] += 1
+        elif collection == FOLLOW:
+            subject = record.get("subject")
+            if subject:
+                self.index.follower_counts[subject] += 1
+                self.index.following_counts[did] += 1
+                self.index.follow_subject_by_path[did + "|" + op.path] = subject
+                self.index.following.setdefault(did, set()).add(subject)
+        elif collection == BLOCK:
+            subject = record.get("subject")
+            if subject:
+                self.index.block_counts[subject] += 1
+        elif collection == PROFILE:
+            self.index.profiles[did] = record
+        elif collection == "app.bsky.graph.listitem":
+            list_uri = record.get("list")
+            member = record.get("subject")
+            if list_uri and member:
+                self.index.list_members.setdefault(list_uri, set()).add(member)
+        elif collection == FEED_GENERATOR:
+            self.index.feed_generators[uri] = FeedGeneratorInfo(
+                uri=uri,
+                creator=did,
+                service_did=record.get("did", ""),
+                display_name=record.get("displayName", ""),
+                description=record.get("description", ""),
+                created_at=record.get("createdAt", ""),
+                time_us=time_us,
+            )
+        elif collection == LABELER_SERVICE:
+            self.index.labeler_services[did] = record
+        elif not collection.startswith("app.bsky.") and not collection.startswith("chat.bsky."):
+            # Records the Bluesky AppView cannot decode (Section 4,
+            # "Non-Bluesky content") — counted, not indexed.
+            self.index.non_bsky_records += 1
+
+    def _consume_delete(self, did: str, uri: str, collection: str, path: str) -> None:
+        if collection == POST:
+            self.index.posts.pop(uri, None)
+        elif collection == LIKE:
+            subject = self.index.like_subject_by_path.pop(did + "|" + path, None)
+            if subject:
+                self.index.like_counts[subject] -= 1
+        elif collection == FOLLOW:
+            subject = self.index.follow_subject_by_path.pop(did + "|" + path, None)
+            if subject:
+                self.index.follower_counts[subject] -= 1
+                self.index.following_counts[did] -= 1
+                self.index.following.get(did, set()).discard(subject)
+        elif collection == FEED_GENERATOR:
+            self.index.feed_generators.pop(uri, None)
+        elif collection == LABELER_SERVICE:
+            self.index.labeler_services.pop(did, None)
+
+    def _remove_account(self, did: str) -> None:
+        self.index.profiles.pop(did, None)
+        self.index.handles.pop(did, None)
+        self.index.labeler_services.pop(did, None)
+
+    # -- label aggregation ---------------------------------------------------------
+
+    def add_labeler(self, labeler: LabelerService) -> None:
+        """Start aggregating a labeler's stream (the AppView subscribes to
+        *all* known labelers and must store all labels — the scalability
+        concern raised in Section 6.1)."""
+        self._labelers[labeler.did] = labeler
+        self._label_cursors.setdefault(labeler.did, 0)
+
+    def sync_labels(self) -> int:
+        """Pull new labels from every registered labeler; returns count."""
+        pulled = 0
+        for did, labeler in self._labelers.items():
+            cursor = self._label_cursors[did]
+            for label in labeler.xrpc_subscribeLabels(cursor=cursor):
+                self._ingest_label(label)
+                cursor = label.seq
+                pulled += 1
+            self._label_cursors[did] = cursor
+        return pulled
+
+    def _ingest_label(self, label: Label) -> None:
+        self._labels.append(label)
+        self._labels_by_subject.setdefault(label.uri, []).append(label)
+        if label.val == "!takedown" and label.src == self.official_labeler_did:
+            if label.neg:
+                self._takedowns.discard(label.uri)
+            else:
+                self._takedowns.add(label.uri)
+
+    def labels_for(self, uri: str) -> list[Label]:
+        """Currently applied (non-negated) labels for a subject."""
+        applied: dict[tuple[str, str], Label] = {}
+        for label in self._labels_by_subject.get(uri, ()):
+            key = (label.src, label.val)
+            if label.neg:
+                applied.pop(key, None)
+            else:
+                applied[key] = label
+        return list(applied.values())
+
+    def label_count(self) -> int:
+        return len(self._labels)
+
+    def is_taken_down(self, uri: str) -> bool:
+        return uri in self._takedowns
+
+    # -- public API -------------------------------------------------------------
+
+    def xrpc_getFeedGenerator(self, feed: str) -> dict:
+        info = self.index.feed_generators.get(feed)
+        if info is None:
+            raise XrpcError(404, "unknown feed generator %s" % feed)
+        endpoint = self._feedgen_endpoint(info)
+        is_online = endpoint is not None and self.services.is_reachable(endpoint)
+        is_valid = False
+        if is_online:
+            description = self.services.try_call(endpoint, "app.bsky.feed.describeFeedGenerator")
+            if description is not None:
+                is_valid = any(entry["uri"] == feed for entry in description["feeds"])
+        return {
+            "view": {
+                "uri": info.uri,
+                "creator": info.creator,
+                "did": info.service_did,
+                "displayName": info.display_name,
+                "description": info.description,
+                "likeCount": self.index.like_counts.get(feed, 0),
+                "indexedAt": info.created_at,
+            },
+            "isOnline": is_online,
+            "isValid": is_valid,
+        }
+
+    def _feedgen_endpoint(self, info: FeedGeneratorInfo) -> Optional[str]:
+        doc = self.resolver.resolve(info.service_did)
+        if doc is not None:
+            service = doc.service("#bsky_fg") or doc.service("#atproto_feedgen")
+            if service is not None:
+                return service.endpoint
+        # Conventional fallback: did:web service DIDs serve from their FQDN.
+        if info.service_did.startswith("did:web:"):
+            return "https://" + info.service_did[len("did:web:") :]
+        return None
+
+    def xrpc_getFeed(
+        self,
+        feed: str,
+        limit: int = 50,
+        cursor: Optional[str] = None,
+        viewer: Optional[str] = None,
+        now_us: int = 0,
+    ) -> dict:
+        info = self.index.feed_generators.get(feed)
+        if info is None:
+            raise XrpcError(404, "unknown feed generator %s" % feed)
+        endpoint = self._feedgen_endpoint(info)
+        if endpoint is None:
+            raise XrpcError(502, "feed generator has no endpoint")
+        skeleton = self.services.call(
+            endpoint,
+            "app.bsky.feed.getFeedSkeleton",
+            feed=feed,
+            limit=limit,
+            cursor=cursor,
+            viewer=viewer,
+            now_us=now_us,
+        )
+        hydrated = []
+        for item in skeleton["feed"]:
+            uri = item["post"]
+            if uri in self._takedowns:
+                continue
+            view = self.index.posts.get(uri)
+            if view is None:
+                continue  # post deleted or never indexed
+            hydrated.append(
+                {
+                    "post": {
+                        "uri": view.uri,
+                        "author": view.author,
+                        "record": {
+                            "text": view.text,
+                            "langs": list(view.langs),
+                            "createdAt": view.created_at,
+                        },
+                        "likeCount": self.index.like_counts.get(uri, 0),
+                        "repostCount": self.index.repost_counts.get(uri, 0),
+                        "indexedAt": view.time_us,
+                        "labels": [
+                            {"src": l.src, "val": l.val} for l in self.labels_for(uri)
+                        ],
+                    }
+                }
+            )
+        return {"feed": hydrated, "cursor": skeleton.get("cursor")}
+
+    def xrpc_searchPosts(self, q: str, limit: int = 25) -> dict:
+        """Token-based post search (``app.bsky.feed.searchPosts``).
+
+        Requires the AppView to have been built with ``index_search=True``;
+        multi-token queries return posts matching every token.
+        """
+        if not self.index_search:
+            raise XrpcError(400, "search indexing is disabled on this AppView")
+        from repro.services.feedgen import tokenize
+
+        tokens = sorted(tokenize(q))
+        if not tokens:
+            return {"posts": []}
+        candidate_lists = [self.index.search_index.get(token, []) for token in tokens]
+        if any(not uris for uris in candidate_lists):
+            return {"posts": []}
+        result_uris = set(candidate_lists[0])
+        for uris in candidate_lists[1:]:
+            result_uris &= set(uris)
+        posts = []
+        for uri in sorted(result_uris):
+            view = self.index.posts.get(uri)
+            if view is None or uri in self._takedowns:
+                continue
+            posts.append(
+                {
+                    "uri": view.uri,
+                    "author": view.author,
+                    "text": view.text,
+                    "likeCount": self.index.like_counts.get(uri, 0),
+                }
+            )
+            if len(posts) >= limit:
+                break
+        return {"posts": posts}
+
+    def xrpc_getList(self, list_uri: str) -> dict:
+        """Members of a curation list (``app.bsky.graph.getList``)."""
+        members = self.index.list_members.get(list_uri)
+        if members is None:
+            raise XrpcError(404, "unknown list %s" % list_uri)
+        return {"uri": list_uri, "items": sorted(members)}
+
+    def xrpc_getTimeline(self, actor: str, limit: int = 50) -> dict:
+        """The reverse-chronological home timeline: the latest posts of
+        everyone ``actor`` follows (the client's default view)."""
+        followed = self.index.following.get(actor, set())
+        candidates: list[PostView] = []
+        for did in followed:
+            for uri in reversed(self.index.posts_by_author.get(did, ())[-limit:]):
+                view = self.index.posts.get(uri)
+                if view is not None and uri not in self._takedowns:
+                    candidates.append(view)
+        candidates.sort(key=lambda view: -view.time_us)
+        feed = []
+        for view in candidates[:limit]:
+            feed.append(
+                {
+                    "post": {
+                        "uri": view.uri,
+                        "author": view.author,
+                        "record": {
+                            "text": view.text,
+                            "langs": list(view.langs),
+                            "createdAt": view.created_at,
+                        },
+                        "likeCount": self.index.like_counts.get(view.uri, 0),
+                        "repostCount": self.index.repost_counts.get(view.uri, 0),
+                        "indexedAt": view.time_us,
+                        "labels": [
+                            {"src": l.src, "val": l.val} for l in self.labels_for(view.uri)
+                        ],
+                    }
+                }
+            )
+        return {"feed": feed}
+
+    def xrpc_getProfile(self, actor: str) -> dict:
+        profile = self.index.profiles.get(actor, {})
+        return {
+            "did": actor,
+            "handle": self.index.handles.get(actor, ""),
+            "displayName": profile.get("displayName", ""),
+            "description": profile.get("description", ""),
+            "followersCount": self.index.follower_counts.get(actor, 0),
+            "followsCount": self.index.following_counts.get(actor, 0),
+        }

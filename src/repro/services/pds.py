@@ -1,0 +1,269 @@
+"""Personal Data Servers.
+
+A PDS hosts user repositories and (privately) user preferences.  Bluesky
+PBC operates the default PDSes; since early 2024 anyone can self-host one
+and federate.  The PDS exposes the ``com.atproto.sync.*`` read interface a
+Relay crawls, plus account/record management used by clients, and forwards
+every commit to the relays that subscribed to it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from repro.atproto.blobs import BlobStore, extract_blob_refs
+from repro.atproto.cid import Cid
+from repro.atproto.keys import Keypair
+from repro.atproto.lexicon import LexiconRegistry, default_registry
+from repro.atproto.repo import CommitMeta, Repo, WriteOp
+from repro.services.xrpc import XrpcError, XrpcService
+
+
+class PdsError(Exception):
+    """Raised on invalid PDS operations."""
+
+
+class Pds(XrpcService):
+    """One Personal Data Server hosting many repositories."""
+
+    def __init__(
+        self,
+        url: str,
+        operator: str = "bsky",
+        lexicons: Optional[LexiconRegistry] = None,
+    ):
+        self.url = url.rstrip("/")
+        self.operator = operator
+        self.lexicons = lexicons if lexicons is not None else default_registry()
+        self._repos: dict[str, Repo] = {}
+        self._preferences: dict[str, dict] = {}
+        self.blobs = BlobStore()
+        self._commit_listeners: list[Callable[[str, CommitMeta], None]] = []
+        self._tombstone_listeners: list[Callable[[str, int], None]] = []
+        self._next_clock_id = 0
+
+    # -- account lifecycle -----------------------------------------------------
+
+    def create_account(self, did: str, keypair: Keypair) -> Repo:
+        if did in self._repos:
+            raise PdsError("account %s already exists on this PDS" % did)
+        repo = Repo(did, keypair, clock_id=self._next_clock_id % 1024)
+        self._next_clock_id += 1
+        self._repos[did] = repo
+        return repo
+
+    def import_repo(self, repo: Repo) -> None:
+        """Account migration: adopt an existing repository object."""
+        if repo.did in self._repos:
+            raise PdsError("account %s already exists on this PDS" % repo.did)
+        self._repos[repo.did] = repo
+
+    def import_account_car(self, car: bytes, keypair: Keypair, now_us: int) -> Repo:
+        """Account migration over the wire: ingest a repo CAR export.
+
+        Verifies the commit signature against the supplied keypair,
+        rebuilds the repository, and replays all records as one signed
+        migration commit (which also announces the new hosting location
+        to subscribed relays).
+        """
+        from repro.atproto.repo import import_car
+
+        snapshot = import_car(car, verify_key=keypair.public_key)
+        if snapshot.did in self._repos:
+            raise PdsError("account %s already exists on this PDS" % snapshot.did)
+        repo = Repo(snapshot.did, keypair, clock_id=self._next_clock_id % 1024)
+        self._next_clock_id += 1
+        self._repos[snapshot.did] = repo
+        writes = []
+        for path, record in snapshot.list_records():
+            collection, _, rkey = path.partition("/")
+            writes.append(WriteOp("create", collection, rkey, record))
+        if writes:
+            meta = repo.apply_writes(writes, now_us)
+            self._notify(snapshot.did, meta)
+        return repo
+
+    def remove_account(self, did: str, now_us: int) -> None:
+        """Delete an account (emits a tombstone to subscribed relays)."""
+        if did not in self._repos:
+            raise PdsError("unknown account %s" % did)
+        del self._repos[did]
+        self._preferences.pop(did, None)
+        for listener in self._tombstone_listeners:
+            listener(did, now_us)
+
+    def has_account(self, did: str) -> bool:
+        return did in self._repos
+
+    def repo(self, did: str) -> Repo:
+        repo = self._repos.get(did)
+        if repo is None:
+            raise PdsError("unknown account %s" % did)
+        return repo
+
+    def dids(self) -> list[str]:
+        return list(self._repos)
+
+    def repo_count(self) -> int:
+        return len(self._repos)
+
+    # -- record writes ------------------------------------------------------------
+
+    def upload_blob(self, did: str, data: bytes, mime_type: str):
+        """Store media bytes; the returned ref is embedded in a record."""
+        if did not in self._repos:
+            raise PdsError("unknown account %s" % did)
+        return self.blobs.upload(data, mime_type)
+
+    def create_record(
+        self,
+        did: str,
+        collection: str,
+        record: dict,
+        now_us: int,
+        rkey: Optional[str] = None,
+        validate: bool = True,
+    ) -> CommitMeta:
+        if validate:
+            self.lexicons.validate(collection, record)
+        self._reference_blobs(record)
+        meta = self.repo(did).create_record(collection, record, now_us, rkey=rkey)
+        self._notify(did, meta)
+        return meta
+
+    def update_record(
+        self, did: str, collection: str, rkey: str, record: dict, now_us: int
+    ) -> CommitMeta:
+        self.lexicons.validate(collection, record)
+        old = self.repo(did).get_record(collection, rkey)
+        self._reference_blobs(record)
+        meta = self.repo(did).update_record(collection, rkey, record, now_us)
+        if old is not None:
+            self._release_blobs(old)
+        self._notify(did, meta)
+        return meta
+
+    def delete_record(self, did: str, collection: str, rkey: str, now_us: int) -> CommitMeta:
+        old = self.repo(did).get_record(collection, rkey)
+        meta = self.repo(did).delete_record(collection, rkey, now_us)
+        if old is not None:
+            self._release_blobs(old)
+        self._notify(did, meta)
+        return meta
+
+    def _reference_blobs(self, record: dict) -> None:
+        for ref in extract_blob_refs(record):
+            if self.blobs.has(ref.cid):
+                self.blobs.add_ref(ref.cid)
+
+    def _release_blobs(self, record: dict) -> None:
+        for ref in extract_blob_refs(record):
+            self.blobs.release(ref.cid)
+
+    def apply_writes(self, did: str, writes: list[WriteOp], now_us: int) -> CommitMeta:
+        for write in writes:
+            if write.record is not None:
+                self.lexicons.validate(write.collection, write.record)
+        meta = self.repo(did).apply_writes(writes, now_us)
+        self._notify(did, meta)
+        return meta
+
+    def _notify(self, did: str, meta: CommitMeta) -> None:
+        for listener in self._commit_listeners:
+            listener(did, meta)
+
+    # -- preferences (non-public; Section 2 "User Preferences") -------------------
+
+    def put_preferences(self, did: str, preferences: dict) -> None:
+        if did not in self._repos:
+            raise PdsError("unknown account %s" % did)
+        self._preferences[did] = dict(preferences)
+
+    def get_preferences(self, did: str, authenticated_as: str) -> dict:
+        """Preferences are only visible to the authenticated owner."""
+        if authenticated_as != did:
+            raise PdsError("preferences are private to their owner")
+        return dict(self._preferences.get(did, {}))
+
+    # -- subscriptions -------------------------------------------------------------
+
+    def on_commit(self, listener: Callable[[str, CommitMeta], None]) -> None:
+        self._commit_listeners.append(listener)
+
+    def on_tombstone(self, listener: Callable[[str, int], None]) -> None:
+        self._tombstone_listeners.append(listener)
+
+    # -- XRPC surface ----------------------------------------------------------------
+
+    def xrpc_listRepos(self, cursor: Optional[str] = None, limit: int = 500) -> dict:
+        dids = sorted(self._repos)
+        start = 0
+        if cursor is not None:
+            start = dids.index(cursor) + 1 if cursor in dids else len(dids)
+        page = dids[start : start + limit]
+        repos = [
+            {"did": did, "head": str(self._repos[did].head), "rev": self._repos[did].rev}
+            for did in page
+            if self._repos[did].head is not None
+        ]
+        next_cursor = page[-1] if len(page) == limit else None
+        return {"repos": repos, "cursor": next_cursor}
+
+    def xrpc_getRepo(self, did: str) -> bytes:
+        repo = self._repos.get(did)
+        if repo is None:
+            raise XrpcError(404, "repo %s not found" % did)
+        if repo.head is None:
+            raise XrpcError(404, "repo %s has no commits" % did)
+        return repo.export_car()
+
+    def xrpc_getBlob(self, did: str, cid: str) -> bytes:
+        """Serve media bytes (``com.atproto.sync.getBlob``)."""
+        if did not in self._repos:
+            raise XrpcError(404, "unknown account %s" % did)
+        from repro.atproto.blobs import BlobError
+
+        try:
+            return self.blobs.get(Cid.parse(cid) if isinstance(cid, str) else cid)
+        except (BlobError, ValueError) as exc:
+            raise XrpcError(404, str(exc)) from exc
+
+    def xrpc_getRecord(self, did: str, collection: str, rkey: str) -> dict:
+        repo = self._repos.get(did)
+        if repo is None:
+            raise XrpcError(404, "repo %s not found" % did)
+        record = repo.get_record(collection, rkey)
+        if record is None:
+            raise XrpcError(404, "record not found")
+        return {
+            "uri": "at://%s/%s/%s" % (did, collection, rkey),
+            "cid": str(repo.get_record_cid(collection, rkey)),
+            "value": record,
+        }
+
+    def xrpc_listRecords(
+        self, did: str, collection: str, limit: int = 100, cursor: Optional[str] = None
+    ) -> dict:
+        repo = self._repos.get(did)
+        if repo is None:
+            raise XrpcError(404, "repo %s not found" % did)
+        records = []
+        started = cursor is None
+        next_cursor = None
+        for path, record in repo.list_records(collection):
+            rkey = path.split("/", 1)[1]
+            if not started:
+                if rkey == cursor:
+                    started = True
+                continue
+            if len(records) == limit:
+                next_cursor = records[-1]["rkey"]
+                break
+            records.append(
+                {
+                    "uri": "at://%s/%s" % (did, path),
+                    "rkey": rkey,
+                    "value": record,
+                }
+            )
+        return {"records": records, "cursor": next_cursor}

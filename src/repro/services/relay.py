@@ -1,0 +1,219 @@
+"""The Relay and its Firehose.
+
+The Relay (``bsky.network``) crawls every known PDS, mirrors all repos in a
+local cache, and re-publishes every update on the *Firehose* — the single
+event stream the AppView, Labelers, Feed Generators, and the paper's own
+collectors consume.  Key behaviours modelled here:
+
+* repo cache: ``sync.listRepos`` / ``sync.getRepo`` answer from the cache,
+  so crawls do not load the (possibly self-hosted) origin PDSes — the
+  property the paper's ethics section relies on;
+* sequence numbers: every event gets a monotonically increasing ``seq``;
+* retention: the event backlog is pruned to a three-day window, so a
+  subscriber that falls further behind loses data (Section 2);
+* event kinds: ``#commit``, ``#identity``, ``#handle``, ``#tombstone``
+  (Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.atproto.events import (
+    CommitEvent,
+    CommitOp,
+    FirehoseEvent,
+    HandleEvent,
+    IdentityEvent,
+    TombstoneEvent,
+)
+from repro.atproto.repo import CommitMeta, Repo
+from repro.services.pds import Pds
+from repro.services.xrpc import XrpcError, XrpcService
+
+RETENTION_US = 3 * 24 * 60 * 60 * 1_000_000  # three days
+
+
+class Firehose:
+    """Sequenced event log with live subscribers and bounded retention."""
+
+    def __init__(self, retention_us: int = RETENTION_US):
+        self.retention_us = retention_us
+        self._events: list[FirehoseEvent] = []
+        self._first_index_seq = 1  # seq of _events[0]
+        self._next_seq = 1
+        self._subscribers: list[Callable[[FirehoseEvent], None]] = []
+
+    def next_seq(self) -> int:
+        return self._next_seq
+
+    def publish(self, build_event: Callable[[int], FirehoseEvent]) -> FirehoseEvent:
+        """Assign the next seq, buffer the event, fan out to subscribers."""
+        event = build_event(self._next_seq)
+        self._next_seq += 1
+        self._events.append(event)
+        self._prune(event.time_us)
+        for subscriber in self._subscribers:
+            subscriber(event)
+        return event
+
+    def _prune(self, now_us: int) -> None:
+        cutoff = now_us - self.retention_us
+        dropped = 0
+        for event in self._events:
+            if event.time_us >= cutoff:
+                break
+            dropped += 1
+        if dropped:
+            self._events = self._events[dropped:]
+            self._first_index_seq += dropped
+
+    def subscribe(self, callback: Callable[[FirehoseEvent], None]) -> None:
+        """Live subscription: callback runs for every future event."""
+        self._subscribers.append(callback)
+
+    def events_since(self, cursor: int = 0, limit: Optional[int] = None) -> list[FirehoseEvent]:
+        """Replay buffered events with seq > cursor (subject to retention)."""
+        start = max(0, cursor + 1 - self._first_index_seq)
+        events = self._events[start:]
+        if limit is not None:
+            events = events[:limit]
+        return list(events)
+
+    def oldest_available_seq(self) -> Optional[int]:
+        if not self._events:
+            return None
+        return self._events[0].seq
+
+    def backlog_size(self) -> int:
+        return len(self._events)
+
+
+class Relay(XrpcService):
+    """The Relay service: PDS aggregator + Firehose publisher + repo cache."""
+
+    def __init__(self, url: str = "https://bsky.network", retention_us: int = RETENTION_US):
+        self.url = url.rstrip("/")
+        self.firehose = Firehose(retention_us)
+        self._pdses: list[Pds] = []
+        self._repo_locations: dict[str, Pds] = {}  # did -> hosting PDS
+        self._tombstoned: set[str] = set()
+
+    # -- crawling / federation -------------------------------------------------
+
+    def crawl_pds(self, pds: Pds) -> None:
+        """Start consuming a PDS (the `requestCrawl` handshake)."""
+        if pds in self._pdses:
+            return
+        self._pdses.append(pds)
+        for did in pds.dids():
+            self._repo_locations[did] = pds
+        pds.on_commit(lambda did, meta, pds=pds: self._on_commit(pds, did, meta))
+        pds.on_tombstone(self._on_tombstone)
+
+    def _on_commit(self, pds: Pds, did: str, meta: CommitMeta) -> None:
+        self._repo_locations[did] = pds
+        records = meta.records if meta.records else (None,) * len(meta.ops)
+        ops = tuple(
+            CommitOp(action, path, cid, record)
+            for (action, path, cid), record in zip(meta.ops, records)
+        )
+        self.firehose.publish(
+            lambda seq: CommitEvent(
+                seq=seq,
+                did=did,
+                time_us=meta.time_us,
+                rev=meta.rev,
+                commit_cid=meta.commit_cid,
+                ops=ops,
+            )
+        )
+
+    def _on_tombstone(self, did: str, now_us: int) -> None:
+        self._tombstoned.add(did)
+        self._repo_locations.pop(did, None)
+        self.firehose.publish(
+            lambda seq: TombstoneEvent(seq=seq, did=did, time_us=now_us)
+        )
+
+    def publish_identity_event(self, did: str, now_us: int, handle: Optional[str] = None) -> None:
+        """DID document changed (key rotation, PDS move, ...)."""
+        self.firehose.publish(
+            lambda seq: IdentityEvent(seq=seq, did=did, time_us=now_us, handle=handle)
+        )
+
+    def publish_handle_event(self, did: str, new_handle: str, now_us: int) -> None:
+        """Handle change: the legacy #handle event plus nothing else; the
+        paper's Table 1 counts these separately from #identity."""
+        self.firehose.publish(
+            lambda seq: HandleEvent(seq=seq, did=did, time_us=now_us, handle=new_handle)
+        )
+
+    # -- cache-backed sync API ----------------------------------------------------
+
+    def hosting_pds(self, did: str) -> Optional[Pds]:
+        return self._repo_locations.get(did)
+
+    def cached_repo(self, did: str) -> Optional[Repo]:
+        pds = self._repo_locations.get(did)
+        if pds is None or not pds.has_account(did):
+            return None
+        return pds.repo(did)
+
+    def known_dids(self) -> list[str]:
+        return list(self._repo_locations)
+
+    def xrpc_listRepos(self, cursor: Optional[str] = None, limit: int = 1000) -> dict:
+        """List all repos the relay mirrors, with head commit versions."""
+        dids = sorted(self._repo_locations)
+        start = 0
+        if cursor is not None:
+            start = dids.index(cursor) + 1 if cursor in dids else len(dids)
+        page = dids[start : start + limit]
+        repos = []
+        for did in page:
+            repo = self.cached_repo(did)
+            if repo is not None and repo.head is not None:
+                repos.append({"did": did, "head": str(repo.head), "rev": repo.rev})
+        next_cursor = page[-1] if len(page) == limit else None
+        return {"repos": repos, "cursor": next_cursor}
+
+    def xrpc_getRepo(self, did: str) -> bytes:
+        """Serve a repo CAR from the relay's cache (not the origin PDS)."""
+        repo = self.cached_repo(did)
+        if repo is None or repo.head is None:
+            raise XrpcError(404, "repo %s not mirrored" % did)
+        return repo.export_car()
+
+    def xrpc_subscribeRepos(self, cursor: int = 0, limit: Optional[int] = None) -> list:
+        """Cursor-based replay of the firehose backlog."""
+        return self.firehose.events_since(cursor, limit)
+
+    def xrpc_getLatestCommit(self, did: str) -> dict:
+        repo = self.cached_repo(did)
+        if repo is None or repo.head is None:
+            raise XrpcError(404, "repo %s not mirrored" % did)
+        return {"cid": str(repo.head), "rev": repo.rev}
+
+    def xrpc_getRecord(self, did: str, collection: str, rkey: str) -> dict:
+        """Verifiable single-record fetch: the record plus the signed
+        commit block and the MST inclusion-proof path, so a client can
+        check authenticity without downloading the whole repository."""
+        from repro.atproto.cbor import cbor_encode
+        from repro.atproto.mst import prove_inclusion
+
+        repo = self.cached_repo(did)
+        if repo is None or repo.head is None:
+            raise XrpcError(404, "repo %s not mirrored" % did)
+        record = repo.get_record(collection, rkey)
+        if record is None:
+            raise XrpcError(404, "record not found")
+        key = "%s/%s" % (collection, rkey)
+        commit_cid, commit_block = repo.signed_commit_block()
+        return {
+            "uri": "at://%s/%s" % (did, key),
+            "cid": str(repo.get_record_cid(collection, rkey)),
+            "value": record,
+            "commit": {"cid": str(commit_cid), "block": commit_block},
+            "proof": prove_inclusion(repo.mst, key),
+        }

@@ -1,0 +1,99 @@
+"""XRPC-style service addressing.
+
+Real ATProto services expose XRPC methods (``com.atproto.sync.getRepo`` and
+friends) over HTTPS.  In the simulator every service object registers under
+its endpoint URL; callers dispatch ``call(url, nsid, **params)`` and the
+directory routes to the service's ``xrpc_<name>`` method.  This keeps the
+collector code shaped like a real crawler (endpoint URL + method NSID +
+query params) while staying in-process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class XrpcError(Exception):
+    """A failed XRPC call (unknown host, unknown method, upstream error)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__("XRPC %d: %s" % (status, message))
+        self.status = status
+
+
+class XrpcService:
+    """Base class: maps method NSIDs to ``xrpc_`` handler methods."""
+
+    def xrpc_call(self, method: str, **params: Any) -> Any:
+        handler_name = "xrpc_" + method.rsplit(".", 1)[-1]
+        handler = getattr(self, handler_name, None)
+        if handler is None or not callable(handler):
+            raise XrpcError(501, "%s not implemented by %s" % (method, type(self).__name__))
+        return handler(**params)
+
+
+class ServiceDirectory:
+    """URL → service registry with reachability faults.
+
+    ``set_down`` models services that announce themselves but stop
+    responding — the paper finds 26% of announced Labelers and ~7% of Feed
+    Generators unreachable, and the collectors must observe those failures
+    the same way a real crawler does (as connection errors).
+    """
+
+    def __init__(self):
+        self._services: dict[str, XrpcService] = {}
+        self._down: set[str] = set()
+        self.call_count = 0
+
+    def register(self, url: str, service: XrpcService) -> None:
+        self._services[self._norm(url)] = service
+
+    def unregister(self, url: str) -> None:
+        self._services.pop(self._norm(url), None)
+
+    def set_down(self, url: str, down: bool = True) -> None:
+        if down:
+            self._down.add(self._norm(url))
+        else:
+            self._down.discard(self._norm(url))
+
+    def is_registered(self, url: str) -> bool:
+        return self._norm(url) in self._services
+
+    def is_reachable(self, url: str) -> bool:
+        url = self._norm(url)
+        return url in self._services and url not in self._down
+
+    def get(self, url: str) -> Optional[XrpcService]:
+        url = self._norm(url)
+        if url in self._down:
+            return None
+        return self._services.get(url)
+
+    def call(self, url: str, method: str, **params: Any) -> Any:
+        """Dispatch an XRPC call to the service behind ``url``."""
+        self.call_count += 1
+        normalized = self._norm(url)
+        if normalized in self._down:
+            raise XrpcError(0, "connection to %s failed" % url)
+        service = self._services.get(normalized)
+        if service is None:
+            raise XrpcError(0, "unknown host %s" % url)
+        return service.xrpc_call(method, **params)
+
+    def try_call(self, url: str, method: str, **params: Any) -> Any:
+        """Like :meth:`call` but returns None on transport-level failure."""
+        try:
+            return self.call(url, method, **params)
+        except XrpcError as exc:
+            if exc.status == 0:
+                return None
+            raise
+
+    @staticmethod
+    def _norm(url: str) -> str:
+        return url.rstrip("/").lower()
+
+    def urls(self) -> list[str]:
+        return list(self._services)

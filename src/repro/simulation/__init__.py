@@ -1,0 +1,17 @@
+"""The synthetic Bluesky network.
+
+Builds a complete, running AT Protocol deployment — PLC directory, PDSes,
+Relay + Firehose, AppView, 62 Labelers, a feed-generator ecosystem across
+five hosting platforms, DNS/WHOIS/web — populated by a generative user
+model calibrated to every statistic the paper publishes (growth curve,
+language communities, handle concentration, registrar shares, label mix
+and reaction times, feed-service market shares).
+
+Entry point: :class:`repro.simulation.world.World`, built from a
+:class:`repro.simulation.config.SimulationConfig`.
+"""
+
+from repro.simulation.config import SimulationConfig
+from repro.simulation.world import World
+
+__all__ = ["SimulationConfig", "World"]

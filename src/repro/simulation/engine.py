@@ -1,0 +1,657 @@
+"""The generative timeline engine.
+
+Runs the world day by day from launch (November 2022) to the end of the
+measurement window (May 2024): signups, daily sessions (posts / likes /
+reposts / follows / blocks), feed creation, labeler startups and label
+emission, handle changes, tombstones, and identity-churn noise — all
+calibrated to the paper's published magnitudes (see config.py).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.atproto.lexicon import (
+    BLOCK,
+    FOLLOW,
+    LIKE,
+    POST,
+    PROFILE,
+    REPOST,
+    WHTWND_ENTRY,
+)
+from repro.services.feedgen import PostFeatures, tokenize
+from repro.simulation import vocab
+from repro.simulation.clock import (
+    US_PER_DAY,
+    US_PER_SECOND,
+    date_us,
+    day_range,
+    iso_timestamp,
+)
+from repro.simulation.config import (
+    LABEL_SNAPSHOT_US,
+    PUBLIC_OPENING_US,
+    SimulationConfig,
+)
+from repro.simulation.labelers import (
+    TRIGGER_AI,
+    TRIGGER_FF14,
+    TRIGGER_MISSING_ALT,
+    TRIGGER_NSFW,
+    TRIGGER_RANDOM,
+    TRIGGER_SCREENSHOT,
+    TRIGGER_TENOR,
+    LabelerRuntime,
+)
+from repro.simulation.world import UserState, World
+
+# Daily per-active-user operation rates (April 2024 status: 500K DAU doing
+# 3M likes / 800K posts / 300K reposts per day).
+RATE_LIKES = 6.0
+RATE_POSTS = 1.6
+RATE_REPOSTS = 0.6
+RATE_FOLLOWS_DAILY = 0.12
+RATE_BLOCKS_DAILY = 0.02
+FEED_LIKE_SHARE = 0.02  # share of likes that go to feed generators
+LABELER_LIKE_SHARE = 0.002  # share of likes that go to labeler services
+DELETE_LIKE_RATE = 0.004
+DELETE_POST_RATE = 0.002
+BOGUS_TIMESTAMP_RATE = 2.5e-4  # posts predating Bluesky (Section 7.1 bug)
+WHTWND_RATE = 2e-5  # non-Bluesky records on the firehose (Section 4)
+IDENTITY_NOISE_RATE = 0.0017  # identity events per commit (Table 1)
+
+# Posts in the paper's labeler window at full scale, used to convert the
+# manual labelers' expected totals (Table 6) into per-post probabilities.
+FULL_SCALE_WINDOW_POSTS = 40_000_000.0
+
+OFFICIAL_MANUAL_VALUES = ("spam", "intolerant", "threat", "sexual-figurative", "!takedown")
+OFFICIAL_MANUAL_RATE = 3e-5
+OFFICIAL_MANUAL_MEDIAN_S = 40_000.0
+
+# Account-level label rates (per signup; Table 4 counts over 5.5M users).
+ACCOUNT_LABEL_RATES = (
+    ("!takedown", 2_643 / 5.5e6),
+    ("spam", 1_067 / 5.5e6),
+    ("impersonation", 575 / 5.5e6),
+)
+
+
+def poisson(rng: random.Random, lam: float) -> int:
+    """Knuth's method; fine for the small rates used here."""
+    if lam <= 0:
+        return 0
+    threshold = math.exp(-lam)
+    count = 0
+    product = rng.random()
+    while product > threshold:
+        count += 1
+        product *= rng.random()
+    return count
+
+
+def active_fraction(day_us: int) -> float:
+    """Share of joined users active on a given day (Figure 1 shape)."""
+    if day_us < date_us("2023-01-01"):
+        return 0.35
+    if day_us < date_us("2023-07-01"):
+        span = date_us("2023-07-01") - date_us("2023-01-01")
+        ramp = (day_us - date_us("2023-01-01")) / span
+        return 0.32 - 0.15 * ramp
+    if day_us < PUBLIC_OPENING_US:
+        return 0.125
+    if day_us < date_us("2024-03-01"):
+        return 0.145
+    # Post-opening decline: the paper observes ~60K fewer daily actives
+    # between March and May 2024.  (Clamped for extended-timeline runs,
+    # e.g. the Brazil-ban scenario reaching into autumn 2024.)
+    span = date_us("2024-05-11") - date_us("2024-03-01")
+    ramp = (day_us - date_us("2024-03-01")) / span
+    return max(0.08, 0.135 - 0.038 * ramp)
+
+
+@dataclass
+class _RecentPost:
+    uri: str
+    cid: str
+    author_did: str
+    time_us: int
+
+
+class Engine:
+    """Executes a world's timeline."""
+
+    def __init__(self, world: World):
+        self.world = world
+        self.config: SimulationConfig = world.config
+        self.rng = random.Random(world.config.seed ^ 0xE17)
+        self._joined: list[UserState] = []
+        self._weights: list[float] = []
+        self._follow_pool: list[str] = []  # DIDs, multiplicity ∝ attractiveness
+        self._recent_posts: deque[_RecentPost] = deque(maxlen=4000)
+        self._popular_posts: deque[_RecentPost] = deque(maxlen=500)
+        self._commits_today = 0
+        self._spam_accounts: list[str] = []
+        self._impersonators: list[UserState] = []
+        self._official_did: Optional[str] = None
+        self._newspaper_dids: list[str] = []
+        # Per-viewer recent likes feeding personalized feeds.
+        self.world.recent_likes_by_viewer = {}
+        self._announced_feeds: list = []
+        self._feed_like_weights: list[float] = []
+        self._labeler_like_targets: list[tuple[str, float]] = []
+
+    # ---------------------------------------------------------------- run --
+
+    def run(self, progress=None) -> None:
+        config = self.config
+        signups = sorted(
+            (u for u in self.world.users), key=lambda u: u.spec.signup_us
+        )
+        feed_starts = sorted(self.world.feeds, key=lambda f: f.spec.created_us)
+        labeler_starts = sorted(self.world.labelers, key=lambda l: l.spec.start_us)
+        handle_changes = self._schedule_handle_changes()
+        tombstones = self._schedule_tombstones()
+
+        scheduled = sorted(self.world.scheduled_actions, key=lambda item: item[0])
+        signup_i = feed_i = labeler_i = handle_i = tomb_i = sched_i = 0
+        rate_adj = config.activity_scale
+
+        for day_us in day_range(config.start_us, config.end_us):
+            day_end = day_us + US_PER_DAY
+            self._commits_today = 0
+
+            while signup_i < len(signups) and signups[signup_i].spec.signup_us < day_end:
+                self._do_signup(signups[signup_i])
+                signup_i += 1
+            while (
+                labeler_i < len(labeler_starts)
+                and labeler_starts[labeler_i].spec.start_us < day_end
+            ):
+                runtime = labeler_starts[labeler_i]
+                self.world.start_labeler(runtime, day_us + self.rng.randrange(US_PER_DAY))
+                if runtime.spec.expected_likes:
+                    self._labeler_like_targets.append(
+                        (
+                            "at://%s/app.bsky.labeler.service/self" % runtime.did,
+                            float(runtime.spec.expected_likes),
+                        )
+                    )
+                labeler_i += 1
+            while feed_i < len(feed_starts) and feed_starts[feed_i].spec.created_us < day_end:
+                runtime = feed_starts[feed_i]
+                self.world.create_feed(runtime, day_us + self.rng.randrange(US_PER_DAY))
+                if runtime.announced:
+                    self._announced_feeds.append(runtime)
+                    # Popular creators draw more likes to their feeds (the
+                    # paper's r=0.533 between feed likes and followers).
+                    creator = self.world.users[runtime.spec.creator_index]
+                    boost = math.sqrt(max(1.0, creator.spec.attractiveness))
+                    self._feed_like_weights.append(runtime.spec.like_weight * boost)
+                feed_i += 1
+
+            self._run_day_activity(day_us, rate_adj)
+
+            while handle_i < len(handle_changes) and handle_changes[handle_i][0] < day_end:
+                _, user, new_handle = handle_changes[handle_i]
+                if user.joined and not user.tombstoned:
+                    self.world.change_handle(user, new_handle, day_us + self.rng.randrange(US_PER_DAY))
+                handle_i += 1
+            while tomb_i < len(tombstones) and tombstones[tomb_i][0] < day_end:
+                _, user = tombstones[tomb_i]
+                if user.joined and not user.tombstoned:
+                    self.world.tombstone_user(user, day_us + self.rng.randrange(US_PER_DAY))
+                tomb_i += 1
+
+            self._identity_noise(day_us)
+            while sched_i < len(scheduled) and scheduled[sched_i][0] < day_end:
+                scheduled[sched_i][1](day_end - 1)
+                sched_i += 1
+            if progress is not None and day_us % (30 * US_PER_DAY) < US_PER_DAY:
+                progress("simulated through %s" % iso_timestamp(day_us)[:10])
+
+        # Fire any actions scheduled at/after the end of the timeline.
+        while sched_i < len(scheduled):
+            scheduled[sched_i][1](config.end_us - 1)
+            sched_i += 1
+
+        self._finalize_labels()
+        self.world.appview.sync_labels()
+
+    # ---------------------------------------------------------- lifecycle --
+
+    def _do_signup(self, user: UserState) -> None:
+        now_us = user.spec.signup_us
+        self.world.signup(user, now_us)
+        self._joined.append(user)
+        self._weights.append(user.spec.engagement)
+        multiplicity = 1 + min(50, int(user.spec.attractiveness))
+        self._follow_pool.extend([user.did] * multiplicity)
+        if user.spec.is_official:
+            self._official_did = user.did
+        elif user.spec.is_newspaper:
+            self._newspaper_dids.append(user.did)
+        if user.spec.is_impersonator:
+            self._impersonators.append(user)
+        if user.spec.is_official or self.rng.random() < 0.6:
+            self._set_profile(user, now_us)
+        self._initial_follows(user, now_us)
+        if self.rng.random() < 0.002:
+            self._spam_accounts.append(user.did)
+        self._maybe_label_account(user, now_us)
+
+    def _set_profile(self, user: UserState, now_us: int) -> None:
+        record = {
+            "$type": PROFILE,
+            "displayName": user.spec.username,
+            "description": user.spec.profile_description
+            or vocab.make_post_text(self.rng, user.spec.lang)[:60],
+            "createdAt": iso_timestamp(now_us),
+        }
+        user.pds.create_record(user.did, PROFILE, record, now_us, rkey="self")
+        self._commits_today += 1
+        # NSFW-heavy accounts attract official labels on their avatar/banner.
+        if user.spec.nsfw_rate > 0.3:
+            official = self.world.official_labeler()
+            if official.service is not None and self.rng.random() < 0.5:
+                uri = "at://%s/app.bsky.actor.profile/self" % user.did
+                value = official.spec.profile_values[
+                    self.rng.randrange(len(official.spec.profile_values))
+                ]
+                delay = official.spec.reaction.sample_us(self.rng) * 50
+                official.service.emit(uri, value, now_us + delay)
+
+    def _pick_follow_target(self, user: UserState) -> Optional[str]:
+        """Preferential attachment with explicit celebrity bias: the
+        official Bluesky account accrues ~14% of all follows (775K of
+        5.5M users), newspapers a few percent each (Section 4)."""
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.13:
+            if self._official_did and self._official_did != user.did:
+                return self._official_did
+        elif roll < 0.21 and self._newspaper_dids:
+            target = self._newspaper_dids[rng.randrange(len(self._newspaper_dids))]
+            if target != user.did:
+                return target
+        if not self._follow_pool:
+            return None
+        target = self._follow_pool[rng.randrange(len(self._follow_pool))]
+        return None if target == user.did else target
+
+    def _initial_follows(self, user: UserState, now_us: int) -> None:
+        count = min(user.spec.follow_initial, max(1, len(self._follow_pool) // 2))
+        t = now_us
+        for _ in range(count):
+            target = self._pick_follow_target(user)
+            if target is None:
+                continue
+            t += self.rng.randrange(1, 30 * US_PER_SECOND)
+            record = {"$type": FOLLOW, "subject": target, "createdAt": iso_timestamp(t)}
+            user.pds.create_record(user.did, FOLLOW, record, t)
+            self._commits_today += 1
+
+    def _maybe_label_account(self, user: UserState, now_us: int) -> None:
+        official = self.world.official_labeler()
+        if official.service is None:
+            return
+        for value, rate in ACCOUNT_LABEL_RATES:
+            if self.rng.random() < rate:
+                delay_us = int(self.rng.uniform(1, 20) * US_PER_DAY)
+                official.service.emit(user.did, value, now_us + delay_us)
+        if user.spec.is_impersonator:
+            delay_us = int(self.rng.uniform(1, 10) * US_PER_DAY)
+            official.service.emit(user.did, "impersonation", now_us + delay_us)
+
+    def _schedule_handle_changes(self) -> list:
+        scheduled = []
+        # Handle churn concentrates in early 2024, when alternative
+        # subdomain providers appeared (Section 5, "User Handles Updates");
+        # the paper observes all 44K updates inside its firehose window.
+        churn_start = max(self.config.start_us, date_us("2024-03-01"))
+        for user in self.world.users:
+            spec = user.spec
+            if not spec.will_change_handle:
+                continue
+            start = max(spec.signup_us, churn_start)
+            span = max(US_PER_DAY, (self.config.end_us - start) // (spec.handle_changes + 1))
+            t = start
+            for change in range(spec.handle_changes):
+                t += self.rng.randrange(1, span)
+                if t >= self.config.end_us:
+                    break
+                is_last = change == spec.handle_changes - 1
+                if is_last and not spec.final_handle_custom:
+                    new_handle = "%s.bsky.social" % spec.username
+                else:
+                    new_handle = "%s%d.handle.example" % (spec.username, change)
+                scheduled.append((t, user, new_handle))
+        scheduled.sort(key=lambda item: item[0])
+        return scheduled
+
+    def _schedule_tombstones(self) -> list:
+        scheduled = []
+        window_start = date_us("2024-03-06")
+        for user in self.world.users:
+            if not user.spec.will_tombstone:
+                continue
+            if self.rng.random() < 0.6 and user.spec.signup_us < window_start:
+                # Most removals land in the measurement window (moderation
+                # wave), matching Table 1's tombstone share.
+                t = window_start + int(self.rng.random() * (self.config.end_us - window_start))
+            else:
+                t = user.spec.signup_us + int(self.rng.uniform(10, 200) * US_PER_DAY)
+            if t < self.config.end_us:
+                scheduled.append((t, user))
+        scheduled.sort(key=lambda item: item[0])
+        return scheduled
+
+    # ---------------------------------------------------------- daily loop --
+
+    def _run_day_activity(self, day_us: int, rate_adj: float) -> None:
+        if not self._joined:
+            return
+        target = int(active_fraction(day_us) * len(self._joined))
+        if target <= 0:
+            return
+        actives = self.rng.choices(self._joined, weights=self._weights, k=target)
+        seen: set[int] = set()
+        for user in actives:
+            if user.spec.index in seen or user.tombstoned or not user.joined:
+                continue
+            seen.add(user.spec.index)
+            self._run_session(
+                user, day_us + self.rng.randrange(US_PER_DAY), day_us + US_PER_DAY, rate_adj
+            )
+
+    def _run_session(
+        self, user: UserState, session_us: int, day_end_us: int, rate_adj: float
+    ) -> None:
+        """One user session; op times are clamped to the session's day so
+        snapshots scheduled at day boundaries stay causally consistent."""
+        rng = self.rng
+        cap = day_end_us - 1
+        t = session_us
+        for _ in range(poisson(rng, RATE_POSTS * rate_adj)):
+            t = min(cap, t + rng.randrange(1, 180 * US_PER_SECOND))
+            self._create_post(user, t)
+        for _ in range(poisson(rng, RATE_LIKES * rate_adj)):
+            t = min(cap, t + rng.randrange(1, 60 * US_PER_SECOND))
+            self._create_like(user, t)
+        for _ in range(poisson(rng, RATE_REPOSTS * rate_adj)):
+            t = min(cap, t + rng.randrange(1, 60 * US_PER_SECOND))
+            self._create_repost(user, t)
+        for _ in range(poisson(rng, RATE_FOLLOWS_DAILY * rate_adj)):
+            t = min(cap, t + rng.randrange(1, 60 * US_PER_SECOND))
+            self._create_follow(user, t)
+        if rng.random() < RATE_BLOCKS_DAILY * rate_adj:
+            t = min(cap, t + rng.randrange(1, 60 * US_PER_SECOND))
+            self._create_block(user, t)
+        if user.spec.is_whitewind_blogger and rng.random() < 0.06:
+            # The small WhiteWind long-form blogging community (Section 4,
+            # non-Bluesky content on the firehose).
+            t = min(cap, t + rng.randrange(1, 60 * US_PER_SECOND))
+            self._create_whitewind_entry(user, t)
+
+    # ------------------------------------------------------------- content --
+
+    def _create_post(self, user: UserState, now_us: int) -> None:
+        rng = self.rng
+        spec = user.spec
+        attrs = {
+            "nsfw": rng.random() < spec.nsfw_rate,
+            "tenor": rng.random() < spec.tenor_rate,
+            "screenshot": rng.random() < spec.screenshot_rate,
+            "ai_tag": rng.random() < spec.ai_tag_rate,
+            "ff14": rng.random() < spec.ff14_rate,
+        }
+        has_media = attrs["screenshot"] or rng.random() < spec.media_rate
+        attrs["missing_alt"] = has_media and rng.random() < spec.missing_alt_rate
+
+        topic = None
+        if attrs["nsfw"]:
+            topic = "nsfw"
+        elif attrs["ff14"]:
+            topic = "ff14"
+        elif rng.random() < 0.4:
+            topic = vocab.pick_weighted(rng, vocab.TOPICS)
+        text = vocab.make_post_text(rng, spec.lang, topic)
+        if attrs["ai_tag"]:
+            text += " #aiart"
+
+        created_at = iso_timestamp(now_us)
+        if rng.random() < BOGUS_TIMESTAMP_RATE:
+            # The timestamp bug the paper reported upstream: client-supplied
+            # createdAt long before the platform (or the epoch) existed.
+            year = rng.choice((1185, 1776, 1923))
+            created_at = "%04d-07-01T00:00:00.000Z" % year
+
+        record = {"$type": POST, "text": text, "createdAt": created_at}
+        if rng.random() < 0.9:
+            record["langs"] = [spec.lang]
+        if has_media:
+            alt = "" if attrs["missing_alt"] else "description of the image"
+            record["embed"] = {"images": [{"alt": alt}]}
+        elif attrs["tenor"]:
+            record["embed"] = {"external": {"uri": "https://media.tenor.com/clip.gif"}}
+
+        meta = user.pds.create_record(user.did, POST, record, now_us)
+        self._commits_today += 1
+        path = meta.ops[0][1]
+        uri = "at://%s/%s" % (user.did, path)
+        recent = _RecentPost(uri, str(meta.ops[0][2]), user.did, now_us)
+        self._recent_posts.append(recent)
+        if spec.attractiveness > 8.0:
+            self._popular_posts.append(recent)
+
+        features = PostFeatures(
+            uri=uri,
+            author=user.did,
+            time_us=now_us,
+            text=text,
+            langs=tuple(record.get("langs", ())),
+            tokens=frozenset(tokenize(text)),
+            has_media=has_media or attrs["tenor"],
+        )
+        self.world.feed_router.route(features)
+        self._apply_labels(uri, attrs, now_us)
+
+        if self.rng.random() < DELETE_POST_RATE:
+            rkey = path.split("/", 1)[1]
+            user.pds.delete_record(user.did, POST, rkey, now_us + 60 * US_PER_SECOND)
+            self._commits_today += 1
+
+    def _create_whitewind_entry(self, user: UserState, now_us: int) -> None:
+        record = {
+            "$type": WHTWND_ENTRY,
+            "content": "# " + vocab.make_post_text(self.rng, user.spec.lang),
+            "title": "blog entry",
+            "createdAt": iso_timestamp(now_us),
+        }
+        user.pds.create_record(user.did, WHTWND_ENTRY, record, now_us)
+        self._commits_today += 1
+
+    def _create_like(self, user: UserState, now_us: int) -> None:
+        rng = self.rng
+        roll = rng.random()
+        if roll < FEED_LIKE_SHARE and self._announced_feeds:
+            target = rng.choices(self._announced_feeds, weights=self._feed_like_weights, k=1)[0]
+            subject_uri, subject_cid = target.uri, "feedgen"
+        elif roll < FEED_LIKE_SHARE + LABELER_LIKE_SHARE and self._labeler_like_targets:
+            uris = [u for u, _ in self._labeler_like_targets]
+            weights = [w for _, w in self._labeler_like_targets]
+            subject_uri = rng.choices(uris, weights=weights, k=1)[0]
+            subject_cid = "labeler"
+        else:
+            post = self._pick_post()
+            if post is None:
+                return
+            subject_uri, subject_cid = post.uri, post.cid
+        record = {
+            "$type": LIKE,
+            "subject": {"uri": subject_uri, "cid": subject_cid},
+            "createdAt": iso_timestamp(now_us),
+        }
+        meta = user.pds.create_record(user.did, LIKE, record, now_us)
+        self._commits_today += 1
+        likes = self.world.recent_likes_by_viewer.setdefault(user.did, deque(maxlen=20))
+        likes.append((subject_uri, now_us))
+        if rng.random() < DELETE_LIKE_RATE:
+            rkey = meta.ops[0][1].split("/", 1)[1]
+            user.pds.delete_record(user.did, LIKE, rkey, now_us + 120 * US_PER_SECOND)
+            self._commits_today += 1
+
+    def _create_repost(self, user: UserState, now_us: int) -> None:
+        post = self._pick_post()
+        if post is None:
+            return
+        record = {
+            "$type": REPOST,
+            "subject": {"uri": post.uri, "cid": post.cid},
+            "createdAt": iso_timestamp(now_us),
+        }
+        user.pds.create_record(user.did, REPOST, record, now_us)
+        self._commits_today += 1
+
+    def _create_follow(self, user: UserState, now_us: int) -> None:
+        target = self._pick_follow_target(user)
+        if target is None:
+            return
+        record = {"$type": FOLLOW, "subject": target, "createdAt": iso_timestamp(now_us)}
+        user.pds.create_record(user.did, FOLLOW, record, now_us)
+        self._commits_today += 1
+
+    def _create_block(self, user: UserState, now_us: int) -> None:
+        rng = self.rng
+        impersonators = [u for u in self._impersonators if not u.tombstoned]
+        if impersonators and rng.random() < 0.7:
+            target = rng.choice(impersonators).did
+        elif self._follow_pool:
+            target = self._follow_pool[rng.randrange(len(self._follow_pool))]
+        else:
+            return
+        if target == user.did:
+            return
+        record = {"$type": BLOCK, "subject": target, "createdAt": iso_timestamp(now_us)}
+        user.pds.create_record(user.did, BLOCK, record, now_us)
+        self._commits_today += 1
+
+    def _pick_post(self) -> Optional[_RecentPost]:
+        rng = self.rng
+        if self._popular_posts and rng.random() < 0.35:
+            return self._popular_posts[rng.randrange(len(self._popular_posts))]
+        if self._recent_posts:
+            return self._recent_posts[rng.randrange(len(self._recent_posts))]
+        return None
+
+    # ------------------------------------------------------------- labeling --
+
+    def _apply_labels(self, uri: str, attrs: dict, now_us: int) -> None:
+        rng = self.rng
+        for runtime in self.world.labelers:
+            spec = runtime.spec
+            if runtime.service is None or now_us < spec.start_us:
+                continue
+            triggered_value: Optional[str] = None
+            if spec.trigger == TRIGGER_NSFW and attrs["nsfw"]:
+                if rng.random() < spec.trigger_probability:
+                    roll = rng.random()
+                    if roll < 0.62:
+                        triggered_value = "porn"
+                    elif roll < 0.87:
+                        triggered_value = "sexual"
+                    elif roll < 0.94:
+                        triggered_value = "nudity"
+                    else:
+                        triggered_value = "graphic-media"
+            elif spec.trigger == TRIGGER_MISSING_ALT and attrs["missing_alt"]:
+                if rng.random() < spec.trigger_probability:
+                    roll = rng.random()
+                    triggered_value = "no-alt-text" if roll < 0.97 else spec.values[1]
+            elif spec.trigger == TRIGGER_TENOR and attrs["tenor"]:
+                if rng.random() < spec.trigger_probability:
+                    triggered_value = spec.values[0] if rng.random() < 0.8 else spec.values[1]
+            elif spec.trigger == TRIGGER_SCREENSHOT and attrs["screenshot"]:
+                if rng.random() < spec.trigger_probability:
+                    triggered_value = spec.values[rng.randrange(len(spec.values))]
+            elif spec.trigger == TRIGGER_AI and attrs["ai_tag"]:
+                if rng.random() < spec.trigger_probability:
+                    triggered_value = spec.values[0]
+            elif spec.trigger == TRIGGER_FF14 and attrs["ff14"]:
+                if rng.random() < spec.trigger_probability:
+                    triggered_value = spec.values[rng.randrange(len(spec.values))]
+            elif spec.trigger == TRIGGER_RANDOM:
+                probability = spec.trigger_probability / FULL_SCALE_WINDOW_POSTS
+                if rng.random() < probability:
+                    triggered_value = spec.value_for(rng)
+            if triggered_value is None:
+                continue
+            delay_us = spec.reaction.sample_us(rng)
+            label = runtime.service.emit(uri, triggered_value, now_us + delay_us)
+            runtime.values_emitted.add(triggered_value)
+            if rng.random() < spec.rescind_rate:
+                runtime.service.rescind(
+                    uri, triggered_value, now_us + delay_us + rng.randrange(1, 48 * 3600) * US_PER_SECOND
+                )
+        # The official labeler also runs slow, manual review queues.
+        official = self.world.official_labeler()
+        if official.service is not None and rng.random() < OFFICIAL_MANUAL_RATE * 40:
+            if rng.random() < 0.025:
+                value = OFFICIAL_MANUAL_VALUES[rng.randrange(len(OFFICIAL_MANUAL_VALUES))]
+                delay_us = int(
+                    OFFICIAL_MANUAL_MEDIAN_S
+                    * math.exp(rng.gauss(0.0, 1.8))
+                    * US_PER_SECOND
+                )
+                official.service.emit(uri, value, now_us + delay_us)
+
+    def _finalize_labels(self) -> None:
+        """Guarantee every by-construction-active labeler issued a label
+        *visible by the label-dataset cutoff* (labels whose cts lies beyond
+        2024-05-01 do not exist yet when the study closes)."""
+        for runtime in self.world.labelers:
+            if runtime.service is None:
+                continue
+            key = runtime.spec.key
+            should_be_active = not (key.startswith("idle") or key.startswith("broken"))
+            visible = any(
+                label.cts <= LABEL_SNAPSHOT_US
+                for label in runtime.service.xrpc_subscribeLabels(cursor=0)
+            )
+            if should_be_active and not visible and self._recent_posts:
+                # Pick a post old enough that the (slow, manual) reaction
+                # time survives the clamp to the dataset cutoff: a forced
+                # label must not look like a sub-second automated one.
+                margin = 5 * US_PER_DAY
+                eligible = [
+                    p for p in self._recent_posts if p.time_us <= LABEL_SNAPSHOT_US - margin
+                ]
+                pool = eligible if eligible else list(self._recent_posts)
+                post = pool[self.rng.randrange(len(pool))]
+                delay_us = runtime.spec.reaction.sample_us(self.rng)
+                # Emission happens while the labeler is live (possibly a
+                # retroactive label on an old post) and before the cutoff.
+                cts = min(
+                    max(post.time_us + delay_us, runtime.spec.start_us + 3600 * US_PER_SECOND),
+                    LABEL_SNAPSHOT_US - US_PER_SECOND,
+                )
+                runtime.service.emit(post.uri, runtime.spec.values[0], cts)
+
+    # ------------------------------------------------------------ identity --
+
+    def _identity_noise(self, day_us: int) -> None:
+        """Background #identity events (cache invalidations, key rotations)."""
+        expected = self._commits_today * IDENTITY_NOISE_RATE
+        for _ in range(poisson(self.rng, expected)):
+            if not self._joined:
+                return
+            user = self._joined[self.rng.randrange(len(self._joined))]
+            if user.tombstoned:
+                continue
+            self.world.relay.publish_identity_event(
+                user.did, day_us + self.rng.randrange(US_PER_DAY)
+            )

@@ -1,0 +1,308 @@
+"""The feed-generator ecosystem, calibrated to Section 7.
+
+Generates feed specs — creator, hosting platform, rule, retention,
+description language, like-attractiveness — so that the downstream
+analysis reproduces the paper's shapes:
+
+* platform shares: Skyfeed 85.86% of feeds, top-3 platforms 95.8%;
+* Goodfeeds hosts few feeds but whole-network aggregators (35.6% of
+  posts, 1.2% of likes); Skyfeed's topical feeds draw 61.2% of likes;
+* 9.4% of feeds never curate a post; 21.8% go inactive;
+* personalized feeds (0.09%) return nothing to anonymous crawlers but are
+  among the most liked;
+* 62.1% of creators manage one feed; one service account manages the
+  platform-wide maximum;
+* description languages: en 45%, ja 36%, de 4.1%, ko 2.0%, fr 1.9%.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.simulation import vocab
+from repro.simulation.clock import US_PER_DAY, date_us
+from repro.simulation.config import (
+    FEEDGEN_INTRO_US,
+    LANGUAGES,
+    PUBLIC_OPENING_US,
+    SimulationConfig,
+)
+from repro.simulation.population import UserSpec
+
+PLATFORM_SKYFEED = "Skyfeed"
+PLATFORM_BLUEFEED = "Bluefeed"
+PLATFORM_BLUESKYFEEDS = "Blueskyfeeds"
+PLATFORM_GOODFEEDS = "Goodfeeds"
+PLATFORM_BSFC = "Blueskyfeedcreator"
+SELF_HOSTED = "self-hosted"
+
+# Platform mix calibrated to the Section 7.2 shares (Skyfeed 85.86%,
+# Goodfeeds 4.36%, top-3 platforms 95.8%), normalised to the paper's
+# 43,063 discovered feeds; Table 5's raw per-builder counts differ
+# slightly because they were taken at a different time.
+PLATFORM_WEIGHTS = (
+    (PLATFORM_SKYFEED, 36_978),
+    (PLATFORM_BLUEFEED, 2_403),
+    (PLATFORM_GOODFEEDS, 1_878),
+    (PLATFORM_BLUESKYFEEDS, 1_100),
+    (PLATFORM_BSFC, 158),
+    (SELF_HOSTED, 546),
+)
+
+KIND_TOPIC = "topic"  # keyword feed (the Skyfeed staple)
+KIND_LANGUAGE = "language"  # e.g. hebrew-feed: reposts everything in a language
+KIND_AGGREGATOR = "aggregator"  # whole-network firehose mirror
+KIND_AUTHOR = "author"  # posts of a single account / small group
+KIND_PERSONALIZED = "personalized"  # the-algorithm / whats-hot
+KIND_DEAD = "dead"  # never matches anything (9.4% never curated)
+
+
+@dataclass
+class FeedSpec:
+    """One feed generator's static configuration."""
+
+    index: int
+    rkey: str
+    creator_index: int  # into the user population
+    platform: str
+    kind: str
+    created_us: int
+    display_name: str
+    description: str
+    description_lang: str
+    topic: Optional[str] = None
+    languages: tuple[str, ...] = ()
+    regex: Optional[str] = None
+    retention_days: Optional[float] = None
+    retention_count: Optional[int] = None
+    like_weight: float = 1.0  # relative probability of attracting likes
+    inactive_after_us: Optional[int] = None
+    nsfw: bool = False
+    # Announced in the repo but never actually deployed on any host: the
+    # ~6% of discovered feeds the paper could not fetch metadata for.
+    unhosted: bool = False
+
+
+def _sample_created_us(rng: random.Random, end_us: int) -> int:
+    """Feed creation dates: steady growth since May 2023, Feb 2024 bump."""
+    while True:
+        span = end_us - FEEDGEN_INTRO_US
+        t = FEEDGEN_INTRO_US + int(rng.random() * span)
+        weight = 2.2 if t >= PUBLIC_OPENING_US else 1.0
+        if rng.random() * 2.2 <= weight:
+            return t
+
+
+def _description_language(rng: random.Random) -> str:
+    return vocab.pick_weighted(rng, [(tag, share) for tag, _, share in LANGUAGES])
+
+
+def build_feed_specs(
+    config: SimulationConfig, users: list[UserSpec], rng: random.Random
+) -> list[FeedSpec]:
+    n_feeds = config.n_feed_generators
+    specs: list[FeedSpec] = []
+
+    # Creators: weighted by attractiveness (popular users create feeds),
+    # matching Figure 11's red-shaded high-in-degree / low-out-degree zone.
+    eligible = [u for u in users if not u.will_tombstone]
+    weights = [u.attractiveness for u in eligible]
+
+    # The feed-service power account (max feeds per account) is a service
+    # operator, not a celebrity: drawn uniformly.
+    service_account = eligible[rng.randrange(len(eligible))]
+    service_account_feeds = max(3, int(1_799 * config.feed_scale * 4))
+
+    creators: list[UserSpec] = []
+    remaining = n_feeds - service_account_feeds
+    seen_managers: set = set()
+    while remaining > 0:
+        creator = rng.choices(eligible, weights=weights, k=1)[0]
+        # Prefer fresh managers so the per-account distribution matches
+        # Section 7.1 (62.1% of managers hold exactly one feed).  On
+        # repeated collisions fall back to a uniform draw — otherwise the
+        # most popular accounts would silently accumulate many feeds and
+        # induce the count-vs-followers correlation the paper rules out.
+        retries = 0
+        while creator.index in seen_managers and retries < 6:
+            creator = rng.choices(eligible, weights=weights, k=1)[0]
+            retries += 1
+        if creator.index in seen_managers:
+            for _ in range(20):
+                candidate = eligible[rng.randrange(len(eligible))]
+                if candidate.index not in seen_managers:
+                    creator = candidate
+                    break
+        seen_managers.add(creator.index)
+        # How many feeds a manager runs is independent of their
+        # popularity — the paper finds r=0.005 between feed count and
+        # followers — so multi-feed managers are re-drawn uniformly.
+        count = 1 if rng.random() < 0.70 else rng.randint(2, 6)
+        if count > 1:
+            creator = eligible[rng.randrange(len(eligible))]
+        count = min(count, remaining)
+        creators.extend([creator] * count)
+        remaining -= count
+    creators.extend([service_account] * service_account_feeds)
+
+    end_us = config.end_us
+    for index, creator in enumerate(creators[:n_feeds]):
+        platform = vocab.pick_weighted(rng, PLATFORM_WEIGHTS)
+        created_us = _sample_created_us(rng, end_us)
+        # A feed cannot predate its creator's account.
+        created_us = max(created_us, creator.signup_us + US_PER_DAY)
+        if created_us >= end_us:
+            created_us = (creator.signup_us + end_us) // 2
+        lang = _description_language(rng)
+        kind, spec_kwargs = _pick_kind(rng, platform, creator)
+        topic = spec_kwargs.pop("topic", None)
+        display = topic or kind
+        description = vocab.make_feed_description(rng, lang, display)
+        spec = FeedSpec(
+            index=index,
+            rkey="feed-%05d" % index,
+            creator_index=creator.index,
+            platform=platform,
+            kind=kind,
+            created_us=created_us,
+            display_name="%s-%d" % (display, index),
+            description=description,
+            description_lang=lang,
+            topic=topic,
+            **spec_kwargs,
+        )
+        _assign_retention(rng, spec, platform)
+        _assign_like_weight(rng, spec)
+        if rng.random() < 0.062:
+            spec.unhosted = True
+        if rng.random() < 0.218 and spec.kind not in (KIND_DEAD, KIND_PERSONALIZED):
+            # Goes inactive during the final months of the window.  An
+            # abandoned feed keeps serving its frozen backlog, so switch it
+            # to count retention — that is what lets the paper distinguish
+            # "inactive in the last month" (21.8%) from "never curated"
+            # (9.4%).
+            spec.inactive_after_us = end_us - int(rng.uniform(30, 120) * US_PER_DAY)
+            spec.retention_days = None
+            spec.retention_count = rng.choice((100, 250, 500, 1000))
+        specs.append(spec)
+    _apply_ecosystem_floors(rng, specs)
+    return specs
+
+
+def _apply_ecosystem_floors(rng: random.Random, specs: list[FeedSpec]) -> None:
+    """Guarantee the structurally important feed kinds exist at any scale.
+
+    Personalized feeds (0.09% of feeds) and Goodfeeds aggregators drive
+    Figures 10 and 12; probabilistic assignment can miss them entirely in
+    small worlds, so a couple of each are pinned.
+    """
+    personalized = [s for s in specs if s.kind == KIND_PERSONALIZED]
+    if len(personalized) < 2:
+        candidates = [s for s in specs if s.kind == KIND_TOPIC and not s.unhosted]
+        for spec in candidates[: 2 - len(personalized)]:
+            spec.platform = SELF_HOSTED
+            spec.kind = KIND_PERSONALIZED
+            spec.topic = None
+            spec.regex = None
+            spec.languages = ()
+            spec.like_weight = 120.0 * rng.paretovariate(1.1)
+            spec.inactive_after_us = None
+    goodfeeds_aggregators = [
+        s
+        for s in specs
+        if s.platform == PLATFORM_GOODFEEDS
+        and s.kind == KIND_AGGREGATOR
+        and not s.unhosted
+        and s.inactive_after_us is None
+    ]
+    if len(goodfeeds_aggregators) < 2:
+        candidates = [
+            s for s in specs if s.kind in (KIND_TOPIC, KIND_AUTHOR) and not s.unhosted
+        ]
+        for spec in candidates[-(2 - len(goodfeeds_aggregators)) :]:
+            spec.platform = PLATFORM_GOODFEEDS
+            spec.kind = KIND_AGGREGATOR
+            spec.topic = None
+            spec.regex = None
+            spec.languages = ()
+            spec.retention_days = rng.uniform(10.0, 30.0)
+            spec.retention_count = None
+            spec.inactive_after_us = None
+            spec.like_weight *= 0.03
+
+
+def _pick_kind(rng: random.Random, platform: str, creator: UserSpec) -> tuple[str, dict]:
+    """Choose a feed kind expressible on the given platform (Table 5)."""
+    roll = rng.random()
+    if roll < 0.094:
+        # Dead feeds (never curate anything): built as single-user feeds of
+        # an account that never posts, which every platform can express.
+        return KIND_DEAD, {}
+    if platform == SELF_HOSTED and rng.random() < 0.016:
+        # Personalized feeds are 0.09% of all feeds and only self-hosted
+        # (platforms do not automate personalization — Section 7.2).
+        return KIND_PERSONALIZED, {}
+    if platform == PLATFORM_GOODFEEDS:
+        # Goodfeeds has no tag/language features: whole-network mirrors and
+        # single-user feeds only — which is why it hosts 4.36% of feeds but
+        # produces 35.6% of observed posts.
+        if rng.random() < 0.75:
+            return KIND_AGGREGATOR, {}
+        return KIND_AUTHOR, {}
+    supports_language = platform in (PLATFORM_SKYFEED, PLATFORM_BSFC, PLATFORM_BLUESKYFEEDS, SELF_HOSTED)
+    if roll < 0.20 and supports_language:
+        lang = vocab.pick_weighted(rng, [(t, s) for t, s, _ in LANGUAGES])
+        return KIND_LANGUAGE, {"languages": (lang,)}
+    if roll < 0.25:
+        return KIND_AUTHOR, {}
+    if platform == PLATFORM_BLUEFEED and rng.random() < 0.25:
+        return KIND_AGGREGATOR, {}
+    # Topical keyword feed (the dominant kind).
+    topic = vocab.pick_weighted(rng, vocab.TOPICS)
+    kwargs: dict = {"topic": topic, "nsfw": topic in ("nsfw", "furry") and rng.random() < 0.7}
+    if platform == PLATFORM_SKYFEED and rng.random() < 0.25:
+        kwargs["regex"] = r"\b%s\b" % topic
+    return KIND_TOPIC, kwargs
+
+
+def _assign_retention(rng: random.Random, spec: FeedSpec, platform: str) -> None:
+    """Retention policy (Section 7.1: most feeds keep 1–7 days or last-N).
+
+    Skyfeed serves a sliding window of at most a week; whole-network
+    mirrors (Goodfeeds' staple) retain weeks of history.  That asymmetry
+    is how a platform hosting 4.36% of feeds ends up serving 35.6% of
+    observed posts while Skyfeed's 85.9% of feeds serve only 30.3%.
+    """
+    if platform == PLATFORM_GOODFEEDS or spec.kind == KIND_AGGREGATOR:
+        spec.retention_days = rng.uniform(10.0, 30.0)
+        return
+    if platform == PLATFORM_SKYFEED:
+        spec.retention_days = rng.uniform(1.0, 7.0)
+        return
+    roll = rng.random()
+    if roll < 0.60:
+        spec.retention_days = rng.uniform(1.0, 7.0)
+    elif roll < 0.90:
+        spec.retention_count = rng.choice((100, 250, 500, 1000))
+    # else: full history
+
+
+def _assign_like_weight(rng: random.Random, spec: FeedSpec) -> None:
+    """Like-attractiveness shapes: Skyfeed topical feeds and personalized
+    feeds draw likes; aggregators draw almost none (Figure 10 / 12)."""
+    base = rng.paretovariate(1.1)
+    if spec.kind == KIND_PERSONALIZED:
+        base *= 120.0
+    elif spec.kind == KIND_AGGREGATOR:
+        base *= 0.03
+    elif spec.kind == KIND_DEAD:
+        base *= 0.05
+    elif spec.kind == KIND_TOPIC:
+        base *= 2.2
+        if spec.topic in ("art", "artists", "furry"):
+            base *= 2.0
+    if spec.platform == PLATFORM_GOODFEEDS:
+        base *= 0.25
+    spec.like_weight = base

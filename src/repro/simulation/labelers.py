@@ -1,0 +1,318 @@
+"""The labeler ecosystem, calibrated to Tables 3, 4, and 6.
+
+Each spec describes one labeler: which post/account attributes trigger it,
+its label vocabulary, its reaction-time regime (automated labelers answer
+in seconds with tight spread; manual ones in hours-to-weeks with huge
+variance), when it came online (the official labeler in April 2023, the
+community after 2024-03-15), whether its endpoint works at all, and where
+it is hosted (cloud / residential — Section 6.1's IP analysis).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.netsim.hosting import HostingClass
+from repro.simulation.clock import US_PER_SECOND
+from repro.simulation.config import COMMUNITY_LABELERS_OPEN_US, OFFICIAL_LABELER_START_US
+
+# Trigger names map to post attributes produced by the activity engine.
+TRIGGER_NSFW = "nsfw"
+TRIGGER_MISSING_ALT = "missing_alt"
+TRIGGER_TENOR = "tenor"
+TRIGGER_SCREENSHOT = "screenshot"
+TRIGGER_AI = "ai_tag"
+TRIGGER_FF14 = "ff14"
+TRIGGER_RANDOM = "random"  # low-volume manual labelers sample at random
+
+
+@dataclass
+class ReactionProfile:
+    """Log-normal reaction-time model (median + spread, in seconds)."""
+
+    median_s: float
+    sigma: float  # log-space std deviation
+
+    def sample_us(self, rng: random.Random) -> int:
+        value = self.median_s * math.exp(rng.gauss(0.0, self.sigma))
+        return max(1, int(value * US_PER_SECOND))
+
+
+AUTOMATED = ReactionProfile(1.0, 0.35)
+
+
+@dataclass
+class LabelerSpec:
+    """One labeler's static configuration."""
+
+    key: str  # stable id used for handles/seeds
+    display_name: str
+    values: tuple[str, ...]  # label vocabulary
+    trigger: str
+    trigger_probability: float  # applied to matching posts
+    reaction: ReactionProfile
+    start_us: int
+    operator_known: bool = True
+    functional: bool = True  # endpoint reachable at all
+    hosting: HostingClass = HostingClass.CLOUD
+    is_official: bool = False
+    expected_likes: int = 0  # likes on the labeler account (Table 3)
+    rescind_rate: float = 0.007
+    account_values: tuple[str, ...] = ()  # values applied to whole accounts
+    profile_values: tuple[str, ...] = ()  # values applied to avatars/banners
+
+    def value_for(self, rng: random.Random) -> str:
+        return self.values[rng.randrange(len(self.values))]
+
+
+def _manual(median_s: float, sigma: float = 2.2) -> ReactionProfile:
+    return ReactionProfile(median_s, sigma)
+
+
+def build_labeler_specs(rng: random.Random) -> list[LabelerSpec]:
+    """The 62 labelers: top actors from Table 6 plus a generated tail."""
+    specs: list[LabelerSpec] = []
+
+    specs.append(
+        LabelerSpec(
+            key="bluesky-official",
+            display_name="Bluesky Moderation",
+            values=(
+                "porn", "sexual", "nudity", "graphic-media", "gore", "corpse",
+                "spam", "!takedown", "!warn", "!hide", "intolerant",
+                "sexual-figurative", "threat", "impersonation", "self-harm",
+                "misleading", "rude", "harassment", "extremist", "scam",
+                "security", "unsafe-link", "copyright", "doxxing",
+                "engagement-farming", "fake-account", "hate-symbols",
+                "inauthentic", "malware", "phishing", "spoilers-official",
+                "violence",
+            ),
+            trigger=TRIGGER_NSFW,
+            trigger_probability=0.92,
+            reaction=ReactionProfile(1.76, 0.6),
+            start_us=OFFICIAL_LABELER_START_US,
+            is_official=True,
+            expected_likes=2000,
+            account_values=("!takedown", "spam", "impersonation"),
+            profile_values=("sexual", "porn", "nudity", "gore", "self-harm"),
+        )
+    )
+    specs.append(
+        LabelerSpec(
+            key="baatl",
+            display_name="Bad Accessibility / Alt Text Labeler",
+            values=("no-alt-text", "non-alt-text", "mis-alt-text", "alt-text-ok"),
+            trigger=TRIGGER_MISSING_ALT,
+            trigger_probability=0.97,
+            reaction=ReactionProfile(0.58, 0.18),
+            start_us=COMMUNITY_LABELERS_OPEN_US,
+            expected_likes=99,
+        )
+    )
+    specs.append(
+        LabelerSpec(
+            key="xblock",
+            display_name="XBlock Screenshot Labeler",
+            values=(
+                "twitter-screenshot", "bluesky-screenshot",
+                "uncategorised-screenshot", "tumblr-screenshot",
+                "facebook-screenshot", "instagram-screenshot",
+                "threads-screenshot", "tiktok-screenshot", "reddit-screenshot",
+                "youtube-screenshot", "discord-screenshot", "news-screenshot",
+                "mastodon-screenshot", "linkedin-screenshot",
+            ),
+            trigger=TRIGGER_SCREENSHOT,
+            trigger_probability=0.9,
+            reaction=ReactionProfile(3.70, 0.9),
+            start_us=COMMUNITY_LABELERS_OPEN_US,
+            expected_likes=301,
+        )
+    )
+    specs.append(
+        LabelerSpec(
+            key="no-gifs",
+            display_name="No GIFS Please",
+            values=("tenor-gif", "tenor-gif-no-text"),
+            trigger=TRIGGER_TENOR,
+            trigger_probability=0.95,
+            reaction=ReactionProfile(0.35, 0.3),
+            start_us=COMMUNITY_LABELERS_OPEN_US,
+            operator_known=False,
+            expected_likes=88,
+        )
+    )
+    specs.append(
+        LabelerSpec(
+            key="ai-imagery",
+            display_name="AI Imagery Labeler",
+            values=("ai-imagery",),
+            trigger=TRIGGER_AI,
+            trigger_probability=0.9,
+            reaction=ReactionProfile(0.82, 0.25),
+            start_us=COMMUNITY_LABELERS_OPEN_US,
+            operator_known=False,
+            expected_likes=546,
+            account_values=("ai-imagery",),
+        )
+    )
+    specs.append(
+        LabelerSpec(
+            key="ff14",
+            display_name="FF14 Spoiler Labeler",
+            values=("shadowbringers", "endwalker", "dawntrail", "stormblood",
+                    "heavensward", "arr-spoiler"),
+            trigger=TRIGGER_FF14,
+            trigger_probability=0.85,
+            reaction=ReactionProfile(2.07, 0.5),
+            start_us=COMMUNITY_LABELERS_OPEN_US,
+            expected_likes=15,
+        )
+    )
+    specs.append(
+        LabelerSpec(
+            key="ai-related",
+            display_name="AI Related Content",
+            values=("ai-related-content", "spoiler", "test-label"),
+            trigger=TRIGGER_AI,
+            trigger_probability=0.12,
+            reaction=ReactionProfile(1.32, 0.6),
+            start_us=COMMUNITY_LABELERS_OPEN_US,
+            expected_likes=30,
+        )
+    )
+
+    # Manual community labelers from the bottom of Table 6: tiny volumes,
+    # reaction medians from hours to weeks, idiosyncratic vocabularies.
+    manual_rows = (
+        ("community-watch", ("trolling", "transphobia", "racial-intolerance",
+                             "ableism", "misogyny", "antisemitism", "islamophobia",
+                             "homophobia", "xenophobia", "classism", "bodyshaming",
+                             "casteism", "ageism"), 13_911.9, 876,
+         ("trolling", "transphobia")),
+        ("furry-tags", ("pup", "fatfur", "diaper", "feral", "vore", "inflation",
+                        "macro", "micro", "goo", "taur", "paws", "muzzle",
+                        "scalie", "avian", "hybrid", "plush", "latex", "maw"),
+         34_408.4, 631, ()),
+        ("beans", ("beans",), 90.4, 49, ()),
+        ("cringe-patrol", ("simping", "bad-selfies", "cringe", "main-character",
+                           "reply-guy"), 70_413.5, 32, ()),
+        ("quality-control", ("lowquality", "shorturl", "unknown-source",
+                             "clickbait", "paywall", "auto-repost"), 104_584.6, 26, ()),
+        ("alf-zone", ("alf", "sensual-alf", "the-format"), 38_417.7, 18, ()),
+        ("severity-tester", ("severity-alert-blurs-content",
+                             "severity-alert-blurs-media",
+                             "severity-alert-blurs-none", "severity-inform",
+                             "severity-none-a", "severity-none-b",
+                             "severity-none-c", "severity-none-d",
+                             "severity-none-e"), 937.6, 18, ()),
+        ("spam-ja", ("spam-aff-ja", "spam", "porn", "spam-crypto"), 534_935.1, 16, ()),
+        ("vibes", ("so-true", "epic", "based", "real"), 526.0, 16, ()),
+        ("warnings", ("!warn", "threat", "triggerwarning", "flashing-lights",
+                      "loud-audio", "eye-contact", "food", "insects", "needles",
+                      "trypophobia"), 109_931.1, 14, ()),
+        ("phobia-tags", ("coulro", "arachno", "lepidoptero", "ophidio",
+                         "entomo", "acro"), 260_512.0, 11, ()),
+        ("discourse", ("neutral-pro-discourse", "anti-discourse"), 2_120.6, 10, ()),
+        ("spoiler-guard", ("spoilers", "!no-promote", "!no-unauthenticated"),
+         1_585_404.6, 4, ()),
+        ("inside-jokes", ("nipps", "no-church", "non-handshake"), 154_416.5, 4, ()),
+        ("mixed-bag", ("!warn", "porn", "spam"), 5_204.0, 3, ()),
+        ("disinfo-watch", ("amplifying-disinfo",), 5_445.1, 3, ("amplifying-disinfo",)),
+        ("bean-hate", ("beanhate", "feature-scold"), 5_900.4, 2, ()),
+    )
+    for key, values, median_s, expected_total, account_values in manual_rows:
+        specs.append(
+            LabelerSpec(
+                key=key,
+                display_name=key.replace("-", " ").title(),
+                values=tuple(values),
+                trigger=TRIGGER_RANDOM,
+                # Expected totals are full-scale label counts over the
+                # window; the engine converts them into per-post sampling.
+                trigger_probability=float(expected_total),
+                reaction=_manual(median_s),
+                start_us=COMMUNITY_LABELERS_OPEN_US,
+                operator_known=rng.random() < 0.6,
+                expected_likes=rng.randrange(0, 40),
+                account_values=tuple(account_values),
+                hosting=(
+                    HostingClass.RESIDENTIAL if rng.random() < 0.18 else HostingClass.CLOUD
+                ),
+            )
+        )
+
+    # Announced-but-dead labelers: 62 total, 46 functional, 36 active.
+    active_count = len(specs)  # 24 so far; 12 more silent-but-functional
+    for index in range(36 - active_count):
+        specs.append(
+            LabelerSpec(
+                key="silent-%02d" % index,
+                display_name="Silent Labeler %02d" % index,
+                values=("experimental-%02d" % index,),
+                trigger=TRIGGER_RANDOM,
+                trigger_probability=1.0,  # one label each: "issued at least one"
+                reaction=_manual(50_000.0),
+                start_us=COMMUNITY_LABELERS_OPEN_US,
+                operator_known=False,
+                hosting=(
+                    HostingClass.RESIDENTIAL if rng.random() < 0.15 else HostingClass.CLOUD
+                ),
+            )
+        )
+    for index in range(10):  # functional, never issued a label (46 - 36)
+        specs.append(
+            LabelerSpec(
+                key="idle-%02d" % index,
+                display_name="Idle Labeler %02d" % index,
+                values=("unused-%02d" % index,),
+                trigger=TRIGGER_RANDOM,
+                trigger_probability=0.0,
+                reaction=_manual(10_000.0),
+                start_us=COMMUNITY_LABELERS_OPEN_US,
+                operator_known=False,
+                hosting=(
+                    HostingClass.RESIDENTIAL if rng.random() < 0.15 else HostingClass.CLOUD
+                ),
+            )
+        )
+    for index in range(16):  # announced, endpoint never worked (62 - 46)
+        specs.append(
+            LabelerSpec(
+                key="broken-%02d" % index,
+                display_name="Broken Labeler %02d" % index,
+                values=("never-%02d" % index,),
+                trigger=TRIGGER_RANDOM,
+                trigger_probability=0.0,
+                reaction=_manual(10_000.0),
+                start_us=COMMUNITY_LABELERS_OPEN_US,
+                functional=False,
+                operator_known=False,
+            )
+        )
+
+    # Pin the hosting mix to the paper's Section 6.1 numbers: of the 46
+    # functional labelers, exactly 6 run from residential ISP addresses.
+    residential_keys = {"furry-tags", "beans", "spam-ja", "vibes", "silent-01", "idle-03"}
+    for spec in specs:
+        if not spec.functional:
+            continue
+        spec.hosting = (
+            HostingClass.RESIDENTIAL if spec.key in residential_keys else HostingClass.CLOUD
+        )
+    return specs
+
+
+@dataclass
+class LabelerRuntime:
+    """A spec bound to its running service and account."""
+
+    spec: LabelerSpec
+    did: str = ""
+    service: Optional[object] = None  # LabelerService
+    endpoint: str = ""
+    # For TRIGGER_RANDOM labelers: remaining labels to emit in the window.
+    remaining_budget: float = 0.0
+    values_emitted: set = field(default_factory=set)

@@ -1,0 +1,161 @@
+"""Synthetic content vocabularies.
+
+Post text is generated from per-language word pools so that (a) keyword
+feeds have something to match, (b) the lexicon-based language identifier
+in the analysis package can recover the language from text, and (c) the
+feed-description word cloud (Figure 8) surfaces the same themes the paper
+reports ("art", "artists", "posts", "feed", "nsfw", platform links).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+# Per-language core vocabulary (romanised where needed so handles and
+# tokenization stay ASCII-friendly).
+LANGUAGE_WORDS: dict[str, tuple[str, ...]] = {
+    "en": (
+        "the", "and", "today", "love", "great", "morning", "coffee", "work",
+        "music", "game", "news", "weather", "happy", "friends", "weekend",
+        "reading", "writing", "photo", "beautiful", "thanks", "life", "time",
+        "people", "world", "thinking", "making", "really", "good", "new",
+    ),
+    "ja": (
+        "kyou", "watashi", "arigatou", "ohayou", "genki", "sugoi", "kawaii",
+        "tanoshii", "ramen", "neko", "inu", "sakura", "tokyo", "manga",
+        "anime", "gohan", "oyasumi", "daisuki", "ganbatte", "minna",
+        "tenki", "shigoto", "yoru", "asa", "natsu", "fuyu",
+    ),
+    "pt": (
+        "hoje", "obrigado", "bom", "dia", "amigos", "trabalho", "musica",
+        "futebol", "praia", "cafe", "noite", "feliz", "vida", "tempo",
+        "gente", "mundo", "fazendo", "muito", "novo", "brasil",
+    ),
+    "de": (
+        "heute", "danke", "guten", "morgen", "arbeit", "musik", "wetter",
+        "freunde", "wochenende", "lesen", "schreiben", "foto", "schoen",
+        "leben", "zeit", "leute", "welt", "denken", "machen", "wirklich",
+    ),
+    "ko": (
+        "oneul", "gamsa", "annyeong", "chingu", "ilhada", "eumak", "nalssi",
+        "jumal", "sajin", "areumdaun", "insaeng", "sigan", "saram", "sesang",
+        "saenggak", "mandeulda", "jeongmal", "joayo", "saeroun", "hanguk",
+    ),
+    "fr": (
+        "aujourdhui", "merci", "bonjour", "amis", "travail", "musique",
+        "meteo", "weekend", "lire", "ecrire", "photo", "belle", "vie",
+        "temps", "gens", "monde", "penser", "faire", "vraiment", "nouveau",
+    ),
+}
+
+# Topic keywords that topical feeds select on; weighted toward the themes
+# the paper observed (art dominates, plus niche communities).
+TOPICS: tuple[tuple[str, float], ...] = (
+    ("art", 0.22),
+    ("artists", 0.08),
+    ("cats", 0.08),
+    ("dogs", 0.05),
+    ("ramen", 0.05),
+    ("politics", 0.05),
+    ("science", 0.05),
+    ("gaming", 0.06),
+    ("ff14", 0.04),
+    ("music", 0.06),
+    ("books", 0.04),
+    ("sports", 0.05),
+    ("furry", 0.04),
+    ("nsfw", 0.04),
+    ("tech", 0.05),
+    ("food", 0.04),
+)
+
+# Words injected into feed-generator descriptions (Figure 8 word cloud).
+FEED_DESCRIPTION_WORDS = (
+    "feed", "posts", "art", "artists", "community", "new", "all",
+    "content", "follow", "daily", "best", "latest", "nsfw", "sfw",
+)
+
+# External platforms linked from descriptions (Section 7.1 / Economics).
+ARTIST_PLATFORM_LINKS = ("tumblr.com", "deviantart.com", "pixiv.net")
+DONATION_LINKS = ("patreon.com", "ko-fi.com")
+
+# Handle name fragments.
+NAME_FRAGMENTS = (
+    "sky", "blue", "star", "moon", "sun", "river", "cloud", "pixel",
+    "nova", "echo", "wave", "leaf", "stone", "fox", "wolf", "bird",
+    "sage", "iris", "ruby", "jade", "storm", "ember", "frost", "dawn",
+)
+
+# Custom-domain providers the paper names (Figure 3) with their observed
+# subdomain counts; used to shape the non-bsky.social handle tail.
+SUBDOMAIN_PROVIDERS = (
+    ("swifties.social", 256),
+    ("tired.io", 179),
+    ("vibes.cool", 133),
+    ("github.io", 35),
+    ("skyname.social", 90),
+    ("fans.dev", 60),
+    ("crew.zone", 45),
+    ("pals.online", 30),
+)
+
+# TLD pool for self-managed domains, roughly matching a real mix; ccTLDs
+# are flagged because their WHOIS omits IANA IDs (Section 5).
+SELF_MANAGED_TLDS = (
+    ("com", 0.42, False),
+    ("net", 0.07, False),
+    ("org", 0.07, False),
+    ("io", 0.06, False),
+    ("dev", 0.05, False),
+    ("social", 0.04, False),
+    ("de", 0.06, True),
+    ("jp", 0.07, True),
+    ("br", 0.05, True),
+    ("uk", 0.04, True),
+    ("fr", 0.03, True),
+    ("xyz", 0.04, False),
+)
+
+
+def pick_weighted(rng, pairs: Sequence[tuple]) -> object:
+    """Pick the first element of a (value, weight, ...) pair sequence."""
+    total = sum(pair[1] for pair in pairs)
+    point = rng.random() * total
+    cumulative = 0.0
+    for pair in pairs:
+        cumulative += pair[1]
+        if point <= cumulative:
+            return pair[0]
+    return pairs[-1][0]
+
+
+def make_post_text(rng, lang: str, topic: str | None = None) -> str:
+    """Generate a short post in the given language, optionally on-topic."""
+    words = LANGUAGE_WORDS.get(lang, LANGUAGE_WORDS["en"])
+    count = rng.randint(4, 14)
+    chosen = [words[rng.randrange(len(words))] for _ in range(count)]
+    if topic is not None:
+        chosen.insert(rng.randrange(len(chosen) + 1), topic)
+    return " ".join(chosen)
+
+
+def make_feed_description(rng, lang: str, topic: str) -> str:
+    """Generate a feed description mixing topic, theme words, and links."""
+    words = list(LANGUAGE_WORDS.get(lang, LANGUAGE_WORDS["en"])[:8])
+    pieces = [topic]
+    pieces.extend(rng.sample(list(FEED_DESCRIPTION_WORDS), k=4))
+    pieces.extend(rng.sample(words, k=min(3, len(words))))
+    if topic in ("art", "artists") and rng.random() < 0.5:
+        pieces.append(ARTIST_PLATFORM_LINKS[rng.randrange(len(ARTIST_PLATFORM_LINKS))])
+    if rng.random() < 0.08:
+        pieces.append(DONATION_LINKS[rng.randrange(len(DONATION_LINKS))])
+    if topic == "nsfw":
+        pieces.append("nsfw")
+    return " ".join(pieces)
+
+
+def make_username(rng, index: int) -> str:
+    """A unique, handle-safe username."""
+    a = NAME_FRAGMENTS[rng.randrange(len(NAME_FRAGMENTS))]
+    b = NAME_FRAGMENTS[rng.randrange(len(NAME_FRAGMENTS))]
+    return "%s%s%d" % (a, b, index)

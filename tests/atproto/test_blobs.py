@@ -1,0 +1,145 @@
+"""Tests for blob storage and record blob references."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.atproto.blobs import (
+    BlobError,
+    BlobRef,
+    BlobStore,
+    extract_blob_refs,
+)
+from repro.atproto.cid import cid_for_raw
+
+
+class TestBlobStore:
+    def test_upload_and_get(self):
+        store = BlobStore()
+        ref = store.upload(b"image bytes", "image/png")
+        assert store.get(ref.cid) == b"image bytes"
+        assert ref.size == len(b"image bytes")
+        assert ref.mime_type == "image/png"
+
+    def test_content_addressed(self):
+        store = BlobStore()
+        a = store.upload(b"same", "image/png")
+        b = store.upload(b"same", "image/jpeg")
+        assert a.cid == b.cid
+        assert store.blob_count() == 1
+
+    def test_cid_matches_content(self):
+        ref = BlobStore().upload(b"xyz", "image/png")
+        assert ref.cid == cid_for_raw(b"xyz")
+
+    def test_empty_rejected(self):
+        with pytest.raises(BlobError):
+            BlobStore().upload(b"", "image/png")
+
+    def test_size_cap(self):
+        store = BlobStore(max_bytes=10)
+        with pytest.raises(BlobError):
+            store.upload(b"x" * 11, "image/png")
+
+    def test_unknown_blob_raises(self):
+        with pytest.raises(BlobError):
+            BlobStore().get(cid_for_raw(b"ghost"))
+
+    def test_refcount_gc(self):
+        store = BlobStore()
+        ref = store.upload(b"avatar", "image/png")
+        store.add_ref(ref.cid)
+        store.add_ref(ref.cid)
+        store.release(ref.cid)
+        assert store.has(ref.cid)
+        store.release(ref.cid)
+        assert not store.has(ref.cid)
+
+    def test_release_unknown_is_noop(self):
+        BlobStore().release(cid_for_raw(b"never"))
+
+    def test_total_bytes(self):
+        store = BlobStore()
+        store.upload(b"12345", "x")
+        store.upload(b"123", "x")
+        assert store.total_bytes() == 8
+
+
+class TestBlobRefs:
+    def test_record_field_round_trip(self):
+        ref = BlobStore().upload(b"pic", "image/png")
+        field = ref.to_record_field()
+        restored = BlobRef.from_record_field(field)
+        assert restored.cid == ref.cid
+        assert restored.mime_type == "image/png"
+
+    def test_from_bad_field(self):
+        with pytest.raises(BlobError):
+            BlobRef.from_record_field({"$type": "not-blob"})
+
+    def test_extract_nested(self):
+        ref = BlobStore().upload(b"img", "image/png")
+        record = {
+            "$type": "app.bsky.actor.profile",
+            "avatar": ref.to_record_field(),
+            "extra": {"deep": [{"banner": ref.to_record_field()}]},
+        }
+        refs = extract_blob_refs(record)
+        assert len(refs) == 2
+        assert all(r.cid == ref.cid for r in refs)
+
+    def test_extract_none(self):
+        assert extract_blob_refs({"$type": "app.bsky.feed.post", "text": "hi"}) == []
+
+
+class TestPdsBlobIntegration:
+    def make_pds_account(self):
+        from repro.atproto.keys import HmacKeypair
+        from repro.services.pds import Pds
+
+        pds = Pds("https://pds.test")
+        keypair = HmacKeypair.from_seed(b"blobuser")
+        did = "did:plc:" + "b" * 24
+        pds.create_account(did, keypair)
+        return pds, did
+
+    def test_profile_with_avatar(self):
+        pds, did = self.make_pds_account()
+        ref = pds.upload_blob(did, b"avatar png bytes", "image/png")
+        record = {
+            "$type": "app.bsky.actor.profile",
+            "displayName": "Blob User",
+            "avatar": ref.to_record_field(),
+            "createdAt": "2024-04-13T00:00:00Z",
+        }
+        pds.create_record(did, "app.bsky.actor.profile", record, 1, rkey="self")
+        served = pds.xrpc_getBlob(did=did, cid=str(ref.cid))
+        assert served == b"avatar png bytes"
+
+    def test_blob_gc_on_record_delete(self):
+        pds, did = self.make_pds_account()
+        ref = pds.upload_blob(did, b"temp image", "image/png")
+        record = {
+            "$type": "app.bsky.feed.post",
+            "text": "with image",
+            "createdAt": "2024-04-13T00:00:00Z",
+            "embed": {"images": [{"alt": "", "image": ref.to_record_field()}]},
+        }
+        meta = pds.create_record(did, "app.bsky.feed.post", record, 1)
+        rkey = meta.ops[0][1].split("/", 1)[1]
+        assert pds.blobs.has(ref.cid)
+        pds.delete_record(did, "app.bsky.feed.post", rkey, 2)
+        assert not pds.blobs.has(ref.cid)
+
+    def test_get_blob_unknown_404(self):
+        from repro.services.xrpc import XrpcError
+
+        pds, did = self.make_pds_account()
+        with pytest.raises(XrpcError):
+            pds.xrpc_getBlob(did=did, cid=str(cid_for_raw(b"nope")))
+
+
+@given(st.binary(min_size=1, max_size=256))
+def test_upload_round_trip_property(data):
+    store = BlobStore()
+    ref = store.upload(data, "application/octet-stream")
+    assert store.get(ref.cid) == data

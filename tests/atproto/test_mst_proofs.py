@@ -1,0 +1,87 @@
+"""Tests for MST inclusion proofs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atproto.cid import cid_for_raw
+from repro.atproto.mst import Mst, prove_inclusion, verify_inclusion
+
+
+def key(i: int) -> str:
+    return "app.bsky.feed.post/key%06d" % i
+
+
+@pytest.fixture(scope="module")
+def tree():
+    t = Mst()
+    for i in range(250):
+        t.set(key(i), cid_for_raw(b"%d" % i))
+    return t
+
+
+class TestProofs:
+    def test_valid_proof_verifies(self, tree):
+        root = tree.root_cid()
+        proof = prove_inclusion(tree, key(42))
+        assert verify_inclusion(root, key(42), cid_for_raw(b"42"), proof)
+
+    def test_wrong_value_rejected(self, tree):
+        proof = prove_inclusion(tree, key(42))
+        assert not verify_inclusion(tree.root_cid(), key(42), cid_for_raw(b"43"), proof)
+
+    def test_wrong_key_rejected(self, tree):
+        proof = prove_inclusion(tree, key(42))
+        assert not verify_inclusion(tree.root_cid(), key(43), cid_for_raw(b"43"), proof)
+
+    def test_missing_key_raises(self, tree):
+        with pytest.raises(KeyError):
+            prove_inclusion(tree, "app.bsky.feed.post/ghost")
+
+    def test_tampered_block_rejected(self, tree):
+        proof = prove_inclusion(tree, key(7))
+        tampered = list(proof)
+        tampered[0] = tampered[0][:-1] + bytes([tampered[0][-1] ^ 0x01])
+        assert not verify_inclusion(tree.root_cid(), key(7), cid_for_raw(b"7"), tampered)
+
+    def test_wrong_root_rejected(self, tree):
+        proof = prove_inclusion(tree, key(7))
+        other = Mst()
+        other.set(key(7), cid_for_raw(b"7"))
+        assert not verify_inclusion(other.root_cid(), key(7), cid_for_raw(b"7"), proof)
+
+    def test_truncated_proof_rejected(self, tree):
+        proof = prove_inclusion(tree, key(200))
+        if len(proof) > 1:
+            assert not verify_inclusion(
+                tree.root_cid(), key(200), cid_for_raw(b"200"), proof[:-1]
+            )
+
+    def test_proof_stale_after_update(self, tree):
+        proof = prove_inclusion(tree, key(13))
+        mutated = Mst()
+        for i in range(250):
+            mutated.set(key(i), cid_for_raw(b"%d" % i))
+        mutated.set(key(13), cid_for_raw(b"replaced"))
+        assert not verify_inclusion(mutated.root_cid(), key(13), cid_for_raw(b"13"), proof)
+
+
+_CACHE = {}
+
+
+def _tree_cache():
+    if "tree" not in _CACHE:
+        t = Mst()
+        for i in range(250):
+            t.set(key(i), cid_for_raw(b"%d" % i))
+        _CACHE["tree"] = t
+    return _CACHE["tree"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=249))
+def test_every_key_provable_property(index):
+    tree = _tree_cache()
+    proof = prove_inclusion(tree, key(index))
+    assert verify_inclusion(
+        tree.root_cid(), key(index), cid_for_raw(b"%d" % index), proof
+    )

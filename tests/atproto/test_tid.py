@@ -1,0 +1,98 @@
+"""Tests for timestamp identifiers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.atproto.tid import MAX_CLOCK_ID, MAX_MICROS, Tid, TidClock, TidError
+
+
+class TestTid:
+    def test_length_is_13(self):
+        assert len(str(Tid(0, 0))) == 13
+
+    def test_zero(self):
+        assert str(Tid(0, 0)) == "2" * 13
+
+    def test_round_trip(self):
+        tid = Tid(1_700_000_000_000_000, 42)
+        assert Tid.parse(str(tid)) == tid
+
+    def test_string_order_matches_time_order(self):
+        earlier = Tid(1000, 5)
+        later = Tid(1001, 0)
+        assert str(earlier) < str(later)
+        assert earlier < later
+
+    def test_clock_id_breaks_ties(self):
+        a = Tid(1000, 1)
+        b = Tid(1000, 2)
+        assert str(a) < str(b)
+
+    def test_out_of_range_micros(self):
+        with pytest.raises(TidError):
+            Tid(MAX_MICROS + 1, 0)
+
+    def test_out_of_range_clock_id(self):
+        with pytest.raises(TidError):
+            Tid(0, MAX_CLOCK_ID + 1)
+
+    def test_parse_rejects_wrong_length(self):
+        with pytest.raises(TidError):
+            Tid.parse("2222")
+
+    def test_parse_rejects_bad_chars(self):
+        with pytest.raises(TidError):
+            Tid.parse("0" * 13)  # '0' not in sortable alphabet
+
+    def test_is_valid(self):
+        assert Tid.is_valid(str(Tid(123, 4)))
+        assert not Tid.is_valid("not-a-tid")
+
+
+class TestTidClock:
+    def test_monotonic_under_repeated_timestamp(self):
+        clock = TidClock()
+        tids = [clock.next_tid(1000) for _ in range(5)]
+        assert tids == sorted(tids)
+        assert len(set(tids)) == 5
+
+    def test_monotonic_under_backwards_time(self):
+        clock = TidClock()
+        first = clock.next_tid(5000)
+        second = clock.next_tid(100)
+        assert second > first
+
+    def test_distinct_clock_ids_distinct_tids(self):
+        a = TidClock(1).next_tid(777)
+        b = TidClock(2).next_tid(777)
+        assert a != b
+
+    def test_invalid_clock_id(self):
+        with pytest.raises(TidError):
+            TidClock(MAX_CLOCK_ID + 1)
+
+
+@given(
+    st.integers(min_value=0, max_value=MAX_MICROS),
+    st.integers(min_value=0, max_value=MAX_CLOCK_ID),
+)
+def test_tid_round_trip_property(micros, clock_id):
+    tid = Tid(micros, clock_id)
+    parsed = Tid.parse(str(tid))
+    assert parsed.micros == micros
+    assert parsed.clock_id == clock_id
+
+
+@given(
+    st.tuples(
+        st.integers(min_value=0, max_value=MAX_MICROS),
+        st.integers(min_value=0, max_value=MAX_CLOCK_ID),
+    ),
+    st.tuples(
+        st.integers(min_value=0, max_value=MAX_MICROS),
+        st.integers(min_value=0, max_value=MAX_CLOCK_ID),
+    ),
+)
+def test_string_order_is_value_order(a, b):
+    ta, tb = Tid(*a), Tid(*b)
+    assert (str(ta) < str(tb)) == (ta.to_int() < tb.to_int())

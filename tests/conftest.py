@@ -1,0 +1,29 @@
+"""Session-wide fixtures: one shared tiny world + study datasets.
+
+Building a world is the expensive part of the integration tests; the
+simulation is deterministic, so a single session-scoped study is shared by
+every test that only reads from it.
+"""
+
+import pytest
+
+from repro.core.pipeline import MeasurementPipeline, StudyDatasets, run_study
+from repro.simulation.config import SimulationConfig
+from repro.simulation.world import World
+
+
+@pytest.fixture(scope="session")
+def study():
+    """(world, datasets) for the standard tiny configuration."""
+    world, datasets = run_study(SimulationConfig.tiny())
+    return world, datasets
+
+
+@pytest.fixture(scope="session")
+def study_world(study) -> World:
+    return study[0]
+
+
+@pytest.fixture(scope="session")
+def study_datasets(study) -> StudyDatasets:
+    return study[1]

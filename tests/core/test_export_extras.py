@@ -1,0 +1,106 @@
+"""Tests for the CSV/JSON export and the extended graph analysis."""
+
+import csv
+import json
+import os
+
+import pytest
+
+from repro.core.analysis.graph_extras import (
+    build_follow_graph,
+    degree_slope,
+    graph_summary,
+)
+from repro.core.export import export_artefacts
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def exported(self, tmp_path_factory, study_datasets):
+        directory = str(tmp_path_factory.mktemp("artefacts"))
+        paths = export_artefacts(study_datasets, directory)
+        return directory, paths
+
+    def test_all_artefacts_written(self, exported):
+        directory, paths = exported
+        names = {os.path.basename(p) for p in paths}
+        expected = {
+            "table1_firehose_events.csv",
+            "fig1_daily_activity.csv",
+            "fig2_language_activity.csv",
+            "fig3_handles_per_domain.csv",
+            "table2_registrars.csv",
+            "fig4_label_growth.csv",
+            "table3_top_labelers.csv",
+            "table4_label_targets.csv",
+            "table6_labeler_reactions.csv",
+            "fig6_value_reactions.csv",
+            "fig7_feed_growth.csv",
+            "fig8_description_words.csv",
+            "fig9_feed_labels.csv",
+            "fig10_posts_vs_likes.csv",
+            "fig11_in_degree.csv",
+            "fig11_out_degree.csv",
+            "fig12_providers.csv",
+            "table5_features.json",
+            "dataset_overview.json",
+        }
+        assert expected <= names
+        for path in paths:
+            assert os.path.getsize(path) > 0
+
+    def test_csv_parses_with_headers(self, exported):
+        directory, _ = exported
+        with open(os.path.join(directory, "fig1_daily_activity.csv")) as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows
+        assert set(rows[0]) == {
+            "day", "active_users", "posts", "likes", "reposts", "follows", "blocks",
+        }
+
+    def test_overview_json_matches_dataset(self, exported, study_datasets):
+        directory, _ = exported
+        with open(os.path.join(directory, "dataset_overview.json")) as handle:
+            overview = json.load(handle)
+        assert overview["labelers_announced"] == 62
+        assert overview["repositories"] == study_datasets.repositories.repo_count
+
+    def test_fig12_shares_sum_to_one(self, exported):
+        directory, _ = exported
+        with open(os.path.join(directory, "fig12_providers.csv")) as handle:
+            rows = list(csv.DictReader(handle))
+        assert sum(float(r["feed_share"]) for r in rows) == pytest.approx(1.0, abs=0.01)
+
+
+class TestGraphExtras:
+    def test_graph_builds(self, study_datasets):
+        graph = build_follow_graph(study_datasets)
+        unique_edges = {
+            (r.did, r.subject)
+            for r in study_datasets.repositories.follows
+            if r.subject
+        }
+        assert graph.number_of_edges() == len(unique_edges)
+
+    def test_summary_measures(self, study_datasets):
+        summary = graph_summary(study_datasets)
+        assert summary.nodes > 0
+        assert 0.0 <= summary.reciprocity <= 1.0
+        assert summary.weakly_connected_components >= 1
+        assert 0.0 < summary.giant_component_share <= 1.0
+        assert len(summary.top_pagerank) <= 10
+
+    def test_official_account_ranks_high(self, study_datasets, study_world):
+        summary = graph_summary(study_datasets)
+        official = next(u for u in study_world.users if u.spec.is_official)
+        top_dids = [did for did, _ in summary.top_pagerank[:5]]
+        assert official.did in top_dids
+
+    def test_degree_slope_negative_for_heavy_tail(self, study_datasets):
+        graph = build_follow_graph(study_datasets)
+        slope = degree_slope([d for _, d in graph.in_degree()])
+        assert slope < 0  # more low-degree than high-degree accounts
+
+    def test_degree_slope_degenerate_inputs(self):
+        assert degree_slope([]) == 0.0
+        assert degree_slope([1, 1]) == 0.0

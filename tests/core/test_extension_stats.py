@@ -1,0 +1,64 @@
+"""Tests for the extension statistics (Gini, handle ping-pong)."""
+
+import pytest
+
+from repro.core.analysis import activity, identity
+
+
+class TestActivityConcentration:
+    def test_bounds(self, study_datasets):
+        stats = activity.activity_concentration(study_datasets)
+        assert 0.0 <= stats.gini <= 1.0
+        assert 0.0 < stats.top_percentile_share <= 1.0
+        assert stats.accounts > 0
+
+    def test_heavy_tailed_activity(self, study_datasets):
+        """Engagement is lognormal, so activity concentrates."""
+        stats = activity.activity_concentration(study_datasets)
+        assert stats.gini > 0.2
+
+    def test_top_share_exceeds_uniform(self, study_datasets):
+        stats = activity.activity_concentration(study_datasets)
+        uniform_share = max(1, stats.accounts // 100) / stats.accounts
+        assert stats.top_percentile_share > uniform_share
+
+    def test_empty_dataset(self):
+        from repro.core.collect.repos import RepositoriesDataset
+        from repro.core.pipeline import StudyDatasets
+
+        empty = StudyDatasets(
+            identifiers=None, did_documents=None,
+            repositories=RepositoriesDataset(), firehose=None,
+            feed_generators=None, labels=None, active=None,
+        )
+        stats = activity.activity_concentration(empty)
+        assert stats.gini == 0.0 and stats.accounts == 0
+
+
+class TestHandlePingPong:
+    def test_counts_revisits(self):
+        from repro.core.collect.firehose import FirehoseDataset
+        from repro.core.pipeline import StudyDatasets
+
+        firehose = FirehoseDataset()
+        did = "did:plc:" + "p" * 24
+        firehose.handle_updates = [
+            (1, did, "a.example.com"),
+            (2, did, "b.example.com"),
+            (3, did, "a.example.com"),  # switched back
+            (4, "did:plc:" + "q" * 24, "c.example.com"),
+        ]
+        datasets = StudyDatasets(
+            identifiers=None, did_documents=None, repositories=None,
+            firehose=firehose, feed_generators=None, labels=None, active=None,
+        )
+        stats = identity.handle_update_stats(datasets)
+        assert stats.total_updates == 4
+        assert stats.unique_dids == 2
+        assert stats.unique_handles == 3
+        assert stats.ping_pong_users == 1
+
+    def test_study_consistency(self, study_datasets):
+        stats = identity.handle_update_stats(study_datasets)
+        assert stats.ping_pong_users <= stats.unique_dids
+        assert stats.unique_handles <= stats.total_updates or stats.total_updates == 0

@@ -1,0 +1,73 @@
+"""Tests for the report renderers (every artefact renders on real data)."""
+
+import pytest
+
+from repro.core import report
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = report.format_table(("A", "Long header"), [(1, "x"), (22, "yy")])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_format_table_empty(self):
+        text = report.format_table(("A",), [])
+        assert "A" in text
+
+    def test_sparkline_empty(self):
+        assert report.sparkline([]) == "(empty)"
+
+    def test_sparkline_peak_is_full_block(self):
+        line = report.sparkline([0, 1, 2, 4])
+        assert line[-1] == "█"
+
+    def test_sparkline_compresses_long_series(self):
+        line = report.sparkline(list(range(500)), width=40)
+        assert len(line) == 40
+
+    def test_sparkline_all_zero(self):
+        assert set(report.sparkline([0, 0, 0])) <= {" "}
+
+
+ARTEFACT_RENDERERS = [
+    report.render_table1,
+    report.render_fig1,
+    report.render_fig2,
+    report.render_fig3,
+    report.render_table2,
+    report.render_fig4,
+    report.render_table3,
+    report.render_table4,
+    report.render_fig5,
+    report.render_fig6,
+    report.render_table6,
+    report.render_fig7,
+    report.render_fig8,
+    report.render_fig9,
+    report.render_fig10,
+    report.render_fig11,
+    report.render_fig12,
+]
+
+
+@pytest.mark.parametrize("renderer", ARTEFACT_RENDERERS, ids=lambda fn: fn.__name__)
+def test_every_artefact_renders(study_datasets, renderer):
+    text = renderer(study_datasets)
+    assert isinstance(text, str)
+    assert text.strip()
+    # The first line names the artefact (Table N / Figure N).
+    assert text.splitlines()[0].startswith(("Table", "Figure"))
+
+
+def test_table5_renders_static():
+    text = report.render_table5()
+    assert "Skyfeed" in text and "regex" in text
+
+
+def test_full_report_contains_all_sections(study_datasets):
+    text = report.full_report(study_datasets)
+    for marker in ("Table 1", "Figure 1", "Figure 12", "Table 5", "Table 6"):
+        assert marker in text
+    assert text.count("=" * 72) == 17  # 18 sections, 17 separators

@@ -1,0 +1,141 @@
+"""Tests for handle resolution and did:web resolution."""
+
+import pytest
+
+from repro.atproto.keys import HmacKeypair
+from repro.identity.did import DidDocument, PDS_SERVICE_ID, ServiceEndpoint
+from repro.identity.handles import (
+    MECHANISM_DNS,
+    MECHANISM_WELL_KNOWN,
+    HandleError,
+    HandleResolver,
+    is_valid_handle,
+    publish_dns_proof,
+    publish_well_known_proof,
+)
+from repro.identity.plc import PlcDirectory
+from repro.identity.resolver import DidResolver, publish_did_web_document
+from repro.netsim.dns import DnsResolver, DnsZone
+from repro.netsim.web import WebHostRegistry
+
+
+@pytest.fixture()
+def zone():
+    return DnsZone()
+
+
+@pytest.fixture()
+def web():
+    return WebHostRegistry()
+
+
+@pytest.fixture()
+def resolver(zone, web):
+    return HandleResolver(DnsResolver(zone), web)
+
+
+DID = "did:plc:ewvi7nxzyoun6zhxrhs64oiz"
+
+
+class TestHandleSyntax:
+    def test_valid(self):
+        assert is_valid_handle("alice.bsky.social")
+        assert is_valid_handle("sub.domain.example.co.uk")
+
+    def test_invalid(self):
+        assert not is_valid_handle("no-dots")
+        assert not is_valid_handle(".starts.with.dot")
+        assert not is_valid_handle("has space.com")
+
+    def test_probe_rejects_invalid(self, resolver):
+        with pytest.raises(HandleError):
+            resolver.probe("not a handle")
+
+
+class TestDnsMechanism:
+    def test_resolves_via_txt(self, zone, resolver):
+        publish_dns_proof(zone, "alice.example.com", DID)
+        probe = resolver.probe("alice.example.com")
+        assert probe.did == DID
+        assert probe.mechanism == MECHANISM_DNS
+
+    def test_missing_record_returns_none(self, resolver):
+        probe = resolver.probe("ghost.example.com")
+        assert probe.did is None and probe.mechanism is None
+
+    def test_malformed_txt_ignored(self, zone, resolver):
+        from repro.netsim.dns import DnsRecordType
+
+        zone.set("_atproto.alice.example.com", DnsRecordType.TXT, ["something-else"])
+        assert resolver.probe("alice.example.com").did is None
+
+
+class TestWellKnownMechanism:
+    def test_resolves_via_well_known(self, web, resolver):
+        publish_well_known_proof(web, "bob.example.com", DID)
+        probe = resolver.probe("bob.example.com")
+        assert probe.did == DID
+        assert probe.mechanism == MECHANISM_WELL_KNOWN
+
+    def test_dns_takes_priority(self, zone, web, resolver):
+        publish_dns_proof(zone, "both.example.com", DID)
+        publish_well_known_proof(web, "both.example.com", "did:plc:" + "x" * 24)
+        assert resolver.probe("both.example.com").mechanism == MECHANISM_DNS
+
+    def test_garbage_body_ignored(self, web, resolver):
+        from repro.netsim.web import WELL_KNOWN_ATPROTO_DID
+
+        web.serve("bad.example.com", WELL_KNOWN_ATPROTO_DID, "<html>not a did</html>")
+        assert resolver.probe("bad.example.com").did is None
+
+
+class TestBidirectionalVerification:
+    def test_verified(self, zone, resolver):
+        publish_dns_proof(zone, "alice.example.com", DID)
+        doc = DidDocument(did=DID, handle="alice.example.com")
+        assert resolver.verify_bidirectional("alice.example.com", lambda d: doc)
+
+    def test_document_disagrees(self, zone, resolver):
+        publish_dns_proof(zone, "alice.example.com", DID)
+        doc = DidDocument(did=DID, handle="other.example.com")
+        assert not resolver.verify_bidirectional("alice.example.com", lambda d: doc)
+
+    def test_unresolvable_document(self, zone, resolver):
+        publish_dns_proof(zone, "alice.example.com", DID)
+        assert not resolver.verify_bidirectional("alice.example.com", lambda d: None)
+
+
+class TestDidWebResolution:
+    def test_resolve_did_web(self, web):
+        did_resolver = DidResolver(PlcDirectory(), web)
+        doc = DidDocument(did="did:web:example.com", handle="example.com")
+        doc.set_service(
+            ServiceEndpoint(PDS_SERVICE_ID, "AtprotoPersonalDataServer", "https://pds.x")
+        )
+        publish_did_web_document(web, doc)
+        resolved = did_resolver.resolve("did:web:example.com")
+        assert resolved is not None
+        assert resolved.handle == "example.com"
+        assert resolved.pds_endpoint == "https://pds.x"
+
+    def test_did_web_must_self_identify(self, web):
+        did_resolver = DidResolver(PlcDirectory(), web)
+        doc = DidDocument(did="did:web:other.com")
+        # Served at the wrong host for its id.
+        web.serve_json("example.com", "/.well-known/did.json", doc.to_json())
+        assert did_resolver.resolve("did:web:example.com") is None
+
+    def test_missing_host_resolves_none(self, web):
+        did_resolver = DidResolver(PlcDirectory(), web)
+        assert did_resolver.resolve("did:web:nowhere.com") is None
+
+    def test_plc_path(self, web):
+        plc = PlcDirectory()
+        rotation = HmacKeypair.from_seed(b"r")
+        did = plc.create(rotation, "did:key:zfake", "u.bsky.social", "https://pds")
+        did_resolver = DidResolver(plc, web)
+        assert did_resolver.resolve(did).handle == "u.bsky.social"
+
+    def test_invalid_did_resolves_none(self, web):
+        did_resolver = DidResolver(PlcDirectory(), web)
+        assert did_resolver.resolve("garbage") is None

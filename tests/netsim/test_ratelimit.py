@@ -1,0 +1,73 @@
+"""Tests for the crawl rate limiter."""
+
+import pytest
+
+from repro.netsim.ratelimit import TokenBucket, crawl_duration_days
+
+US = 1_000_000
+
+
+class TestTokenBucket:
+    def test_burst_passes_immediately(self):
+        bucket = TokenBucket(rate_per_second=1.0, burst=5)
+        t = 1_000 * US
+        for _ in range(5):
+            assert bucket.acquire(t) == t
+
+    def test_past_burst_requests_are_scheduled(self):
+        bucket = TokenBucket(rate_per_second=2.0, burst=1)
+        t = 1_000 * US
+        first = bucket.acquire(t)
+        second = bucket.acquire(t)
+        assert first == t
+        assert second == t + US // 2  # 2 rps -> 0.5s spacing
+
+    def test_steady_state_rate(self):
+        bucket = TokenBucket(rate_per_second=10.0, burst=1)
+        t = 0
+        for _ in range(100):
+            t = bucket.acquire(t)
+        # 100 requests at 10 rps: ~9.9 seconds after the free first token.
+        assert 9.5 * US <= t <= 10.5 * US
+
+    def test_refill_after_idle(self):
+        bucket = TokenBucket(rate_per_second=1.0, burst=3)
+        t = bucket.acquire(0)
+        bucket.acquire(t)
+        bucket.acquire(t)
+        # Fully drained; 10 idle seconds refill to burst again.
+        later = 10 * US
+        assert bucket.acquire(later) == later
+
+    def test_request_counter(self):
+        bucket = TokenBucket(rate_per_second=5.0)
+        for _ in range(7):
+            bucket.acquire(0)
+        assert bucket.total_requests == 7
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_second=0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_second=1.0, burst=0)
+
+    def test_schedule_duration(self):
+        bucket = TokenBucket(rate_per_second=10.0, burst=10)
+        assert bucket.schedule_duration_us(10) == 0
+        assert bucket.schedule_duration_us(110) == 10 * US
+
+
+class TestCrawlDuration:
+    def test_paper_repo_crawl_rate(self):
+        """5.52M repos over 10 days implies ~6.4 requests per second."""
+        days = crawl_duration_days(5_523_919, 6.4)
+        assert 9.5 < days < 10.5
+
+    def test_dataset_records_virtual_duration(self, study_datasets):
+        repos = study_datasets.repositories
+        assert repos.crawl_duration_us > 0
+        # At the agreed 6.4 rps the tiny crawl takes under an hour...
+        assert repos.crawl_duration_us < 3600 * US
+        # ...but scaled to the paper's population it is about 10 days.
+        implied_days = crawl_duration_days(5_523_919, 6.4)
+        assert round(implied_days) == 10

@@ -1,0 +1,52 @@
+"""Shared fixtures: a minimal wired network of services."""
+
+import pytest
+
+from repro.atproto.keys import HmacKeypair
+from repro.identity.plc import PlcDirectory
+from repro.identity.resolver import DidResolver
+from repro.netsim.web import WebHostRegistry
+from repro.services.appview import AppView
+from repro.services.pds import Pds
+from repro.services.relay import Relay
+from repro.services.xrpc import ServiceDirectory
+
+
+class MiniNetwork:
+    """A hand-wired network: one PDS, one relay, one appview."""
+
+    def __init__(self):
+        self.plc = PlcDirectory()
+        self.web = WebHostRegistry()
+        self.services = ServiceDirectory()
+        self.resolver = DidResolver(self.plc, self.web)
+        self.pds = Pds("https://pds.test")
+        self.relay = Relay("https://relay.test")
+        self.relay.crawl_pds(self.pds)
+        self.appview = AppView("https://appview.test", self.resolver, self.services)
+        self.appview.attach(self.relay)
+        self.services.register(self.pds.url, self.pds)
+        self.services.register(self.relay.url, self.relay)
+        self.services.register(self.appview.url, self.appview)
+        self.now_us = 1_700_000_000_000_000
+
+    def tick(self, micros: int = 1_000_000) -> int:
+        self.now_us += micros
+        return self.now_us
+
+    def create_user(self, name: str):
+        keypair = HmacKeypair.from_seed(name.encode())
+        signing = HmacKeypair.from_seed(b"sign:" + name.encode())
+        did = self.plc.create(
+            rotation_keypair=keypair,
+            signing_key=signing.did_key(),
+            handle="%s.bsky.social" % name,
+            pds_endpoint=self.pds.url,
+        )
+        self.pds.create_account(did, signing)
+        return did, signing
+
+
+@pytest.fixture()
+def net():
+    return MiniNetwork()

@@ -1,0 +1,86 @@
+"""Focused tests for firehose retention and cursor semantics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atproto.events import IdentityEvent
+from repro.services.relay import Firehose
+
+DAY_US = 24 * 3600 * 1_000_000
+DID = "did:plc:" + "a" * 24
+
+
+def publish_at(firehose, time_us):
+    return firehose.publish(lambda seq: IdentityEvent(seq=seq, did=DID, time_us=time_us))
+
+
+class TestRetention:
+    def test_exactly_at_cutoff_survives(self):
+        firehose = Firehose(retention_us=3 * DAY_US)
+        publish_at(firehose, 0)
+        publish_at(firehose, 3 * DAY_US)  # cutoff = 0, first event survives
+        assert firehose.backlog_size() == 2
+
+    def test_one_us_past_cutoff_pruned(self):
+        firehose = Firehose(retention_us=3 * DAY_US)
+        publish_at(firehose, 0)
+        publish_at(firehose, 3 * DAY_US + 1)
+        assert firehose.backlog_size() == 1
+        assert firehose.oldest_available_seq() == 2
+
+    def test_seq_numbers_survive_pruning(self):
+        firehose = Firehose(retention_us=DAY_US)
+        for day in range(6):
+            publish_at(firehose, day * DAY_US)
+        events = firehose.events_since(0)
+        assert [e.seq for e in events] == [5, 6]
+
+    def test_cursor_mid_backlog(self):
+        firehose = Firehose()
+        base = 10**15
+        for index in range(5):
+            publish_at(firehose, base + index)
+        events = firehose.events_since(cursor=3)
+        assert [e.seq for e in events] == [4, 5]
+
+    def test_cursor_at_head_returns_empty(self):
+        firehose = Firehose()
+        publish_at(firehose, 10**15)
+        assert firehose.events_since(cursor=1) == []
+
+    def test_limit(self):
+        firehose = Firehose()
+        base = 10**15
+        for index in range(10):
+            publish_at(firehose, base + index)
+        assert len(firehose.events_since(0, limit=4)) == 4
+
+    def test_empty_firehose(self):
+        firehose = Firehose()
+        assert firehose.events_since(0) == []
+        assert firehose.oldest_available_seq() is None
+        assert firehose.next_seq() == 1
+
+    def test_multiple_subscribers_all_receive(self):
+        firehose = Firehose()
+        received_a, received_b = [], []
+        firehose.subscribe(received_a.append)
+        firehose.subscribe(received_b.append)
+        publish_at(firehose, 10**15)
+        assert len(received_a) == len(received_b) == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=10 * DAY_US), min_size=1, max_size=40))
+def test_retention_invariant_property(offsets):
+    """After any publish sequence with increasing times, the backlog only
+    contains events within the retention window of the newest event."""
+    firehose = Firehose(retention_us=2 * DAY_US)
+    now = 10**15
+    for offset in sorted(offsets):
+        publish_at(firehose, now + offset)
+    newest = now + max(offsets)
+    for event in firehose.events_since(0):
+        assert event.time_us >= newest - 2 * DAY_US
+    seqs = [e.seq for e in firehose.events_since(0)]
+    assert seqs == sorted(seqs)

@@ -1,0 +1,92 @@
+"""Additional PDS surface tests: blob sync API, preferences, accounts."""
+
+import pytest
+
+from repro.atproto.keys import HmacKeypair
+from repro.atproto.lexicon import POST, PROFILE
+from repro.services.pds import Pds, PdsError
+from repro.services.xrpc import ServiceDirectory, XrpcError
+
+NOW = 1_713_000_000_000_000
+
+
+@pytest.fixture()
+def pds():
+    return Pds("https://pds.test")
+
+
+@pytest.fixture()
+def account(pds):
+    keypair = HmacKeypair.from_seed(b"acct")
+    did = "did:plc:" + "s" * 24
+    pds.create_account(did, keypair)
+    return did
+
+
+class TestBlobApiOverDirectory:
+    def test_get_blob_via_xrpc_call(self, pds, account):
+        directory = ServiceDirectory()
+        directory.register(pds.url, pds)
+        ref = pds.upload_blob(account, b"banner bytes", "image/jpeg")
+        record = {
+            "$type": PROFILE,
+            "banner": ref.to_record_field(),
+            "createdAt": "2024-04-13T00:00:00Z",
+        }
+        pds.create_record(account, PROFILE, record, NOW, rkey="self")
+        data = directory.call(pds.url, "com.atproto.sync.getBlob", did=account, cid=str(ref.cid))
+        assert data == b"banner bytes"
+
+    def test_upload_requires_account(self, pds):
+        with pytest.raises(PdsError):
+            pds.upload_blob("did:plc:" + "z" * 24, b"x", "image/png")
+
+    def test_unreferenced_blob_survives_until_gc(self, pds, account):
+        ref = pds.upload_blob(account, b"orphan", "image/png")
+        # Uploaded but never referenced: still fetchable (pending commit).
+        assert pds.xrpc_getBlob(did=account, cid=str(ref.cid)) == b"orphan"
+
+    def test_update_swaps_blob_reference(self, pds, account):
+        old = pds.upload_blob(account, b"old avatar", "image/png")
+        record = {
+            "$type": PROFILE,
+            "avatar": old.to_record_field(),
+            "createdAt": "2024-04-13T00:00:00Z",
+        }
+        pds.create_record(account, PROFILE, record, NOW, rkey="self")
+        new = pds.upload_blob(account, b"new avatar", "image/png")
+        record2 = dict(record)
+        record2["avatar"] = new.to_record_field()
+        pds.update_record(account, PROFILE, "self", record2, NOW + 1)
+        assert not pds.blobs.has(old.cid)  # old avatar garbage-collected
+        assert pds.blobs.has(new.cid)
+
+
+class TestAccountEdgeCases:
+    def test_remove_unknown_account(self, pds):
+        with pytest.raises(PdsError):
+            pds.remove_account("did:plc:" + "q" * 24, NOW)
+
+    def test_repo_unknown_account(self, pds):
+        with pytest.raises(PdsError):
+            pds.repo("did:plc:" + "q" * 24)
+
+    def test_preferences_unknown_account(self, pds):
+        with pytest.raises(PdsError):
+            pds.put_preferences("did:plc:" + "q" * 24, {})
+
+    def test_list_repos_skips_empty_repos(self, pds, account):
+        # The account exists but has no commits yet.
+        assert pds.xrpc_listRepos()["repos"] == []
+        pds.create_record(
+            account, POST,
+            {"$type": POST, "text": "first", "createdAt": "2024-04-13T00:00:00Z"},
+            NOW,
+        )
+        assert len(pds.xrpc_listRepos()["repos"]) == 1
+
+    def test_validation_can_be_skipped(self, pds, account):
+        # validate=False lets through records a lexicon would reject (the
+        # network is permissive at the sync layer).
+        pds.create_record(account, POST, {"$type": POST, "text": "no createdAt"}, NOW, validate=False)
+        assert len(list(pds.repo(account).list_records(POST))) == 1

@@ -1,0 +1,218 @@
+"""Tests for the PDS, the Relay, and the Firehose."""
+
+import pytest
+
+from repro.atproto.events import KIND_COMMIT, KIND_HANDLE, KIND_IDENTITY, KIND_TOMBSTONE
+from repro.atproto.keys import HmacKeypair
+from repro.atproto.lexicon import FOLLOW, POST
+from repro.atproto.repo import import_car
+from repro.services.pds import Pds, PdsError
+from repro.services.relay import Firehose, Relay
+from repro.services.xrpc import XrpcError
+
+
+def post(text, t="2024-04-01T00:00:00Z"):
+    return {"$type": POST, "text": text, "createdAt": t}
+
+
+class TestPdsAccounts:
+    def test_create_account(self, net):
+        did, _ = net.create_user("alice")
+        assert net.pds.has_account(did)
+        assert net.pds.repo_count() == 1
+
+    def test_duplicate_account_rejected(self, net):
+        did, key = net.create_user("alice")
+        with pytest.raises(PdsError):
+            net.pds.create_account(did, key)
+
+    def test_remove_account(self, net):
+        did, _ = net.create_user("alice")
+        net.pds.remove_account(did, net.tick())
+        assert not net.pds.has_account(did)
+
+    def test_preferences_are_private(self, net):
+        did, _ = net.create_user("alice")
+        net.pds.put_preferences(did, {"labelers": ["did:plc:" + "a" * 24]})
+        assert net.pds.get_preferences(did, authenticated_as=did)["labelers"]
+        with pytest.raises(PdsError):
+            net.pds.get_preferences(did, authenticated_as="did:plc:" + "b" * 24)
+
+    def test_lexicon_validation_on_write(self, net):
+        from repro.atproto.lexicon import LexiconError
+
+        did, _ = net.create_user("alice")
+        with pytest.raises(LexiconError):
+            net.pds.create_record(did, POST, {"$type": POST, "text": "no createdAt"}, 1)
+
+    def test_migration_between_pdses(self, net):
+        did, _ = net.create_user("alice")
+        net.pds.create_record(did, POST, post("pre-move"), net.tick())
+        repo = net.pds.repo(did)
+        new_pds = Pds("https://selfhosted.test")
+        net.pds._repos.pop(did)  # simulate transfer-out
+        new_pds.import_repo(repo)
+        assert new_pds.repo(did).get_record(POST, repo.commits[-1].ops[0][1].split("/")[1])
+
+
+class TestPdsSyncApi:
+    def test_list_repos_pagination(self, net):
+        for i in range(5):
+            did, _ = net.create_user("user%d" % i)
+            net.pds.create_record(did, POST, post("x"), net.tick())
+        first = net.pds.xrpc_listRepos(limit=2)
+        assert len(first["repos"]) == 2
+        second = net.pds.xrpc_listRepos(cursor=first["cursor"], limit=10)
+        assert len(second["repos"]) == 3
+        assert second["cursor"] is None
+
+    def test_get_repo_car(self, net):
+        did, _ = net.create_user("alice")
+        net.pds.create_record(did, POST, post("hello"), net.tick())
+        snapshot = import_car(net.pds.xrpc_getRepo(did=did))
+        assert snapshot.did == did
+
+    def test_get_repo_unknown(self, net):
+        with pytest.raises(XrpcError):
+            net.pds.xrpc_getRepo(did="did:plc:" + "z" * 24)
+
+    def test_get_record(self, net):
+        did, _ = net.create_user("alice")
+        meta = net.pds.create_record(did, POST, post("hi"), net.tick())
+        rkey = meta.ops[0][1].split("/")[1]
+        result = net.pds.xrpc_getRecord(did=did, collection=POST, rkey=rkey)
+        assert result["value"]["text"] == "hi"
+
+    def test_list_records_pagination(self, net):
+        did, _ = net.create_user("alice")
+        for i in range(7):
+            net.pds.create_record(did, POST, post("p%d" % i), net.tick())
+        page = net.pds.xrpc_listRecords(did=did, collection=POST, limit=4)
+        assert len(page["records"]) == 4
+        rest = net.pds.xrpc_listRecords(
+            did=did, collection=POST, limit=4, cursor=page["cursor"]
+        )
+        assert len(rest["records"]) == 3
+
+
+class TestRelay:
+    def test_commit_events_flow_to_firehose(self, net):
+        did, _ = net.create_user("alice")
+        net.pds.create_record(did, POST, post("hello"), net.tick())
+        events = net.relay.xrpc_subscribeRepos()
+        kinds = [e.kind for e in events]
+        assert KIND_COMMIT in kinds
+
+    def test_event_records_included(self, net):
+        did, _ = net.create_user("alice")
+        net.pds.create_record(did, POST, post("payload"), net.tick())
+        commit = [e for e in net.relay.xrpc_subscribeRepos() if e.kind == KIND_COMMIT][0]
+        assert commit.ops[0].record["text"] == "payload"
+
+    def test_seq_monotonic(self, net):
+        did, _ = net.create_user("alice")
+        for i in range(5):
+            net.pds.create_record(did, POST, post("p%d" % i), net.tick())
+        seqs = [e.seq for e in net.relay.xrpc_subscribeRepos()]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_cursor_replay(self, net):
+        did, _ = net.create_user("alice")
+        for i in range(4):
+            net.pds.create_record(did, POST, post("p%d" % i), net.tick())
+        all_events = net.relay.xrpc_subscribeRepos()
+        later = net.relay.xrpc_subscribeRepos(cursor=all_events[1].seq)
+        assert [e.seq for e in later] == [e.seq for e in all_events[2:]]
+
+    def test_relay_serves_repo_from_cache(self, net):
+        did, _ = net.create_user("alice")
+        net.pds.create_record(did, POST, post("cached"), net.tick())
+        snapshot = import_car(net.relay.xrpc_getRepo(did=did))
+        assert snapshot.did == did
+
+    def test_list_repos_via_relay(self, net):
+        did, _ = net.create_user("alice")
+        net.pds.create_record(did, POST, post("x"), net.tick())
+        result = net.relay.xrpc_listRepos()
+        assert result["repos"][0]["did"] == did
+        assert result["repos"][0]["rev"] is not None
+
+    def test_tombstone_event(self, net):
+        did, _ = net.create_user("alice")
+        net.pds.create_record(did, POST, post("x"), net.tick())
+        net.pds.remove_account(did, net.tick())
+        kinds = [e.kind for e in net.relay.xrpc_subscribeRepos()]
+        assert KIND_TOMBSTONE in kinds
+        with pytest.raises(XrpcError):
+            net.relay.xrpc_getRepo(did=did)
+
+    def test_identity_and_handle_events(self, net):
+        did, _ = net.create_user("alice")
+        net.relay.publish_identity_event(did, net.tick())
+        net.relay.publish_handle_event(did, "alice.example.com", net.tick())
+        kinds = [e.kind for e in net.relay.xrpc_subscribeRepos()]
+        assert KIND_IDENTITY in kinds and KIND_HANDLE in kinds
+
+    def test_get_latest_commit(self, net):
+        did, _ = net.create_user("alice")
+        meta = net.pds.create_record(did, POST, post("x"), net.tick())
+        latest = net.relay.xrpc_getLatestCommit(did=did)
+        assert latest["rev"] == meta.rev
+
+    def test_multi_pds_aggregation(self, net):
+        other_pds = Pds("https://pds2.test")
+        net.relay.crawl_pds(other_pds)
+        key = HmacKeypair.from_seed(b"bob")
+        other_pds.create_account("did:plc:" + "b" * 24, key)
+        other_pds.create_record("did:plc:" + "b" * 24, POST, post("from pds2"), net.tick())
+        did_a, _ = net.create_user("alice")
+        net.pds.create_record(did_a, POST, post("from pds1"), net.tick())
+        dids = {e.did for e in net.relay.xrpc_subscribeRepos() if e.kind == KIND_COMMIT}
+        assert dids == {"did:plc:" + "b" * 24, did_a}
+
+
+class TestFirehoseRetention:
+    DAY_US = 24 * 3600 * 1_000_000
+
+    def test_old_events_pruned(self):
+        from repro.atproto.events import IdentityEvent
+
+        firehose = Firehose()
+        base = 1_700_000_000_000_000
+        for day in range(10):
+            firehose.publish(
+                lambda seq, day=day: IdentityEvent(
+                    seq=seq, did="did:plc:" + "a" * 24, time_us=base + day * self.DAY_US
+                )
+            )
+        # Only the last 3 days (plus the newest event's own day) survive.
+        remaining = firehose.events_since(0)
+        assert all(e.time_us >= base + 6 * self.DAY_US for e in remaining)
+        assert firehose.oldest_available_seq() > 1
+
+    def test_cursor_before_retention_window(self):
+        from repro.atproto.events import IdentityEvent
+
+        firehose = Firehose()
+        base = 1_700_000_000_000_000
+        for day in range(10):
+            firehose.publish(
+                lambda seq, day=day: IdentityEvent(
+                    seq=seq, did="did:plc:" + "a" * 24, time_us=base + day * self.DAY_US
+                )
+            )
+        # Asking from seq 0 only returns what retention kept.
+        assert len(firehose.events_since(0)) == firehose.backlog_size()
+
+    def test_live_subscription(self):
+        from repro.atproto.events import IdentityEvent
+
+        firehose = Firehose()
+        received = []
+        firehose.subscribe(received.append)
+        firehose.publish(
+            lambda seq: IdentityEvent(seq=seq, did="did:plc:" + "a" * 24, time_us=1)
+        )
+        assert len(received) == 1
+        assert received[0].seq == 1

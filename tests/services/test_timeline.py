@@ -1,0 +1,97 @@
+"""Tests for the home timeline (AppView getTimeline + Client)."""
+
+import pytest
+
+from repro.services.client import Client, LabelAction
+from repro.services.labeler import LabelerPolicies, LabelerService
+
+
+def make_client(net, name):
+    did, _ = net.create_user(name)
+    return Client(did, net.pds, net.appview)
+
+
+class TestGetTimeline:
+    def test_shows_followed_posts_newest_first(self, net):
+        alice = make_client(net, "alice")
+        bob = make_client(net, "bob")
+        carol = make_client(net, "carol")
+        carol.follow(alice.did, net.tick())
+        alice.post("first", net.tick(), langs=["en"])
+        bob.post("unfollowed", net.tick(), langs=["en"])
+        alice.post("second", net.tick(), langs=["en"])
+        timeline = carol.home_timeline()
+        texts = [item["record"]["text"] for item in timeline]
+        assert texts == ["second", "first"]
+
+    def test_empty_for_nonfollower(self, net):
+        loner = make_client(net, "loner")
+        make_client(net, "alice").post("hello", net.tick())
+        assert loner.home_timeline() == []
+
+    def test_unfollow_removes_from_timeline(self, net):
+        alice = make_client(net, "alice")
+        carol = make_client(net, "carol")
+        meta = carol.follow(alice.did, net.tick())
+        alice.post("visible", net.tick())
+        rkey = meta.ops[0][1].split("/")[1]
+        net.pds.delete_record(carol.did, "app.bsky.graph.follow", rkey, net.tick())
+        assert carol.home_timeline() == []
+
+    def test_deleted_posts_drop_out(self, net):
+        alice = make_client(net, "alice")
+        carol = make_client(net, "carol")
+        carol.follow(alice.did, net.tick())
+        meta = alice.post("temporary", net.tick())
+        alice.delete_post(meta.ops[0][1].split("/")[1], net.tick())
+        assert carol.home_timeline() == []
+
+    def test_limit_respected(self, net):
+        alice = make_client(net, "alice")
+        carol = make_client(net, "carol")
+        carol.follow(alice.did, net.tick())
+        for i in range(8):
+            alice.post("p%d" % i, net.tick())
+        assert len(carol.home_timeline(limit=3)) == 3
+
+    def test_multiple_followed_interleaved(self, net):
+        alice = make_client(net, "alice")
+        bob = make_client(net, "bob")
+        carol = make_client(net, "carol")
+        carol.follow(alice.did, net.tick())
+        carol.follow(bob.did, net.tick())
+        alice.post("a1", net.tick())
+        bob.post("b1", net.tick())
+        alice.post("a2", net.tick())
+        texts = [item["record"]["text"] for item in carol.home_timeline()]
+        assert texts == ["a2", "b1", "a1"]
+
+    def test_moderation_applies_to_timeline(self, net):
+        alice = make_client(net, "alice")
+        carol = make_client(net, "carol")
+        carol.follow(alice.did, net.tick())
+        meta = alice.post("nsfw content", net.tick())
+        uri = "at://%s/%s" % (alice.did, meta.ops[0][1])
+        labeler_did, _ = net.create_user("labeler")
+        labeler = LabelerService(labeler_did, "https://lab.test", LabelerPolicies(("nsfw",), {}))
+        net.appview.add_labeler(labeler)
+        labeler.emit(uri, "nsfw", net.tick())
+        net.appview.sync_labels()
+        assert len(carol.home_timeline()) == 1  # not subscribed yet
+        carol.subscribe_labeler(labeler_did)
+        carol.set_label_action(labeler_did, "nsfw", LabelAction.HIDE)
+        assert carol.home_timeline() == []
+
+    def test_takedown_purges_from_timeline(self, net):
+        alice = make_client(net, "alice")
+        carol = make_client(net, "carol")
+        carol.follow(alice.did, net.tick())
+        meta = alice.post("illegal", net.tick())
+        uri = "at://%s/%s" % (alice.did, meta.ops[0][1])
+        official_did, _ = net.create_user("official")
+        official = LabelerService(official_did, "https://off.test", LabelerPolicies(("!takedown",), {}))
+        net.appview.add_labeler(official)
+        net.appview.official_labeler_did = official_did
+        official.emit(uri, "!takedown", net.tick())
+        net.appview.sync_labels()
+        assert net.appview.xrpc_getTimeline(actor=carol.did)["feed"] == []

@@ -1,0 +1,98 @@
+"""Tests for verifiable single-record reads over the Relay."""
+
+import pytest
+
+from repro.atproto.cbor import cbor_decode, cbor_encode
+from repro.atproto.cid import Cid, cid_for_cbor
+from repro.atproto.lexicon import POST
+from repro.atproto.mst import verify_inclusion
+from repro.services.xrpc import XrpcError
+
+
+def verify_response(response, verify_key) -> bool:
+    """What a real client does with a getRecord response:
+
+    1. check the commit signature,
+    2. check the MST inclusion proof against the commit's data root,
+    3. check the record's own CID.
+    """
+    commit = cbor_decode(response["commit"]["block"])
+    unsigned = {k: v for k, v in commit.items() if k != "sig"}
+    if not verify_key.verify(cbor_encode(unsigned), commit["sig"]):
+        return False
+    key = response["uri"].split("/", 3)[-1]
+    record_cid = Cid.parse(response["cid"])
+    if not verify_inclusion(commit["data"], key, record_cid, response["proof"]):
+        return False
+    return cid_for_cbor(response["value"]) == record_cid
+
+
+class TestGetRecordWithProof:
+    def make_post(self, net, text="provable post"):
+        did, keypair = net.create_user("prover")
+        meta = net.pds.create_record(
+            did, POST,
+            {"$type": POST, "text": text, "createdAt": "2024-04-13T00:00:00Z"},
+            net.tick(),
+        )
+        rkey = meta.ops[0][1].split("/", 1)[1]
+        return did, keypair, rkey
+
+    def test_response_shape(self, net):
+        did, _, rkey = self.make_post(net)
+        response = net.relay.xrpc_getRecord(did=did, collection=POST, rkey=rkey)
+        assert response["value"]["text"] == "provable post"
+        assert response["proof"]
+        assert response["commit"]["cid"].startswith("b")
+
+    def test_full_client_side_verification(self, net):
+        did, keypair, rkey = self.make_post(net)
+        response = net.relay.xrpc_getRecord(did=did, collection=POST, rkey=rkey)
+        assert verify_response(response, keypair.public_key)
+
+    def test_tampered_record_fails_verification(self, net):
+        did, keypair, rkey = self.make_post(net)
+        response = net.relay.xrpc_getRecord(did=did, collection=POST, rkey=rkey)
+        response["value"] = dict(response["value"], text="forged content")
+        assert not verify_response(response, keypair.public_key)
+
+    def test_wrong_key_fails_verification(self, net):
+        from repro.atproto.keys import HmacKeypair
+
+        did, _, rkey = self.make_post(net)
+        response = net.relay.xrpc_getRecord(did=did, collection=POST, rkey=rkey)
+        assert not verify_response(response, HmacKeypair.from_seed(b"other").public_key)
+
+    def test_unknown_record_404(self, net):
+        did, _, _ = self.make_post(net)
+        with pytest.raises(XrpcError):
+            net.relay.xrpc_getRecord(did=did, collection=POST, rkey="ghost")
+
+    def test_unknown_repo_404(self, net):
+        with pytest.raises(XrpcError):
+            net.relay.xrpc_getRecord(
+                did="did:plc:" + "q" * 24, collection=POST, rkey="x"
+            )
+
+
+class TestOfficialLabelRegimes:
+    def test_two_regimes_detected(self, study_datasets):
+        from repro.core.analysis import moderation
+
+        official = moderation.find_official_labeler_did(study_datasets)
+        regimes = moderation.official_label_regimes(study_datasets, official)
+        # The automated NSFW classifiers answer within seconds.
+        auto_values = {value for value, _ in regimes.automated_values}
+        if not auto_values:
+            pytest.skip("no official window labels at this scale/seed")
+        assert auto_values & {"porn", "sexual", "nudity", "graphic-media"}
+        for value, median in regimes.automated_values:
+            assert median < 60
+
+    def test_manual_values_slow(self, study_datasets):
+        from repro.core.analysis import moderation
+
+        official = moderation.find_official_labeler_did(study_datasets)
+        regimes = moderation.official_label_regimes(study_datasets, official)
+        for value, median in regimes.manual_values:
+            assert median >= 60

@@ -1,0 +1,69 @@
+"""Tests for the XRPC service directory."""
+
+import pytest
+
+from repro.services.xrpc import ServiceDirectory, XrpcError, XrpcService
+
+
+class EchoService(XrpcService):
+    def xrpc_echo(self, value):
+        return {"value": value}
+
+    def xrpc_fail(self):
+        raise XrpcError(500, "boom")
+
+
+class TestDirectory:
+    def test_register_and_call(self):
+        directory = ServiceDirectory()
+        directory.register("https://svc.test", EchoService())
+        result = directory.call("https://svc.test", "com.example.echo", value=42)
+        assert result == {"value": 42}
+
+    def test_url_normalization(self):
+        directory = ServiceDirectory()
+        directory.register("https://SVC.test/", EchoService())
+        assert directory.call("https://svc.test", "com.example.echo", value=1) == {"value": 1}
+
+    def test_unknown_host(self):
+        directory = ServiceDirectory()
+        with pytest.raises(XrpcError) as info:
+            directory.call("https://nowhere.test", "com.example.echo")
+        assert info.value.status == 0
+
+    def test_unknown_method(self):
+        directory = ServiceDirectory()
+        directory.register("https://svc.test", EchoService())
+        with pytest.raises(XrpcError) as info:
+            directory.call("https://svc.test", "com.example.missing")
+        assert info.value.status == 501
+
+    def test_down_service(self):
+        directory = ServiceDirectory()
+        directory.register("https://svc.test", EchoService())
+        directory.set_down("https://svc.test")
+        assert not directory.is_reachable("https://svc.test")
+        with pytest.raises(XrpcError):
+            directory.call("https://svc.test", "com.example.echo", value=1)
+        directory.set_down("https://svc.test", False)
+        assert directory.is_reachable("https://svc.test")
+
+    def test_try_call_swallows_transport_errors_only(self):
+        directory = ServiceDirectory()
+        directory.register("https://svc.test", EchoService())
+        assert directory.try_call("https://nowhere.test", "com.example.echo") is None
+        with pytest.raises(XrpcError):
+            directory.try_call("https://svc.test", "com.example.fail")
+
+    def test_unregister(self):
+        directory = ServiceDirectory()
+        directory.register("https://svc.test", EchoService())
+        directory.unregister("https://svc.test")
+        assert not directory.is_registered("https://svc.test")
+
+    def test_call_counting(self):
+        directory = ServiceDirectory()
+        directory.register("https://svc.test", EchoService())
+        directory.call("https://svc.test", "com.example.echo", value=1)
+        directory.try_call("https://other.test", "com.example.echo")
+        assert directory.call_count == 2

@@ -1,0 +1,195 @@
+"""Tests for the labeler- and feed-ecosystem spec generators."""
+
+import random
+
+import pytest
+
+from repro.netsim.hosting import HostingClass
+from repro.simulation.config import (
+    COMMUNITY_LABELERS_OPEN_US,
+    OFFICIAL_LABELER_START_US,
+    SimulationConfig,
+)
+from repro.simulation.feeds import (
+    KIND_AGGREGATOR,
+    KIND_DEAD,
+    KIND_PERSONALIZED,
+    PLATFORM_GOODFEEDS,
+    PLATFORM_SKYFEED,
+    SELF_HOSTED,
+    build_feed_specs,
+)
+from repro.simulation.labelers import (
+    TRIGGER_RANDOM,
+    build_labeler_specs,
+)
+from repro.simulation.population import build_population
+
+
+@pytest.fixture(scope="module")
+def labeler_specs():
+    return build_labeler_specs(random.Random(5))
+
+
+@pytest.fixture(scope="module")
+def feed_setup():
+    config = SimulationConfig(seed=5, scale=1 / 2000, feed_scale=1 / 40)
+    plan = build_population(config)
+    specs = build_feed_specs(config, plan.users, random.Random(9))
+    return config, plan, specs
+
+
+class TestLabelerSpecs:
+    def test_counts_match_paper(self, labeler_specs):
+        assert len(labeler_specs) == 62
+        functional = [s for s in labeler_specs if s.functional]
+        assert len(functional) == 46
+
+    def test_exactly_one_official(self, labeler_specs):
+        officials = [s for s in labeler_specs if s.is_official]
+        assert len(officials) == 1
+        assert officials[0].start_us == OFFICIAL_LABELER_START_US
+
+    def test_community_labelers_start_after_opening(self, labeler_specs):
+        for spec in labeler_specs:
+            if not spec.is_official:
+                assert spec.start_us >= COMMUNITY_LABELERS_OPEN_US
+
+    def test_residential_count_matches_paper(self, labeler_specs):
+        residential = [
+            s for s in labeler_specs if s.functional and s.hosting == HostingClass.RESIDENTIAL
+        ]
+        assert len(residential) == 6
+
+    def test_official_has_takedown_capability(self, labeler_specs):
+        official = next(s for s in labeler_specs if s.is_official)
+        assert "!takedown" in official.values
+        assert "!takedown" in official.account_values
+
+    def test_baatl_dominates_expected_volume(self, labeler_specs):
+        baatl = next(s for s in labeler_specs if s.key == "baatl")
+        assert baatl.reaction.median_s < 1.0
+        assert baatl.trigger_probability > 0.9
+
+    def test_manual_labelers_much_slower(self, labeler_specs):
+        automated = [s for s in labeler_specs if s.key in ("baatl", "no-gifs", "ai-imagery")]
+        manual = [
+            s
+            for s in labeler_specs
+            if s.trigger == TRIGGER_RANDOM and s.key.startswith(("community", "furry", "cringe"))
+        ]
+        assert max(s.reaction.median_s for s in automated) < 10
+        assert min(s.reaction.median_s for s in manual) > 1000
+
+    def test_unique_keys(self, labeler_specs):
+        keys = [s.key for s in labeler_specs]
+        assert len(set(keys)) == len(keys)
+
+    def test_reaction_sampler_positive_and_spread(self, labeler_specs):
+        rng = random.Random(0)
+        official = next(s for s in labeler_specs if s.is_official)
+        samples = [official.reaction.sample_us(rng) for _ in range(200)]
+        assert all(s > 0 for s in samples)
+        assert max(samples) > min(samples)
+
+    def test_label_vocabulary_diversity(self, labeler_specs):
+        # The paper observes ~200 distinct values network-wide.
+        values = set()
+        for spec in labeler_specs:
+            values.update(spec.values)
+        assert len(values) > 120
+
+
+class TestFeedSpecs:
+    def test_count(self, feed_setup):
+        config, _, specs = feed_setup
+        assert len(specs) == config.n_feed_generators
+
+    def test_skyfeed_dominates(self, feed_setup):
+        _, _, specs = feed_setup
+        from collections import Counter
+
+        shares = Counter(s.platform for s in specs)
+        assert shares[PLATFORM_SKYFEED] / len(specs) > 0.75
+
+    def test_goodfeeds_only_aggregator_or_author(self, feed_setup):
+        _, _, specs = feed_setup
+        for spec in specs:
+            if spec.platform == PLATFORM_GOODFEEDS:
+                assert spec.kind in (KIND_AGGREGATOR, "author", KIND_DEAD)
+
+    def test_personalized_only_self_hosted(self, feed_setup):
+        _, _, specs = feed_setup
+        for spec in specs:
+            if spec.kind == KIND_PERSONALIZED:
+                assert spec.platform == SELF_HOSTED
+
+    def test_regex_only_on_skyfeed(self, feed_setup):
+        _, _, specs = feed_setup
+        for spec in specs:
+            if spec.regex is not None:
+                assert spec.platform == PLATFORM_SKYFEED
+
+    def test_dead_share_near_paper(self, feed_setup):
+        _, _, specs = feed_setup
+        dead = sum(1 for s in specs if s.kind == KIND_DEAD)
+        assert 0.03 < dead / len(specs) < 0.18
+
+    def test_creation_after_creator_signup(self, feed_setup):
+        _, plan, specs = feed_setup
+        for spec in specs:
+            assert spec.created_us > plan.users[spec.creator_index].signup_us
+
+    def test_feed_creation_after_intro(self, feed_setup):
+        from repro.simulation.config import FEEDGEN_INTRO_US
+
+        _, plan, specs = feed_setup
+        for spec in specs:
+            creator = plan.users[spec.creator_index]
+            # Feeds predate neither the feature nor their creator.
+            assert spec.created_us >= min(FEEDGEN_INTRO_US, creator.signup_us)
+
+    def test_rules_valid_for_platforms(self, feed_setup):
+        """Every generated spec must be expressible on its platform."""
+        from repro.services.feedgen import FeedRule
+        from repro.services.feedservice import ALL_PROFILES, rule_required_features
+
+        _, _, specs = feed_setup
+        profiles = {p.name: p for p in ALL_PROFILES}
+        for spec in specs:
+            if spec.platform == SELF_HOSTED or spec.kind in (KIND_PERSONALIZED, KIND_DEAD):
+                continue
+            if spec.kind == KIND_AGGREGATOR:
+                rule = FeedRule(whole_network=True)
+            elif spec.kind == "language":
+                rule = FeedRule(languages=frozenset(spec.languages))
+            elif spec.kind == "author":
+                rule = FeedRule(authors=frozenset({"did:plc:" + "x" * 24}))
+            else:
+                rule = FeedRule(
+                    keywords=frozenset({spec.topic}),
+                    regex=spec.regex,
+                    languages=frozenset(spec.languages),
+                )
+            missing = rule_required_features(rule) - profiles[spec.platform].features
+            assert not missing, "%s cannot host %s (missing %s)" % (
+                spec.platform,
+                spec.kind,
+                missing,
+            )
+
+    def test_unhosted_fraction(self, feed_setup):
+        _, _, specs = feed_setup
+        share = sum(1 for s in specs if s.unhosted) / len(specs)
+        assert 0.01 < share < 0.15
+
+    def test_like_weights_positive(self, feed_setup):
+        _, _, specs = feed_setup
+        assert all(s.like_weight > 0 for s in specs)
+
+    def test_personalized_feeds_highly_likeable(self, feed_setup):
+        _, _, specs = feed_setup
+        personalized = [s.like_weight for s in specs if s.kind == KIND_PERSONALIZED]
+        aggregators = [s.like_weight for s in specs if s.kind == KIND_AGGREGATOR]
+        if personalized and aggregators:
+            assert min(personalized) > max(aggregators)

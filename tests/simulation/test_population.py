@@ -1,0 +1,144 @@
+"""Tests for the population generator's calibration."""
+
+import random
+
+import pytest
+
+from repro.simulation.config import PAPER, SimulationConfig
+from repro.simulation.population import (
+    REGISTRAR_SHARES,
+    build_population,
+    sample_signup_us,
+)
+
+
+@pytest.fixture(scope="module")
+def plan():
+    # A mid-size population so the statistical checks have enough samples.
+    return build_population(SimulationConfig(seed=7, scale=1 / 500))
+
+
+class TestPopulationShape:
+    def test_count(self, plan):
+        assert len(plan.users) == SimulationConfig(scale=1 / 500).n_users
+
+    def test_unique_handles(self, plan):
+        handles = [u.handle for u in plan.users]
+        assert len(set(handles)) == len(handles)
+
+    def test_bsky_social_dominates(self, plan):
+        share = sum(1 for u in plan.users if u.is_bsky_handle) / len(plan.users)
+        assert 0.97 < share < 1.0
+
+    def test_custom_handles_have_registered_domains(self, plan):
+        for user in plan.users:
+            if not user.is_bsky_handle:
+                assert user.registered_domain is not None
+
+    def test_verification_mechanism_split(self, plan):
+        custom = [u for u in plan.users if not u.is_bsky_handle]
+        dns = sum(1 for u in custom if u.verification_mechanism == "dns-txt")
+        if len(custom) >= 20:
+            assert dns / len(custom) > 0.9
+
+    def test_did_web_count_bounded(self, plan):
+        web = [u for u in plan.users if u.identity_method == "web"]
+        assert len(web) <= 6
+        for user in web:
+            assert user.custom_domain is not None
+
+    def test_signups_within_window(self, plan):
+        config = SimulationConfig(scale=1 / 2000)
+        for user in plan.users:
+            assert config.start_us <= user.signup_us < config.end_us
+
+    def test_engagement_positive(self, plan):
+        assert all(u.engagement > 0 for u in plan.users)
+
+    def test_attractiveness_heavy_tailed(self, plan):
+        values = sorted((u.attractiveness for u in plan.users), reverse=True)
+        # Pareto tail: top account dwarfs the median.
+        assert values[0] > 20 * values[len(values) // 2]
+
+    def test_special_accounts(self, plan):
+        officials = [u for u in plan.users if u.is_official]
+        assert len(officials) == 1
+        assert sum(1 for u in plan.users if u.is_impersonator) == 2
+
+    def test_official_is_most_attractive(self, plan):
+        official = next(u for u in plan.users if u.is_official)
+        assert official.attractiveness == max(u.attractiveness for u in plan.users)
+
+
+class TestDomainRegistrations:
+    def test_registrar_shares_roughly_match_table2(self, plan):
+        names = list(plan.domain_registrations.values())
+        gtl_domains = [n for n, cc in names if not cc and not n.startswith("Registrar ")]
+        if len(gtl_domains) < 50:
+            pytest.skip("not enough registered domains at this scale")
+        from collections import Counter
+
+        counts = Counter(gtl_domains)
+        top_name, _ = counts.most_common(1)[0]
+        assert top_name == "NameCheap, Inc."
+
+    def test_cctld_domains_get_cctld_registrars(self, plan):
+        for domain, (registrar, is_cctld) in plan.domain_registrations.items():
+            if is_cctld:
+                assert registrar.startswith("ccTLD")
+
+    def test_named_share_total_below_one(self):
+        assert sum(share for _, share in REGISTRAR_SHARES) < 1.0
+
+
+class TestSignupSampling:
+    def test_public_opening_bump(self):
+        rng = random.Random(1)
+        config = SimulationConfig()
+        from repro.simulation.clock import date_us
+
+        samples = [
+            sample_signup_us(rng, "en", config.start_us, config.end_us) for _ in range(3000)
+        ]
+        early = sum(1 for s in samples if s < date_us("2023-03-01"))
+        boom = sum(
+            1 for s in samples if date_us("2024-02-06") <= s < date_us("2024-03-01")
+        )
+        # The invite-only period is ~3.5 months but contributes almost
+        # nothing; the 3.5-week public-opening window is far busier.
+        assert boom > 10 * max(1, early)
+
+    def test_portuguese_surge_in_april(self):
+        rng = random.Random(2)
+        config = SimulationConfig()
+        from repro.simulation.clock import date_us
+
+        samples = [
+            sample_signup_us(rng, "pt", config.start_us, config.end_us) for _ in range(2000)
+        ]
+        april = sum(1 for s in samples if s >= date_us("2024-04-01"))
+        assert april / len(samples) > 0.4
+
+    def test_german_community_unaffected_by_opening(self):
+        rng = random.Random(3)
+        config = SimulationConfig()
+        from repro.simulation.clock import date_us
+
+        de = [sample_signup_us(rng, "de", config.start_us, config.end_us) for _ in range(2000)]
+        ja = [sample_signup_us(rng, "ja", config.start_us, config.end_us) for _ in range(2000)]
+        de_after = sum(1 for s in de if s >= date_us("2024-02-06")) / len(de)
+        ja_after = sum(1 for s in ja if s >= date_us("2024-02-06")) / len(ja)
+        assert ja_after > de_after
+
+
+class TestDeterminism:
+    def test_same_seed_same_population(self):
+        a = build_population(SimulationConfig(seed=11, scale=1 / 30000))
+        b = build_population(SimulationConfig(seed=11, scale=1 / 30000))
+        assert [u.handle for u in a.users] == [u.handle for u in b.users]
+        assert [u.signup_us for u in a.users] == [u.signup_us for u in b.users]
+
+    def test_different_seed_different_population(self):
+        a = build_population(SimulationConfig(seed=11, scale=1 / 30000))
+        b = build_population(SimulationConfig(seed=12, scale=1 / 30000))
+        assert [u.handle for u in a.users] != [u.handle for u in b.users]

@@ -1,0 +1,95 @@
+"""Tests for the content vocabularies."""
+
+import random
+
+import pytest
+
+from repro.simulation import vocab
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(42)
+
+
+class TestPickWeighted:
+    def test_respects_weights(self, rng):
+        pairs = (("a", 99.0), ("b", 1.0))
+        picks = [vocab.pick_weighted(rng, pairs) for _ in range(500)]
+        assert picks.count("a") > 400
+
+    def test_single_option(self, rng):
+        assert vocab.pick_weighted(rng, (("only", 1.0),)) == "only"
+
+    def test_extra_tuple_fields_ignored(self, rng):
+        pairs = (("x", 1.0, "meta"), ("y", 1.0, "meta"))
+        assert vocab.pick_weighted(rng, pairs) in ("x", "y")
+
+
+class TestPostText:
+    def test_language_words_used(self, rng):
+        text = vocab.make_post_text(rng, "ja")
+        words = set(text.split())
+        assert words & set(vocab.LANGUAGE_WORDS["ja"])
+
+    def test_topic_injected(self, rng):
+        text = vocab.make_post_text(rng, "en", topic="ramen")
+        assert "ramen" in text.split()
+
+    def test_unknown_language_falls_back(self, rng):
+        text = vocab.make_post_text(rng, "xx")
+        assert set(text.split()) & set(vocab.LANGUAGE_WORDS["en"])
+
+    def test_length_bounds(self, rng):
+        for _ in range(50):
+            words = vocab.make_post_text(rng, "en").split()
+            assert 4 <= len(words) <= 15
+
+
+class TestFeedDescription:
+    def test_topic_present(self, rng):
+        description = vocab.make_feed_description(rng, "en", "cats")
+        assert "cats" in description
+
+    def test_nsfw_tagged(self, rng):
+        description = vocab.make_feed_description(rng, "en", "nsfw")
+        assert "nsfw" in description
+
+    def test_art_descriptions_sometimes_link_platforms(self, rng):
+        linked = 0
+        for _ in range(100):
+            description = vocab.make_feed_description(rng, "en", "art")
+            if any(site in description for site in vocab.ARTIST_PLATFORM_LINKS):
+                linked += 1
+        assert linked > 10
+
+
+class TestUsernames:
+    def test_unique_by_index(self, rng):
+        a = vocab.make_username(rng, 1)
+        b = vocab.make_username(rng, 2)
+        assert a != b
+        assert a.endswith("1") and b.endswith("2")
+
+    def test_handle_safe(self, rng):
+        name = vocab.make_username(rng, 123)
+        assert name.isalnum()
+        assert name.islower()
+
+
+class TestCalibrationTables:
+    def test_language_shares_sum_near_one(self):
+        from repro.simulation.config import LANGUAGES
+
+        assert sum(share for _, share, _ in LANGUAGES) == pytest.approx(1.0, abs=0.01)
+
+    def test_topics_have_positive_weights(self):
+        assert all(weight > 0 for _, weight in vocab.TOPICS)
+
+    def test_subdomain_providers_match_paper_names(self):
+        names = {name for name, _ in vocab.SUBDOMAIN_PROVIDERS}
+        assert {"swifties.social", "tired.io", "vibes.cool", "github.io"} <= names
+
+    def test_provider_counts_ordered_like_paper(self):
+        counts = dict(vocab.SUBDOMAIN_PROVIDERS)
+        assert counts["swifties.social"] > counts["tired.io"] > counts["vibes.cool"]

@@ -1,0 +1,28 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import ARTEFACTS, main
+
+
+class TestCli:
+    def test_single_artefact(self, capsys):
+        exit_code = main(["table1", "--scale", "60000", "--feed-scale", "1200", "--quiet"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Repo Commit" in out
+
+    def test_table5_is_static(self, capsys):
+        assert main(["table5"]) == 0
+        out = capsys.readouterr().out
+        assert "Skyfeed" in out
+
+    def test_artefact_registry_complete(self):
+        # 17 dynamic artefacts + table5 handled separately.
+        assert len(ARTEFACTS) == 17
+        assert "fig12" in ARTEFACTS and "table6" in ARTEFACTS
+
+    def test_unknown_artefact_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table99"])

@@ -1,0 +1,42 @@
+"""Smoke tests: every example script runs to completion.
+
+(`run_study.py` is exercised indirectly through the pipeline tests; its
+default scale is sized for humans, not CI.)
+"""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "custom_labeler.py",
+    "feed_service_platform.py",
+    "identity_migration.py",
+    "whitewind_blog.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys):
+    path = os.path.join(EXAMPLES_DIR, script)
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), "examples must narrate what they do"
+
+
+def test_run_study_example_with_tiny_scale(capsys):
+    sys.path.insert(0, EXAMPLES_DIR)
+    try:
+        import run_study
+
+        exit_code = run_study.main(["--scale", "60000"])
+    finally:
+        sys.path.remove(EXAMPLES_DIR)
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "Figure 12" in out
