@@ -1,0 +1,34 @@
+# Development entry points.  All targets work from a clean checkout with
+# only the Python standard library + pytest; `lint` is skipped gracefully
+# when ruff is not installed.
+
+PYTHON ?= python
+PYTHONPATH := src
+
+export PYTHONPATH
+
+.PHONY: test test-fast bench bench-perf lint report check
+
+test:  ## tier-1 suite (must stay green)
+	$(PYTHON) -m pytest -x -q
+
+test-fast:  ## tier-1 suite minus the slow scenario worlds
+	$(PYTHON) -m pytest -x -q -m "not slow"
+
+bench:  ## run the perf harness, write BENCH_perf.json
+	$(PYTHON) -m repro bench
+
+bench-perf:  ## perf benchmarks via pytest-benchmark (also writes BENCH_perf.json)
+	$(PYTHON) -m pytest benchmarks/test_perf_pipeline.py --benchmark-only -q
+
+lint:  ## ruff, when available (not part of the baked toolchain)
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipping lint"; \
+	fi
+
+report:  ## full study at default scale, all tables and figures
+	$(PYTHON) -m repro
+
+check: test lint  ## what CI would run

@@ -62,6 +62,17 @@ class ComparisonRecorder:
 def recorder():
     rec = ComparisonRecorder()
     yield rec
-    rec.rows.sort(key=lambda row: (row["experiment"], row["metric"]))
-    with open(os.path.abspath(RESULTS_PATH), "w") as handle:
-        json.dump(rec.rows, handle, indent=2)
+    path = os.path.abspath(RESULTS_PATH)
+    # Merge with any existing rows so a partial run (e.g. only the perf
+    # benchmarks) does not clobber the full comparison table.
+    rows = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                rows = {(r["experiment"], r["metric"]): r for r in json.load(handle)}
+        except (ValueError, KeyError, TypeError):
+            rows = {}
+    rows.update({(r["experiment"], r["metric"]): r for r in rec.rows})
+    merged = sorted(rows.values(), key=lambda row: (row["experiment"], row["metric"]))
+    with open(path, "w") as handle:
+        json.dump(merged, handle, indent=2)

@@ -38,6 +38,7 @@ EXPERIMENT_TITLES = {
     "S7": "Section 7 — Recommendation",
     "S9": "Section 9 — Scalability",
     "pipeline": "End-to-end pipeline",
+    "perf": "Commit-pipeline fast path",
 }
 
 
@@ -58,7 +59,50 @@ def render(path: str) -> str:
         for row in by_experiment[experiment]:
             lines.append("| %s | %s | %s |" % (row["metric"], row["paper"], row["measured"]))
         lines.append("")
+    perf = render_perf()
+    if perf:
+        lines.append(perf)
     return "\n".join(lines)
+
+
+def render_perf(path: str | None = None) -> str:
+    """Baseline-vs-optimized table from BENCH_perf.json (if it exists)."""
+    if path is None:
+        path = os.path.join(os.path.dirname(__file__), "..", "BENCH_perf.json")
+    if not os.path.exists(path):
+        return ""
+    with open(path) as handle:
+        document = json.load(handle)
+    baseline = document.get("baseline", {})
+    optimized = document.get("optimized", {})
+    speedup = document.get("speedup", {})
+    lines = [
+        "### Commit-pipeline fast path (BENCH_perf.json)",
+        "",
+        "| Metric | Baseline | Optimized | Speedup |",
+        "|---|---|---|---|",
+    ]
+    for key in baseline:
+        if key not in optimized:
+            continue
+        factor = speedup.get(key)
+        lines.append(
+            "| %s | %s | %s | %s |"
+            % (
+                key,
+                _fmt_perf(baseline[key]),
+                _fmt_perf(optimized[key]),
+                "%.2fx" % factor if factor is not None else "—",
+            )
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _fmt_perf(value) -> str:
+    if isinstance(value, int):
+        return str(value)
+    return "%.1f" % value if value >= 100 else "%.3f" % value
 
 
 if __name__ == "__main__":

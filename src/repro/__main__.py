@@ -44,8 +44,15 @@ def main(argv=None) -> int:
         "artefact",
         nargs="?",
         default="all",
-        choices=["all", "table5"] + sorted(ARTEFACTS),
-        help="which table/figure to print (default: all)",
+        choices=["all", "table5", "bench"] + sorted(ARTEFACTS),
+        help="which table/figure to print, or 'bench' to run the "
+        "commit-pipeline performance harness (default: all)",
+    )
+    parser.add_argument(
+        "--bench-out",
+        default="BENCH_perf.json",
+        metavar="PATH",
+        help="output file for the 'bench' artefact (default: BENCH_perf.json)",
     )
     parser.add_argument(
         "--scale",
@@ -70,6 +77,10 @@ def main(argv=None) -> int:
     if args.artefact == "table5":
         print(report.render_table5())
         return 0
+    if args.artefact == "bench":
+        from repro.bench import main as bench_main
+
+        return bench_main(out_path=args.bench_out, quiet=args.quiet)
     progress = None if args.quiet else (lambda msg: print("  " + msg, file=sys.stderr))
     if not args.quiet:
         print(

@@ -60,12 +60,98 @@ def _map_key_sort_key(key: str) -> tuple[int, bytes]:
     return (len(encoded), encoded)
 
 
+# Map-shape cache: most encoded maps are records/commits/MST nodes sharing a
+# handful of key tuples, so the canonical key order is memoised per shape
+# (bounded; a shape is the tuple of keys in insertion order).
+_SHAPE_CACHE: dict[tuple, tuple] = {}
+_SHAPE_CACHE_MAX = 4096
+
+
+def _map_key_order(value: dict) -> tuple:
+    shape = tuple(value)
+    order = _SHAPE_CACHE.get(shape)
+    if order is None:
+        for key in shape:
+            if not isinstance(key, str):
+                raise CborError("DAG-CBOR map keys must be strings, got %r" % (key,))
+        order = tuple(sorted(shape, key=_map_key_sort_key))
+        if len(_SHAPE_CACHE) < _SHAPE_CACHE_MAX:
+            _SHAPE_CACHE[shape] = order
+    return order
+
+
 def _encode_value(value: Any, out: bytearray, depth: int) -> None:
+    # Hot path: dispatch on the exact type (the common case by far); exotic
+    # values (subclasses, unknown types) fall back to _encode_value_slow,
+    # which replicates the full isinstance ladder.
     if depth > _MAX_NESTING:
         raise CborError("value nests deeper than %d levels" % _MAX_NESTING)
-    if value is None:
+    t = value.__class__
+    if t is str:
+        encoded = value.encode("utf-8")
+        size = len(encoded)
+        if size < 24:
+            out.append(0x60 | size)
+        else:
+            _encode_head(3, size, out)
+        out.extend(encoded)
+    elif t is dict:
+        size = len(value)
+        if size < 24:
+            out.append(0xA0 | size)
+        else:
+            _encode_head(5, size, out)
+        for key in _map_key_order(value):
+            encoded = key.encode("utf-8")
+            key_size = len(encoded)
+            if key_size < 24:
+                out.append(0x60 | key_size)
+            else:
+                _encode_head(3, key_size, out)
+            out.extend(encoded)
+            _encode_value(value[key], out, depth + 1)
+    elif t is int:
+        if 0 <= value < 24:
+            out.append(value)
+        elif value >= 0:
+            _encode_head(0, value, out)
+        else:
+            _encode_head(1, -1 - value, out)
+    elif value is None:
         out.append(0xF6)
-    elif value is False:
+    elif t is bool:
+        out.append(0xF5 if value else 0xF4)
+    elif t is bytes:
+        _encode_head(2, len(value), out)
+        out.extend(value)
+    elif t is Cid:
+        # Tag 42, with the CID bytes prefixed by the multibase identity byte.
+        _encode_head(6, 42, out)
+        payload = b"\x00" + value.to_bytes()
+        _encode_head(2, len(payload), out)
+        out.extend(payload)
+    elif t is list or t is tuple:
+        size = len(value)
+        if size < 24:
+            out.append(0x80 | size)
+        else:
+            _encode_head(4, size, out)
+        for item in value:
+            _encode_value(item, out, depth + 1)
+    elif t is float:
+        if math.isnan(value) or math.isinf(value):
+            raise CborError("DAG-CBOR forbids NaN and infinities")
+        out.append(0xFB)
+        out.extend(struct.pack(">d", value))
+    else:
+        _encode_value_slow(value, out, depth)
+
+
+def _encode_value_slow(value: Any, out: bytearray, depth: int) -> None:
+    """Fallback for subclasses of the supported types (and the error case)."""
+    if depth > _MAX_NESTING:
+        raise CborError("value nests deeper than %d levels" % _MAX_NESTING)
+    if value is False:
         out.append(0xF4)
     elif value is True:
         out.append(0xF5)
@@ -87,7 +173,6 @@ def _encode_value(value: Any, out: bytearray, depth: int) -> None:
         _encode_head(3, len(encoded), out)
         out.extend(encoded)
     elif isinstance(value, Cid):
-        # Tag 42, with the CID bytes prefixed by the multibase identity byte.
         _encode_head(6, 42, out)
         payload = b"\x00" + value.to_bytes()
         _encode_head(2, len(payload), out)

@@ -27,7 +27,7 @@ class CidError(ValueError):
 class Cid:
     """An immutable CIDv1 (version, codec, sha2-256 digest)."""
 
-    __slots__ = ("version", "codec", "digest", "_str")
+    __slots__ = ("version", "codec", "digest", "_str", "_bytes")
 
     def __init__(self, version: int, codec: int, digest: bytes):
         if version != 1:
@@ -40,19 +40,24 @@ class Cid:
         object.__setattr__(self, "codec", codec)
         object.__setattr__(self, "digest", digest)
         object.__setattr__(self, "_str", None)
+        object.__setattr__(self, "_bytes", None)
 
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Cid is immutable")
 
     def to_bytes(self) -> bytes:
-        """Binary CID: varint(version) varint(codec) multihash."""
-        return (
-            encode_varint(self.version)
-            + encode_varint(self.codec)
-            + encode_varint(MULTIHASH_SHA2_256)
-            + encode_varint(SHA2_256_LENGTH)
-            + self.digest
-        )
+        """Binary CID: varint(version) varint(codec) multihash (cached)."""
+        cached = self._bytes
+        if cached is None:
+            cached = (
+                encode_varint(self.version)
+                + encode_varint(self.codec)
+                + encode_varint(MULTIHASH_SHA2_256)
+                + encode_varint(SHA2_256_LENGTH)
+                + self.digest
+            )
+            object.__setattr__(self, "_bytes", cached)
+        return cached
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Cid":
@@ -102,6 +107,16 @@ def cid_for_cbor(obj: Any) -> Cid:
     from repro.atproto.cbor import cbor_encode
 
     return Cid(1, CODEC_DAG_CBOR, hashlib.sha256(cbor_encode(obj)).digest())
+
+
+def cid_for_dag_cbor_bytes(block: bytes) -> Cid:
+    """CID of already-encoded DAG-CBOR bytes.
+
+    The fused fast path of the commit pipeline: when a block has just been
+    serialized for storage, its CID is one sha256 away — re-encoding the
+    value (as ``cid_for_cbor`` would) doubles the work for nothing.
+    """
+    return Cid(1, CODEC_DAG_CBOR, hashlib.sha256(block).digest())
 
 
 def cid_for_raw(data: bytes) -> Cid:

@@ -52,7 +52,12 @@ class CommitOp:
 
 @dataclass(frozen=True)
 class FirehoseEvent:
-    """Base frame: sequence number, repo DID, event time."""
+    """Base frame: sequence number, repo DID, event time.
+
+    Events carry structured data only; the CBOR wire frame is encoded
+    lazily (and cached) via :meth:`wire_frame`, since only consumers that
+    measure bandwidth — the Section 9 analysis — need actual bytes.
+    """
 
     seq: int
     did: str
@@ -61,6 +66,24 @@ class FirehoseEvent:
     @property
     def kind(self) -> str:
         raise NotImplementedError
+
+    def wire_frame(self) -> bytes:
+        """The event's two-item DAG-CBOR wire frame, encoded on demand.
+
+        The frame is cached on the (frozen) instance so that multiple
+        subscribers measuring the same stream share one encoding.
+        """
+        cached = self.__dict__.get("_wire_frame")
+        if cached is None:
+            from repro.atproto.frames import encode_event_frame
+
+            cached = encode_event_frame(self)
+            object.__setattr__(self, "_wire_frame", cached)
+        return cached
+
+    def wire_size(self) -> int:
+        """Exact byte size of :meth:`wire_frame` (cached alongside it)."""
+        return len(self.wire_frame())
 
 
 @dataclass(frozen=True)

@@ -161,5 +161,5 @@ def decode_label_frame(data: bytes):
 
 
 def frame_size(event: FirehoseEvent) -> int:
-    """Exact wire size of an event's frame."""
-    return len(encode_event_frame(event))
+    """Exact wire size of an event's frame (served from the event's cache)."""
+    return event.wire_size()

@@ -26,24 +26,32 @@ from __future__ import annotations
 import hashlib
 from typing import Callable, Iterator, Optional
 
-from repro.atproto.cbor import cbor_encode
-from repro.atproto.cid import Cid, cid_for_cbor
+from repro.atproto.cbor import _encode_head, cbor_encode
+from repro.atproto.cid import Cid, cid_for_dag_cbor_bytes
 
 
 class MstError(ValueError):
     """Raised on invalid MST operations."""
 
 
+# Layer memo: the same ``collection/rkey`` keys get their layer recomputed
+# on every canonical build, invariant check, and proof — one sha256 each.
+# Bounded so pathological key churn cannot grow it without limit.
+_LAYER_CACHE: dict[str, int] = {}
+_LAYER_CACHE_MAX = 1 << 20
+
+
 def key_layer(key: str) -> int:
     """Layer of a key: count of leading zero 2-bit groups of sha256(key)."""
-    digest = hashlib.sha256(key.encode("utf-8")).digest()
-    pairs = 0
-    for byte in digest:
-        for shift in (6, 4, 2, 0):
-            if (byte >> shift) & 0x03:
-                return pairs
-            pairs += 1
-    return pairs
+    layer = _LAYER_CACHE.get(key)
+    if layer is None:
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        # Leading zero bits of the 256-bit digest, counted in 2-bit groups.
+        layer = (256 - int.from_bytes(digest, "big").bit_length()) // 2
+        if len(_LAYER_CACHE) >= _LAYER_CACHE_MAX:
+            _LAYER_CACHE.clear()
+        _LAYER_CACHE[key] = layer
+    return layer
 
 
 VALID_KEY_CHARS = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._:~-/")
@@ -61,6 +69,80 @@ def is_valid_mst_key(key: str) -> bool:
     return all(c in VALID_KEY_CHARS for c in key)
 
 
+def _append_cid_cbor(out: bytearray, cid: Cid) -> None:
+    """Tag 42 + identity-multibase-prefixed CID bytes (DAG-CBOR link)."""
+    out.append(0xD8)
+    out.append(0x2A)
+    payload = b"\x00" + cid.to_bytes()
+    _encode_head(2, len(payload), out)
+    out.extend(payload)
+
+
+def _encode_node_block(
+    entries: list[tuple[str, Cid]], subtrees: list[Optional["MstNode"]]
+) -> bytes:
+    """Canonical DAG-CBOR for one node, emitted directly from the schema.
+
+    Byte-for-byte equal to ``cbor_encode(node.to_data())``: map keys are
+    written in canonical (len, bytes) order — ``e`` before ``l`` at the
+    top, ``k``/``p``/``t``/``v`` per entry — and keys are prefix-compressed
+    against their left neighbour exactly as in :meth:`MstNode.to_data`.
+    """
+    out = bytearray()
+    append = out.append
+    extend = out.extend
+    append(0xA2)
+    append(0x61)
+    append(0x65)  # "e"
+    count = len(entries)
+    if count < 24:
+        append(0x80 | count)
+    else:
+        _encode_head(4, count, out)
+    previous = b""
+    for index, (key, value) in enumerate(entries):
+        encoded = key.encode("utf-8")
+        prefix_len = 0
+        limit = min(len(previous), len(encoded))
+        while prefix_len < limit and previous[prefix_len] == encoded[prefix_len]:
+            prefix_len += 1
+        suffix = encoded[prefix_len:]
+        append(0xA4)
+        append(0x61)
+        append(0x6B)  # "k"
+        size = len(suffix)
+        if size < 24:
+            append(0x40 | size)
+        else:
+            _encode_head(2, size, out)
+        extend(suffix)
+        append(0x61)
+        append(0x70)  # "p"
+        if prefix_len < 24:
+            append(prefix_len)
+        else:
+            _encode_head(0, prefix_len, out)
+        append(0x61)
+        append(0x74)  # "t"
+        right = subtrees[index + 1]
+        if right is None:
+            append(0xF6)
+        else:
+            _append_cid_cbor(out, right.cid())
+        append(0x61)
+        append(0x76)  # "v"
+        _append_cid_cbor(out, value)
+        previous = encoded
+    append(0x61)
+    append(0x6C)  # "l"
+    left = subtrees[0]
+    if left is None:
+        append(0xF6)
+    else:
+        _append_cid_cbor(out, left.cid())
+    return bytes(out)
+
+
 class MstNode:
     """A mutable MST node.  ``entries`` holds (key, value_cid) pairs and
     ``subtrees`` the child pointers: ``subtrees[i]`` sits left of
@@ -68,7 +150,7 @@ class MstNode:
     ``len(subtrees) == len(entries) + 1``.
     """
 
-    __slots__ = ("layer", "entries", "subtrees", "_cid")
+    __slots__ = ("layer", "entries", "subtrees", "_cid", "_cbor")
 
     def __init__(
         self,
@@ -84,6 +166,7 @@ class MstNode:
             raise MstError("subtrees must have len(entries)+1 slots")
         self.subtrees: list[Optional[MstNode]] = subtrees
         self._cid: Optional[Cid] = None
+        self._cbor: Optional[bytes] = None
 
     # -- serialization ------------------------------------------------------
 
@@ -111,15 +194,30 @@ class MstNode:
         return {"l": left.cid() if left is not None else None, "e": entries}
 
     def to_cbor(self) -> bytes:
-        return cbor_encode(self.to_data())
+        """Serialized node block; cached until the node is invalidated, so
+        unchanged subtrees are never re-encoded across inserts/exports.
+
+        Node blocks are the single hottest encode in the commit loop (every
+        record write re-serializes the root path), so the fixed node schema
+        is emitted directly instead of going through the generic encoder;
+        the bytes are identical to ``cbor_encode(self.to_data())`` (pinned
+        by a test).
+        """
+        cached = self._cbor
+        if cached is None:
+            cached = self._cbor = _encode_node_block(self.entries, self.subtrees)
+        return cached
 
     def cid(self) -> Cid:
         if self._cid is None:
-            self._cid = cid_for_cbor(self.to_data())
+            # Fused path: one encode, one sha256 — the cbor bytes are kept
+            # so exports (blocks(), proofs, CARs) reuse them for free.
+            self._cid = cid_for_dag_cbor_bytes(self.to_cbor())
         return self._cid
 
     def invalidate(self) -> None:
         self._cid = None
+        self._cbor = None
 
     # -- queries ------------------------------------------------------------
 

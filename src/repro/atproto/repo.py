@@ -19,7 +19,7 @@ from typing import Any, Iterator, Optional
 
 from repro.atproto.car import read_car, write_car
 from repro.atproto.cbor import cbor_decode, cbor_encode
-from repro.atproto.cid import Cid, cid_for_cbor
+from repro.atproto.cid import Cid, cid_for_dag_cbor_bytes
 from repro.atproto.keys import Keypair, PublicKey
 from repro.atproto.mst import Mst, load_mst
 from repro.atproto.tid import Tid, TidClock
@@ -89,6 +89,7 @@ class Repo:
         self.commits: list[CommitMeta] = []
         self.head: Optional[Cid] = None
         self.rev: Optional[str] = None
+        self._head_block: Optional[bytes] = None  # signed commit block cache
 
     # -- record access -------------------------------------------------------
 
@@ -164,7 +165,7 @@ class Repo:
 
     def _store_record(self, record: dict) -> Cid:
         block = cbor_encode(record)
-        cid = cid_for_cbor(record)
+        cid = cid_for_dag_cbor_bytes(block)
         entry = self._blocks.get(cid)
         if entry is None:
             self._blocks[cid] = _RecordEntry(cid, block)
@@ -185,19 +186,22 @@ class Repo:
         now_us: int,
     ) -> CommitMeta:
         rev = str(self.next_tid(now_us))
-        unsigned = {
+        commit = {
             "did": self.did,
             "version": COMMIT_VERSION,
             "data": self.mst.root_cid(),
             "rev": rev,
             "prev": None,
         }
-        sig = self.keypair.sign(cbor_encode(unsigned))
-        signed = dict(unsigned)
-        signed["sig"] = sig
-        commit_cid = cid_for_cbor(signed)
+        # Single-pass encoding: sign the unsigned form, then encode the
+        # signed commit exactly once — those bytes serve as both the stored
+        # block and the input to the commit CID (no third encode).
+        commit["sig"] = self.keypair.sign(cbor_encode(commit))
+        block = cbor_encode(commit)
+        commit_cid = cid_for_dag_cbor_bytes(block)
         self.head = commit_cid
         self.rev = rev
+        self._head_block = block
         meta = CommitMeta(self.did, rev, commit_cid, tuple(ops), now_us, tuple(records))
         self.commits.append(meta)
         return meta
@@ -207,17 +211,9 @@ class Repo:
     def signed_commit_block(self) -> tuple[Cid, bytes]:
         if self.head is None:
             raise RepoError("repository has no commits")
-        unsigned = {
-            "did": self.did,
-            "version": COMMIT_VERSION,
-            "data": self.mst.root_cid(),
-            "rev": self.rev,
-            "prev": None,
-        }
-        sig = self.keypair.sign(cbor_encode(unsigned))
-        signed = dict(unsigned)
-        signed["sig"] = sig
-        return cid_for_cbor(signed), cbor_encode(signed)
+        # The block is cached by _commit; every export / verifiable read
+        # reuses it instead of re-signing and re-encoding the head.
+        return self.head, self._head_block
 
     def export_car(self) -> bytes:
         """Export the current state as a CAR file rooted at the commit."""

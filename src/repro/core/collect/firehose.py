@@ -95,14 +95,12 @@ def _approximate_frame_bytes(event: FirehoseEvent) -> int:
 
     Used for the Section 9 scalability estimate ("the Firehose already
     outputs ≈30GB of data per day per subscribed client").  The frame
-    itself is measured exactly via :mod:`repro.atproto.frames`; the MST
-    diff blocks the real stream ships alongside each commit are added as
-    a fixed per-op overhead.
+    itself is measured exactly via the event's lazily-encoded, cached wire
+    frame; the MST diff blocks the real stream ships alongside each commit
+    are added as a fixed per-op overhead.
     """
-    from repro.atproto.frames import frame_size
-
     try:
-        size = frame_size(event)
+        size = event.wire_size()
     except ValueError:
         size = 256
     if isinstance(event, CommitEvent):

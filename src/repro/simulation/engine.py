@@ -38,6 +38,7 @@ from repro.simulation.config import (
     PUBLIC_OPENING_US,
     SimulationConfig,
 )
+from repro.simulation.sampling import CumulativeSampler
 from repro.simulation.labelers import (
     TRIGGER_AI,
     TRIGGER_FF14,
@@ -80,6 +81,15 @@ ACCOUNT_LABEL_RATES = (
     ("impersonation", 575 / 5.5e6),
 )
 
+# Timeline milestones, parsed once at import time (active_fraction runs
+# for every simulated day and used to re-parse these on each call).
+RAMP_START_US = date_us("2023-01-01")
+RAMP_END_US = date_us("2023-07-01")
+DECLINE_START_US = date_us("2024-03-01")
+DECLINE_END_US = date_us("2024-05-11")
+HANDLE_CHURN_START_US = date_us("2024-03-01")
+TOMBSTONE_WINDOW_START_US = date_us("2024-03-06")
+
 
 def poisson(rng: random.Random, lam: float) -> int:
     """Knuth's method; fine for the small rates used here."""
@@ -96,21 +106,19 @@ def poisson(rng: random.Random, lam: float) -> int:
 
 def active_fraction(day_us: int) -> float:
     """Share of joined users active on a given day (Figure 1 shape)."""
-    if day_us < date_us("2023-01-01"):
+    if day_us < RAMP_START_US:
         return 0.35
-    if day_us < date_us("2023-07-01"):
-        span = date_us("2023-07-01") - date_us("2023-01-01")
-        ramp = (day_us - date_us("2023-01-01")) / span
+    if day_us < RAMP_END_US:
+        ramp = (day_us - RAMP_START_US) / (RAMP_END_US - RAMP_START_US)
         return 0.32 - 0.15 * ramp
     if day_us < PUBLIC_OPENING_US:
         return 0.125
-    if day_us < date_us("2024-03-01"):
+    if day_us < DECLINE_START_US:
         return 0.145
     # Post-opening decline: the paper observes ~60K fewer daily actives
     # between March and May 2024.  (Clamped for extended-timeline runs,
     # e.g. the Brazil-ban scenario reaching into autumn 2024.)
-    span = date_us("2024-05-11") - date_us("2024-03-01")
-    ramp = (day_us - date_us("2024-03-01")) / span
+    ramp = (day_us - DECLINE_START_US) / (DECLINE_END_US - DECLINE_START_US)
     return max(0.08, 0.135 - 0.038 * ramp)
 
 
@@ -129,8 +137,13 @@ class Engine:
         self.world = world
         self.config: SimulationConfig = world.config
         self.rng = random.Random(world.config.seed ^ 0xE17)
-        self._joined: list[UserState] = []
-        self._weights: list[float] = []
+        # Engagement-weighted pool of joined users.  The sampler keeps its
+        # cumulative-weight table warm across draws (rng.choices would
+        # rebuild it for every day's activity draw); its RNG stream is
+        # bit-identical to rng.choices(weights=...).  ``_joined`` aliases
+        # the sampler's item list for the uniform-access paths.
+        self._active_sampler: CumulativeSampler[UserState] = CumulativeSampler()
+        self._joined: list[UserState] = self._active_sampler.items
         self._follow_pool: list[str] = []  # DIDs, multiplicity ∝ attractiveness
         self._recent_posts: deque[_RecentPost] = deque(maxlen=4000)
         self._popular_posts: deque[_RecentPost] = deque(maxlen=500)
@@ -141,9 +154,14 @@ class Engine:
         self._newspaper_dids: list[str] = []
         # Per-viewer recent likes feeding personalized feeds.
         self.world.recent_likes_by_viewer = {}
-        self._announced_feeds: list = []
-        self._feed_like_weights: list[float] = []
-        self._labeler_like_targets: list[tuple[str, float]] = []
+        # Like-target pools, maintained incrementally as feeds are announced
+        # and labelers come online (previously rebuilt per like).
+        self._feed_sampler: CumulativeSampler = CumulativeSampler()
+        self._labeler_like_sampler: CumulativeSampler[str] = CumulativeSampler()
+        # Lazily cached [u for u in _impersonators if not u.tombstoned],
+        # invalidated via the world's tombstone epoch.
+        self._live_impersonators: Optional[list[UserState]] = None
+        self._impersonator_epoch = -1
 
     # ---------------------------------------------------------------- run --
 
@@ -175,23 +193,20 @@ class Engine:
                 runtime = labeler_starts[labeler_i]
                 self.world.start_labeler(runtime, day_us + self.rng.randrange(US_PER_DAY))
                 if runtime.spec.expected_likes:
-                    self._labeler_like_targets.append(
-                        (
-                            "at://%s/app.bsky.labeler.service/self" % runtime.did,
-                            float(runtime.spec.expected_likes),
-                        )
+                    self._labeler_like_sampler.append(
+                        "at://%s/app.bsky.labeler.service/self" % runtime.did,
+                        float(runtime.spec.expected_likes),
                     )
                 labeler_i += 1
             while feed_i < len(feed_starts) and feed_starts[feed_i].spec.created_us < day_end:
                 runtime = feed_starts[feed_i]
                 self.world.create_feed(runtime, day_us + self.rng.randrange(US_PER_DAY))
                 if runtime.announced:
-                    self._announced_feeds.append(runtime)
                     # Popular creators draw more likes to their feeds (the
                     # paper's r=0.533 between feed likes and followers).
                     creator = self.world.users[runtime.spec.creator_index]
                     boost = math.sqrt(max(1.0, creator.spec.attractiveness))
-                    self._feed_like_weights.append(runtime.spec.like_weight * boost)
+                    self._feed_sampler.append(runtime, runtime.spec.like_weight * boost)
                 feed_i += 1
 
             self._run_day_activity(day_us, rate_adj)
@@ -227,8 +242,7 @@ class Engine:
     def _do_signup(self, user: UserState) -> None:
         now_us = user.spec.signup_us
         self.world.signup(user, now_us)
-        self._joined.append(user)
-        self._weights.append(user.spec.engagement)
+        self._active_sampler.append(user, user.spec.engagement)
         multiplicity = 1 + min(50, int(user.spec.attractiveness))
         self._follow_pool.extend([user.did] * multiplicity)
         if user.spec.is_official:
@@ -237,6 +251,7 @@ class Engine:
             self._newspaper_dids.append(user.did)
         if user.spec.is_impersonator:
             self._impersonators.append(user)
+            self._live_impersonators = None  # pool changed; recompute lazily
         if user.spec.is_official or self.rng.random() < 0.6:
             self._set_profile(user, now_us)
         self._initial_follows(user, now_us)
@@ -312,7 +327,7 @@ class Engine:
         # Handle churn concentrates in early 2024, when alternative
         # subdomain providers appeared (Section 5, "User Handles Updates");
         # the paper observes all 44K updates inside its firehose window.
-        churn_start = max(self.config.start_us, date_us("2024-03-01"))
+        churn_start = max(self.config.start_us, HANDLE_CHURN_START_US)
         for user in self.world.users:
             spec = user.spec
             if not spec.will_change_handle:
@@ -335,7 +350,7 @@ class Engine:
 
     def _schedule_tombstones(self) -> list:
         scheduled = []
-        window_start = date_us("2024-03-06")
+        window_start = TOMBSTONE_WINDOW_START_US
         for user in self.world.users:
             if not user.spec.will_tombstone:
                 continue
@@ -358,7 +373,7 @@ class Engine:
         target = int(active_fraction(day_us) * len(self._joined))
         if target <= 0:
             return
-        actives = self.rng.choices(self._joined, weights=self._weights, k=target)
+        actives = self._active_sampler.sample_k(self.rng, target)
         seen: set[int] = set()
         for user in actives:
             if user.spec.index in seen or user.tombstoned or not user.joined:
@@ -478,13 +493,11 @@ class Engine:
     def _create_like(self, user: UserState, now_us: int) -> None:
         rng = self.rng
         roll = rng.random()
-        if roll < FEED_LIKE_SHARE and self._announced_feeds:
-            target = rng.choices(self._announced_feeds, weights=self._feed_like_weights, k=1)[0]
+        if roll < FEED_LIKE_SHARE and self._feed_sampler:
+            target = self._feed_sampler.sample(rng)
             subject_uri, subject_cid = target.uri, "feedgen"
-        elif roll < FEED_LIKE_SHARE + LABELER_LIKE_SHARE and self._labeler_like_targets:
-            uris = [u for u, _ in self._labeler_like_targets]
-            weights = [w for _, w in self._labeler_like_targets]
-            subject_uri = rng.choices(uris, weights=weights, k=1)[0]
+        elif roll < FEED_LIKE_SHARE + LABELER_LIKE_SHARE and self._labeler_like_sampler:
+            subject_uri = self._labeler_like_sampler.sample(rng)
             subject_cid = "labeler"
         else:
             post = self._pick_post()
@@ -525,9 +538,20 @@ class Engine:
         user.pds.create_record(user.did, FOLLOW, record, now_us)
         self._commits_today += 1
 
+    def _live_impersonator_pool(self) -> list[UserState]:
+        """The non-tombstoned impersonators, rebuilt only when an account
+        joins the pool or any account is tombstoned (epoch check)."""
+        epoch = self.world.tombstone_epoch
+        cached = self._live_impersonators
+        if cached is None or epoch != self._impersonator_epoch:
+            cached = [u for u in self._impersonators if not u.tombstoned]
+            self._live_impersonators = cached
+            self._impersonator_epoch = epoch
+        return cached
+
     def _create_block(self, user: UserState, now_us: int) -> None:
         rng = self.rng
-        impersonators = [u for u in self._impersonators if not u.tombstoned]
+        impersonators = self._live_impersonator_pool()
         if impersonators and rng.random() < 0.7:
             target = rng.choice(impersonators).did
         elif self._follow_pool:

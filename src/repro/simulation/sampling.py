@@ -1,0 +1,169 @@
+"""Weighted samplers for the simulation hot loop.
+
+``random.Random.choices`` rebuilds its cumulative-weight table on *every*
+call — an O(n) scan that the engine used to pay once per like, once per
+day-activity draw, and once per block at full population size.  The
+samplers here keep that table warm:
+
+* :class:`CumulativeSampler` — cached cumulative weights maintained
+  incrementally as items are appended.  Sampling is a single uniform draw
+  plus a binary search, and is **bit-compatible with**
+  ``random.Random.choices(items, weights=w, k=...)``: the cumulative sums
+  are built with the same left-to-right float additions and the same
+  ``bisect_right`` convention, so swapping one in does not perturb a
+  seeded RNG stream.
+* :class:`AliasSampler` — Vose's alias method for static distributions:
+  O(n) build, O(1) per draw (two uniforms, no search).  Use it for
+  stream-insensitive workloads where the distribution is fixed up front;
+  it consumes a different number of RNG draws than ``choices``.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from typing import Generic, Iterable, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class SamplingError(ValueError):
+    """Raised on invalid sampler construction or empty draws."""
+
+
+class CumulativeSampler(Generic[T]):
+    """Incrementally maintained weighted sampler.
+
+    Appending is O(1); sampling is O(log n).  The item list is exposed as
+    ``.items`` for callers that also need uniform access (it must not be
+    mutated except through :meth:`append` / :meth:`extend`).
+    """
+
+    __slots__ = ("items", "_cum")
+
+    def __init__(
+        self,
+        items: Iterable[T] = (),
+        weights: Optional[Iterable[float]] = None,
+    ):
+        self.items: list[T] = list(items)
+        if weights is None:
+            cum: list[float] = []
+            total = 0.0
+            for _ in self.items:
+                total += 1.0
+                cum.append(total)
+        else:
+            cum = []
+            total = 0.0
+            for weight in weights:
+                total += weight
+                cum.append(total)
+        if len(cum) != len(self.items):
+            raise SamplingError("weights must match items")
+        self._cum = cum
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __bool__(self) -> bool:
+        return bool(self.items)
+
+    @property
+    def total(self) -> float:
+        return self._cum[-1] if self._cum else 0.0
+
+    @property
+    def cum_weights(self) -> list[float]:
+        """The cumulative table (``random.choices(cum_weights=...)``-ready)."""
+        return self._cum
+
+    def append(self, item: T, weight: float) -> None:
+        if weight < 0:
+            raise SamplingError("weights must be non-negative")
+        self._cum.append((self._cum[-1] if self._cum else 0.0) + weight)
+        self.items.append(item)
+
+    def extend(self, pairs: Iterable[tuple[T, float]]) -> None:
+        for item, weight in pairs:
+            self.append(item, weight)
+
+    def sample(self, rng: random.Random) -> T:
+        """One weighted draw; mirrors ``rng.choices(items, weights, k=1)[0]``."""
+        items = self.items
+        if not items:
+            raise SamplingError("cannot sample from an empty sampler")
+        cum = self._cum
+        total = cum[-1] + 0.0
+        if total <= 0.0:
+            raise SamplingError("total weight must be positive")
+        return items[bisect_right(cum, rng.random() * total, 0, len(items) - 1)]
+
+    def sample_k(self, rng: random.Random, k: int) -> list[T]:
+        """``k`` independent weighted draws (with replacement), identical to
+        ``rng.choices(items, weights=..., k=k)`` for the same RNG state."""
+        items = self.items
+        if not items:
+            raise SamplingError("cannot sample from an empty sampler")
+        cum = self._cum
+        total = cum[-1] + 0.0
+        if total <= 0.0:
+            raise SamplingError("total weight must be positive")
+        hi = len(items) - 1
+        uniform = rng.random
+        return [items[bisect_right(cum, uniform() * total, 0, hi)] for _ in range(k)]
+
+
+class AliasSampler(Generic[T]):
+    """Vose's alias method: O(1) weighted draws from a *fixed* distribution.
+
+    Build cost is O(n); each draw costs two uniforms and no search, which
+    beats the cumulative table once a distribution is sampled many more
+    times than it changes.  Not RNG-stream-compatible with ``choices``.
+    """
+
+    __slots__ = ("items", "_prob", "_alias")
+
+    def __init__(self, items: Sequence[T], weights: Sequence[float]):
+        if len(items) != len(weights):
+            raise SamplingError("weights must match items")
+        if not items:
+            raise SamplingError("alias sampler needs at least one item")
+        total = float(sum(weights))
+        if total <= 0.0 or any(w < 0 for w in weights):
+            raise SamplingError("weights must be non-negative with positive sum")
+        n = len(items)
+        self.items = list(items)
+        scaled = [w * n / total for w in weights]
+        prob = [0.0] * n
+        alias = [0] * n
+        small = [i for i, p in enumerate(scaled) if p < 1.0]
+        large = [i for i, p in enumerate(scaled) if p >= 1.0]
+        while small and large:
+            s = small.pop()
+            l = large.pop()
+            prob[s] = scaled[s]
+            alias[s] = l
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0
+            (small if scaled[l] < 1.0 else large).append(l)
+        for index in large:
+            prob[index] = 1.0
+        for index in small:  # numerical leftovers
+            prob[index] = 1.0
+        self._prob = prob
+        self._alias = alias
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def sample(self, rng: random.Random) -> T:
+        n = len(self.items)
+        index = int(rng.random() * n)
+        if index >= n:  # guard against random() returning values ~1.0
+            index = n - 1
+        if rng.random() < self._prob[index]:
+            return self.items[index]
+        return self.items[self._alias[index]]
+
+    def sample_k(self, rng: random.Random, k: int) -> list[T]:
+        return [self.sample(rng) for _ in range(k)]

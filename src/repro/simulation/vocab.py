@@ -9,6 +9,7 @@ reports ("art", "artists", "posts", "feed", "nsfw", platform links).
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Sequence
 
 # Per-language core vocabulary (romanised where needed so handles and
@@ -117,16 +118,42 @@ SELF_MANAGED_TLDS = (
 )
 
 
-def pick_weighted(rng, pairs: Sequence[tuple]) -> object:
-    """Pick the first element of a (value, weight, ...) pair sequence."""
-    total = sum(pair[1] for pair in pairs)
-    point = rng.random() * total
+# Cumulative-weight tables for the module-level weight tables above,
+# computed once per table.  Keyed by id(); the table itself is kept in the
+# value so the id can never be recycled while the entry is alive.  Only
+# tuples are cached — a list argument could be mutated between calls.
+_CUM_CACHE: dict[int, tuple[Sequence[tuple], list[float]]] = {}
+
+
+def _cumulative_weights(pairs: Sequence[tuple]) -> list[float]:
+    cached = _CUM_CACHE.get(id(pairs))
+    if cached is not None and cached[0] is pairs:
+        return cached[1]
     cumulative = 0.0
+    cum = []
     for pair in pairs:
         cumulative += pair[1]
-        if point <= cumulative:
-            return pair[0]
-    return pairs[-1][0]
+        cum.append(cumulative)
+    if isinstance(pairs, tuple):
+        if len(_CUM_CACHE) > 256:
+            _CUM_CACHE.clear()
+        _CUM_CACHE[id(pairs)] = (pairs, cum)
+    return cum
+
+
+def pick_weighted(rng, pairs: Sequence[tuple]) -> object:
+    """Pick the first element of a (value, weight, ...) pair sequence.
+
+    Equivalent to a linear scan for the first ``point <= cumulative``
+    prefix sum (bisect_left over the cached cumulative table draws the
+    same single uniform and lands on the same element).
+    """
+    cum = _cumulative_weights(pairs)
+    point = rng.random() * cum[-1]
+    index = bisect_left(cum, point)
+    if index >= len(pairs):
+        return pairs[-1][0]
+    return pairs[index][0]
 
 
 def make_post_text(rng, lang: str, topic: str | None = None) -> str:

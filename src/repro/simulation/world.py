@@ -145,6 +145,9 @@ class World:
         # (time_us, callback(now_us)) actions the engine fires as the
         # timeline passes them — how collectors take mid-run snapshots.
         self.scheduled_actions: list[tuple[int, Callable[[int], None]]] = []
+        # Bumped on every tombstone so cached live-user views (e.g. the
+        # engine's impersonator pool) can invalidate in O(1).
+        self.tombstone_epoch = 0
         self._ran = False
 
     # -- wiring helpers ------------------------------------------------------------
@@ -258,6 +261,7 @@ class World:
             self.plc.tombstone(user.did, user.keypair)
         user.pds.remove_account(user.did, now_us)
         user.tombstoned = True
+        self.tombstone_epoch += 1
 
     # -- labeler / feed instantiation (used by the engine) ------------------------------
 

@@ -177,6 +177,27 @@ class TestSerialization:
         with pytest.raises(MstError):
             load_mst({}, tree.root_cid())
 
+    def test_direct_node_encoder_matches_generic(self):
+        """The schema-specialized node encoder (the commit-loop fast path)
+        must emit byte-identical blocks to cbor_encode(to_data())."""
+        from repro.atproto.cbor import cbor_encode
+
+        items = {key(i): cid_of(str(i)) for i in range(300)}
+        tree = build_canonical(items)
+        for node in tree.root.walk_nodes():
+            assert node.to_cbor() == cbor_encode(node.to_data())
+
+    @given(st.sets(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_direct_node_encoder_matches_generic_random(self, indices):
+        from repro.atproto.cbor import cbor_encode
+
+        tree = Mst()
+        for i in indices:
+            tree.set(key(i), cid_of(str(i)))
+        for node in tree.root.walk_nodes():
+            assert node.to_cbor() == cbor_encode(node.to_data())
+
 
 class TestDiff:
     def test_diff_reports_changes(self):
