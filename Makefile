@@ -7,13 +7,16 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test test-fast bench bench-perf lint report check
+.PHONY: test test-fast test-faults bench bench-perf lint report check
 
 test:  ## tier-1 suite (must stay green)
 	$(PYTHON) -m pytest -x -q
 
 test-fast:  ## tier-1 suite minus the slow scenario worlds
 	$(PYTHON) -m pytest -x -q -m "not slow"
+
+test-faults:  ## fault-injection + resilience suite only
+	$(PYTHON) -m pytest -x -q tests/netsim/test_faults.py tests/core/test_resilience.py tests/services/test_firehose_retention.py
 
 bench:  ## run the perf harness, write BENCH_perf.json
 	$(PYTHON) -m repro bench
@@ -31,4 +34,4 @@ lint:  ## ruff, when available (not part of the baked toolchain)
 report:  ## full study at default scale, all tables and figures
 	$(PYTHON) -m repro
 
-check: test lint  ## what CI would run
+check: test test-faults lint  ## what CI would run

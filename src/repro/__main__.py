@@ -32,6 +32,7 @@ ARTEFACTS = {
     "fig10": report.render_fig10,
     "fig11": report.render_fig11,
     "fig12": report.render_fig12,
+    "health": report.render_collection_health,
 }
 
 
@@ -63,6 +64,15 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--feed-scale", type=float, default=800, metavar="DENOM")
     parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="run with deterministic fault injection: a seeded, recoverable "
+        "plan of relay outages, transient errors, and firehose disconnects "
+        "over the collection window (see the 'health' artefact)",
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress progress output")
     parser.add_argument(
         "--export",
@@ -88,8 +98,19 @@ def main(argv=None) -> int:
             % (config.n_users, config.n_feed_generators, config.n_labelers),
             file=sys.stderr,
         )
+    fault_plan = None
+    if args.fault_seed is not None:
+        from repro.netsim.faults import FaultPlan
+        from repro.simulation.config import (
+            FIREHOSE_COLLECT_END_US,
+            FIREHOSE_COLLECT_START_US,
+        )
+
+        fault_plan = FaultPlan.recoverable(
+            args.fault_seed, FIREHOSE_COLLECT_START_US, FIREHOSE_COLLECT_END_US
+        )
     started = time.time()
-    _, datasets = run_study(config, progress=progress)
+    _, datasets = run_study(config, progress=progress, fault_plan=fault_plan)
     if not args.quiet:
         print("study ready in %.1fs" % (time.time() - started), file=sys.stderr)
     if args.artefact == "all":

@@ -24,7 +24,15 @@ KIND_COMMIT = "#commit"
 KIND_IDENTITY = "#identity"
 KIND_HANDLE = "#handle"
 KIND_TOMBSTONE = "#tombstone"
+# Stream-status frame (not a repo event, and not a Table 1 row): the relay
+# sends ``#info`` with name ``OutdatedCursor`` when a subscriber resumes
+# from a cursor that predates the retention window.
+KIND_INFO = "#info"
 
+INFO_OUTDATED_CURSOR = "OutdatedCursor"
+
+# The four repo-event kinds of Table 1 (#info frames are excluded: they
+# describe the subscription itself, not the network).
 ALL_KINDS = (KIND_COMMIT, KIND_IDENTITY, KIND_HANDLE, KIND_TOMBSTONE)
 
 
@@ -127,3 +135,24 @@ class TombstoneEvent(FirehoseEvent):
     @property
     def kind(self) -> str:
         return KIND_TOMBSTONE
+
+
+@dataclass(frozen=True)
+class InfoEvent(FirehoseEvent):
+    """Out-of-band subscription status frame.
+
+    ``OutdatedCursor`` reports that the requested cursor predates the
+    retention window: ``oldest_seq`` is the first sequence number still
+    buffered and ``dropped`` counts the events that can never be replayed.
+    Info frames carry no sequence number on the real wire; here ``seq`` is
+    always 0 and ``did`` empty so consumers can tell them apart.
+    """
+
+    name: str = INFO_OUTDATED_CURSOR
+    message: str = ""
+    oldest_seq: Optional[int] = None
+    dropped: int = 0
+
+    @property
+    def kind(self) -> str:
+        return KIND_INFO

@@ -18,12 +18,14 @@ from repro.atproto.events import (
     KIND_COMMIT,
     KIND_HANDLE,
     KIND_IDENTITY,
+    KIND_INFO,
     KIND_TOMBSTONE,
     CommitEvent,
     CommitOp,
     FirehoseEvent,
     HandleEvent,
     IdentityEvent,
+    InfoEvent,
     TombstoneEvent,
 )
 
@@ -73,6 +75,12 @@ def encode_event_frame(event: FirehoseEvent) -> bytes:
     elif isinstance(event, (HandleEvent, IdentityEvent)):
         if getattr(event, "handle", None):
             payload["handle"] = event.handle
+    elif isinstance(event, InfoEvent):
+        payload["name"] = event.name
+        payload["message"] = event.message
+        if event.oldest_seq is not None:
+            payload["oldestSeq"] = event.oldest_seq
+        payload["dropped"] = event.dropped
     return cbor_encode(header) + cbor_encode(payload)
 
 
@@ -110,6 +118,16 @@ def decode_event_frame(data: bytes) -> FirehoseEvent:
         return HandleEvent(seq=seq, did=did, time_us=time_us, handle=payload.get("handle", ""))
     if kind == KIND_TOMBSTONE:
         return TombstoneEvent(seq=seq, did=did, time_us=time_us)
+    if kind == KIND_INFO:
+        return InfoEvent(
+            seq=seq,
+            did=did,
+            time_us=time_us,
+            name=payload.get("name", ""),
+            message=payload.get("message", ""),
+            oldest_seq=payload.get("oldestSeq"),
+            dropped=payload.get("dropped", 0),
+        )
     raise FrameError("unknown event kind %r" % kind)
 
 

@@ -81,7 +81,9 @@ class Tid:
             return NotImplemented
         return self.to_int() == other.to_int()
 
-    def __lt__(self, other: "Tid") -> bool:
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, Tid):
+            return NotImplemented
         return self.to_int() < other.to_int()
 
     def __hash__(self) -> int:

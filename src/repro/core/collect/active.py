@@ -11,14 +11,17 @@ Three probes the paper ran from university machines:
 
 from __future__ import annotations
 
+import random
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro.identity.handles import HandleResolver
+from repro.netsim.faults import DEFAULT_RETRY_POLICY, TARGET_DNS, TARGET_WHOIS
 from repro.netsim.psl import PublicSuffixList
 from repro.netsim.tranco import TrancoList
 from repro.netsim.whois import WhoisService
+from repro.services.xrpc import XrpcError
 
 
 @dataclass
@@ -42,6 +45,10 @@ class ActiveMeasurementDataset:
     whois_rows: list[WhoisRow] = field(default_factory=list)
     registered_domains: list[str] = field(default_factory=list)
     tranco_ranked: set = field(default_factory=set)
+    # Injected transient failures absorbed by retrying, and probes given
+    # up on only because every retry failed.
+    transient_retries: int = 0
+    probes_exhausted: int = 0
 
     def mechanism_counts(self) -> Counter:
         return Counter(
@@ -75,16 +82,48 @@ class ActiveMeasurements:
         whois: WhoisService,
         tranco: TrancoList,
         psl: PublicSuffixList,
+        injector=None,
+        retry_policy=None,
     ):
         self.handle_resolver = handle_resolver
         self.whois = whois
         self.tranco = tranco
         self.psl = psl
+        self.injector = injector
+        self.retry_policy = retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
         self.dataset = ActiveMeasurementDataset()
+        self._retry_rng = random.Random(0xAC71)
+        self._now_us = 0  # advances with retry backoffs across a campaign
 
-    def probe_handles(self, handles: Iterable[str]) -> None:
+    def _gate(self, target: str) -> bool:
+        """Pass one probe through the fault injector, retrying transients.
+
+        Returns False only when every retry failed — the probe is then
+        recorded the same way a genuinely unanswered one would be.
+        """
+        if self.injector is None:
+            return True
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                self.injector.raise_transient(target, self._now_us)
+            except XrpcError:
+                if attempt >= self.retry_policy.max_attempts:
+                    self.dataset.probes_exhausted += 1
+                    return False
+                self.dataset.transient_retries += 1
+                self._now_us += self.retry_policy.backoff_us(attempt, self._retry_rng)
+                continue
+            return True
+
+    def probe_handles(self, handles: Iterable[str], now_us: int = 0) -> None:
         """Verify ownership mechanisms for (non-bsky.social) handles."""
+        self._now_us = max(self._now_us, now_us)
         for handle in handles:
+            if not self._gate(TARGET_DNS):
+                self.dataset.handle_probes.append(HandleProbeRow(handle, None, None))
+                continue
             try:
                 probe = self.handle_resolver.probe(handle)
             except ValueError:
@@ -107,9 +146,13 @@ class ActiveMeasurements:
         self.dataset.registered_domains = list(seen)
         return self.dataset.registered_domains
 
-    def scan_whois(self, domains: Optional[Iterable[str]] = None) -> None:
+    def scan_whois(self, domains: Optional[Iterable[str]] = None, now_us: int = 0) -> None:
+        self._now_us = max(self._now_us, now_us)
         targets = list(domains) if domains is not None else self.dataset.registered_domains
         for domain in targets:
+            if not self._gate(TARGET_WHOIS):
+                self.dataset.whois_rows.append(WhoisRow(domain, responded=False))
+                continue
             record = self.whois.query(domain)
             if record is None:
                 self.dataset.whois_rows.append(WhoisRow(domain, responded=False))

@@ -4,15 +4,23 @@ Downloads the DID document for every identifier — from the PLC directory
 for ``did:plc`` (the paper took a full snapshot of plc.directory) and via
 ``https://<fqdn>/.well-known/did.json`` for ``did:web`` — and extracts the
 FQDN handles, PDS endpoints, and labeler endpoints used downstream.
+
+Resolution goes over the network in the real study, so an optional
+:class:`~repro.netsim.faults.FaultInjector` can make it flaky; the
+collector retries transient failures with the shared backoff policy and
+only records a DID as failed when the resolver truly has no document.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro.identity.plc import PlcDirectory
 from repro.identity.resolver import DidResolver
+from repro.netsim.faults import DEFAULT_RETRY_POLICY, TARGET_IDENTITY
+from repro.services.xrpc import XrpcError
 
 
 @dataclass
@@ -29,6 +37,11 @@ class DidDocumentDataset:
     time_us: int = 0
     documents: dict[str, DidDocumentRow] = field(default_factory=dict)
     failed: set[str] = field(default_factory=set)  # identifiers with no doc
+    # Resolution attempts that hit an injected transient error and were
+    # retried; ``unresolved_transient`` counts DIDs abandoned only because
+    # every retry failed (distinct from genuinely tombstoned DIDs).
+    transient_retries: int = 0
+    unresolved_transient: int = 0
 
     def __len__(self) -> int:
         return len(self.documents)
@@ -47,14 +60,22 @@ class DidDocumentDataset:
 class DidDocumentCollector:
     """Bulk DID-document downloader."""
 
-    def __init__(self, resolver: DidResolver):
+    def __init__(self, resolver: DidResolver, injector=None, retry_policy=None):
         self.resolver = resolver
+        self.injector = injector
+        self.retry_policy = retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
         self.dataset = DidDocumentDataset()
+        self._retry_rng = random.Random(0xD1DD0C)
 
     def crawl(self, dids: Iterable[str], now_us: int) -> DidDocumentDataset:
         self.dataset.time_us = now_us
+        virtual_now = now_us
         for did in dids:
-            doc = self.resolver.resolve(did)
+            resolved, virtual_now = self._resolve_with_retries(did, virtual_now)
+            if resolved is None:
+                self.dataset.failed.add(did)
+                continue
+            doc = resolved[0]
             if doc is None:
                 # Tombstoned or unresolvable — the paper likewise obtained
                 # fewer documents (5.08M) than identifiers (5.59M).
@@ -68,3 +89,25 @@ class DidDocumentCollector:
                 labeler_endpoint=doc.labeler_endpoint,
             )
         return self.dataset
+
+    def _resolve_with_retries(self, did: str, now_us: int):
+        """Resolve one DID behind the fault gate.
+
+        Returns ``((doc,), now_us)`` on a completed lookup (doc may be
+        None for tombstones) or ``(None, now_us)`` when injected transient
+        failures exhausted the retry budget.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            if self.injector is not None:
+                try:
+                    self.injector.raise_transient(TARGET_IDENTITY, now_us)
+                except XrpcError:
+                    if attempt >= self.retry_policy.max_attempts:
+                        self.dataset.unresolved_transient += 1
+                        return None, now_us
+                    self.dataset.transient_retries += 1
+                    now_us += self.retry_policy.backoff_us(attempt, self._retry_rng)
+                    continue
+            return (self.resolver.resolve(did),), now_us

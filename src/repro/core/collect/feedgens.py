@@ -9,9 +9,12 @@ feed's posts bi-weekly through ``getFeed`` with an *empty* crawler account
 
 from __future__ import annotations
 
+import random
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.netsim.faults import DEFAULT_RETRY_POLICY, call_with_retries
 from repro.services.xrpc import ServiceDirectory, XrpcError
 
 
@@ -46,6 +49,8 @@ class FeedGeneratorDataset:
     feed_posts: dict[str, dict[str, FeedPostObservation]] = field(default_factory=dict)
     crawl_times: list[int] = field(default_factory=list)
     getfeed_failures: set = field(default_factory=set)
+    # AppView calls that needed a transient-error retry before answering.
+    transient_retries: int = 0
 
     def discovered_count(self) -> int:
         return len(self.discovered)
@@ -64,11 +69,42 @@ class FeedGeneratorDataset:
 class FeedGeneratorCollector:
     """Metadata + bi-weekly getFeed crawler."""
 
-    def __init__(self, services: ServiceDirectory, appview_url: str, page_limit: int = 100):
+    def __init__(
+        self,
+        services: ServiceDirectory,
+        appview_url: str,
+        page_limit: int = 100,
+        retry_policy=None,
+    ):
         self.services = services
         self.appview_url = appview_url
         self.page_limit = page_limit
+        self.retry_policy = retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
         self.dataset = FeedGeneratorDataset()
+        self._retry_rng = random.Random(0xFEED)
+        self._retry_counters: Counter = Counter()
+
+    def _call(self, method: str, at_us: int, **params):
+        """One retrying AppView call; tracks the dataset's retry count.
+
+        ``at_us`` is the virtual time of the call (kept separate from any
+        ``now_us`` *XRPC parameter* the method itself takes).
+        """
+        before = self._retry_counters["retries"]
+        try:
+            result, _ = call_with_retries(
+                self.services,
+                self.appview_url,
+                method,
+                now_us=at_us,
+                policy=self.retry_policy,
+                rng=self._retry_rng,
+                counters=self._retry_counters,
+                params=params,
+            )
+        finally:
+            self.dataset.transient_retries += self._retry_counters["retries"] - before
+        return result
 
     def discover(self, uris) -> None:
         self.dataset.discovered.update(uris)
@@ -79,9 +115,7 @@ class FeedGeneratorCollector:
             if uri in self.dataset.metadata or uri in self.dataset.no_metadata:
                 continue
             try:
-                result = self.services.call(
-                    self.appview_url, "app.bsky.feed.getFeedGenerator", feed=uri
-                )
+                result = self._call("app.bsky.feed.getFeedGenerator", now_us, feed=uri)
             except XrpcError:
                 self.dataset.no_metadata.add(uri)
                 continue
@@ -113,9 +147,9 @@ class FeedGeneratorCollector:
             bucket = self.dataset.feed_posts.setdefault(meta.uri, {})
             while pages < max_pages:
                 try:
-                    page = self.services.call(
-                        self.appview_url,
+                    page = self._call(
                         "app.bsky.feed.getFeed",
+                        now_us,
                         feed=meta.uri,
                         limit=self.page_limit,
                         cursor=cursor,

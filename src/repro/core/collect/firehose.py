@@ -4,21 +4,44 @@ A live subscription to the Relay's event stream: counts every event type,
 keeps a compact log of record operations, remembers post-creation times
 (the reference point for labeler reaction-time analysis), and records
 handle updates and tombstones.
+
+The collector is *resilient*: when a fault plan drops its subscription it
+loses the frames published on the dead connection, notices on the next
+delivery attempt, and resumes via ``com.atproto.sync.subscribeRepos`` with
+its last-seen cursor — retrying transient errors with backoff.  If the
+cursor has fallen out of the relay's retention window, the replay starts
+with an ``#info``/``OutdatedCursor`` frame; the collector records the gap
+(oldest available seq + dropped-event count) instead of pretending the
+stream was continuous (Section 2's "slow subscriber" failure mode).
 """
 
 from __future__ import annotations
 
+import random
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.atproto.events import (
-    KIND_COMMIT,
+    KIND_INFO,
     CommitEvent,
     FirehoseEvent,
     HandleEvent,
-    IdentityEvent,
+    InfoEvent,
     TombstoneEvent,
 )
+from repro.netsim.faults import DEFAULT_RETRY_POLICY, FaultPlan, RetryPolicy, call_with_retries
+from repro.services.xrpc import XrpcError
+
+
+@dataclass(frozen=True)
+class FirehoseGap:
+    """One detected retention gap: events lost for good."""
+
+    time_us: int  # when the gap was detected (reconnect time)
+    resume_cursor: int  # the cursor the collector tried to resume from
+    oldest_available_seq: Optional[int]
+    dropped: int  # events between cursor and the oldest available one
 
 
 @dataclass
@@ -36,6 +59,12 @@ class FirehoseDataset:
     tombstoned_dids: list[tuple[int, str]] = field(default_factory=list)
     feed_generator_records: set = field(default_factory=set)  # uris
     labeler_service_dids: set = field(default_factory=set)
+    # -- resilience accounting -------------------------------------------------
+    disconnects: int = 0  # times the live subscription died
+    reconnects: int = 0  # successful cursor-resumes
+    replayed_events: int = 0  # events recovered via subscribeRepos backfill
+    gaps: list[FirehoseGap] = field(default_factory=list)  # unrecoverable holes
+    dropped_events: int = 0  # sum of gap sizes (the paper's lost-data case)
 
     def total_events(self) -> int:
         return sum(self.event_counts.values())
@@ -48,16 +77,126 @@ class FirehoseDataset:
 
 
 class FirehoseCollector:
-    """Subscribes to the firehose; attach before the world runs."""
+    """Subscribes to the firehose; attach before the world runs.
 
-    def __init__(self, start_us: int = 0):
+    ``fault_plan`` (optional) carries the disconnect windows the collector
+    must survive; ``services``/``relay_url`` give it the sync endpoint to
+    cursor-resume through (faults and retries apply there like for any
+    other crawler).  Without a plan the collector behaves exactly like a
+    plain live subscriber.
+    """
+
+    def __init__(
+        self,
+        start_us: int = 0,
+        services=None,
+        relay_url: Optional[str] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+    ):
         self.start_us = start_us
+        self.services = services
+        self.relay_url = relay_url
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy
         self.dataset = FirehoseDataset(start_us=start_us)
+        self.cursor = 0  # seq of the newest event ingested
+        self.retry_counters: Counter = Counter()
+        self._connected = True
+        self._relay = None  # direct fallback when no service directory is wired
+        self._retry_rng = random.Random((fault_plan.seed if fault_plan else 0) ^ 0xF1EE)
 
     def attach(self, world) -> None:
+        if self.services is None:
+            self.services = world.services
+        if self.relay_url is None:
+            self.relay_url = world.relay.url
+        self._relay = world.relay
         world.add_firehose_observer(self.consume, start_us=self.start_us)
 
+    # -- live path -------------------------------------------------------------
+
     def consume(self, event: FirehoseEvent) -> None:
+        if self.fault_plan is not None and self.fault_plan.is_disconnected(event.time_us):
+            # The frame is lost on the dead connection.  Count the drop
+            # once per window; the backlog is recovered on reconnect.
+            if self._connected:
+                self._connected = False
+                self.dataset.disconnects += 1
+            return
+        if not self._connected:
+            # First delivery attempt after the window: reconnect and
+            # replay everything missed (including this event, which is
+            # already in the relay's buffer).
+            self._resume(event.time_us)
+            return
+        self._ingest(event)
+
+    # -- cursor resume ---------------------------------------------------------
+
+    def _resume(self, now_us: int) -> None:
+        """Reconnect via subscribeRepos(cursor); stay disconnected on failure."""
+        try:
+            events, _ = call_with_retries(
+                self.services,
+                self.relay_url,
+                "com.atproto.sync.subscribeRepos",
+                now_us=now_us,
+                policy=self.retry_policy,
+                rng=self._retry_rng,
+                counters=self.retry_counters,
+                cursor=self.cursor,
+            )
+        except XrpcError:
+            # Still down after retries; the next live frame tries again.
+            return
+        self._connected = True
+        self.dataset.reconnects += 1
+        for event in events:
+            replayed = self._ingest(event, replay=True)
+            if replayed:
+                self.dataset.replayed_events += 1
+
+    def backfill(self, now_us: int) -> None:
+        """Final catch-up (end of the collection window).
+
+        Covers a disconnect window that extends past the last published
+        event: no live frame arrives to trigger the resume path, so the
+        pipeline calls this explicitly before closing the dataset.
+        """
+        if self._connected:
+            return
+        self._resume(now_us)
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def _ingest(self, event: FirehoseEvent, replay: bool = False) -> bool:
+        """Account one frame; returns True if it advanced the dataset."""
+        if isinstance(event, InfoEvent) or event.kind == KIND_INFO:
+            # Out-of-band gap notice: events between our cursor and the
+            # oldest buffered seq are gone for good.  Only meaningful once
+            # we have consumed something (a cold start replays history we
+            # never claimed to have).
+            if self.cursor > 0 and event.dropped > 0:
+                self.dataset.gaps.append(
+                    FirehoseGap(
+                        time_us=event.time_us,
+                        resume_cursor=self.cursor,
+                        oldest_available_seq=event.oldest_seq,
+                        dropped=event.dropped,
+                    )
+                )
+                self.dataset.dropped_events += event.dropped
+            return False
+        if event.seq <= self.cursor:
+            return False  # already seen (replay overlap)
+        if event.time_us < self.start_us:
+            # Replay reaching before our subscription start: advance the
+            # cursor but keep pre-window events out of the dataset, so a
+            # resumed run counts exactly what a live one would have.
+            self.cursor = event.seq
+            return False
+        self.cursor = event.seq
         data = self.dataset
         data.event_counts[event.kind] += 1
         data.end_us = max(data.end_us, event.time_us)
@@ -71,7 +210,12 @@ class FirehoseCollector:
                 elif collection == "app.bsky.feed.generator" and op.action == "create":
                     data.feed_generator_records.add("at://%s/%s" % (event.did, op.path))
                 elif collection == "app.bsky.labeler.service":
-                    data.labeler_service_dids.add(event.did)
+                    # Track creates *and* deletes: a retired labeler must
+                    # leave the announced set, not linger forever.
+                    if op.action == "delete":
+                        data.labeler_service_dids.discard(event.did)
+                    else:
+                        data.labeler_service_dids.add(event.did)
                 if not collection.startswith("app.bsky.") and not collection.startswith(
                     "chat.bsky."
                 ):
@@ -80,6 +224,7 @@ class FirehoseCollector:
             data.handle_updates.append((event.time_us, event.did, event.handle))
         elif isinstance(event, TombstoneEvent):
             data.tombstoned_dids.append((event.time_us, event.did))
+        return True
 
 
 # Per-op overhead for the MST diff blocks that accompany commits on the

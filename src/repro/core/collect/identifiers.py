@@ -8,8 +8,10 @@ changed between snapshots.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
+from repro.netsim.faults import DEFAULT_RETRY_POLICY, call_with_retries
 from repro.services.xrpc import ServiceDirectory
 from repro.simulation.clock import US_PER_DAY
 
@@ -28,6 +30,10 @@ class IdentifierSnapshot:
 @dataclass
 class UserIdentifierDataset:
     snapshots: list[IdentifierSnapshot] = field(default_factory=list)
+    # Pages that needed a transient-error retry (resumed from the same
+    # cursor, so a flaky relay costs time but never truncates a crawl).
+    page_retries: int = 0
+    aborted_crawls: int = 0  # crawls abandoned after retries exhausted
 
     def all_dids(self) -> set[str]:
         """Every identifier seen in any snapshot (the paper's 5.59M)."""
@@ -56,27 +62,56 @@ class UserIdentifierDataset:
 class ListReposCollector:
     """Paginates ``sync.listRepos`` against the Relay."""
 
-    def __init__(self, services: ServiceDirectory, relay_url: str, page_size: int = 1000):
+    def __init__(
+        self,
+        services: ServiceDirectory,
+        relay_url: str,
+        page_size: int = 1000,
+        retry_policy=None,
+    ):
         self.services = services
         self.relay_url = relay_url
         self.page_size = page_size
+        self.retry_policy = retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
         self.dataset = UserIdentifierDataset()
+        self._retry_rng = random.Random(0x11D5)
 
     def crawl(self, now_us: int) -> IdentifierSnapshot:
+        """One full pagination; transient page failures resume from the
+        same cursor.  A crawl whose retries exhaust is abandoned (and
+        counted) rather than recorded as a silently truncated snapshot —
+        the weekly cadence supplies the next attempt."""
+        from collections import Counter
+
+        from repro.services.xrpc import XrpcError
+
         snapshot = IdentifierSnapshot(time_us=now_us)
+        counters: Counter = Counter()
         cursor = None
-        while True:
-            page = self.services.call(
-                self.relay_url,
-                "com.atproto.sync.listRepos",
-                cursor=cursor,
-                limit=self.page_size,
-            )
-            for entry in page["repos"]:
-                snapshot.repos[entry["did"]] = (entry["head"], entry["rev"])
-            cursor = page["cursor"]
-            if cursor is None:
-                break
+        virtual_now = now_us
+        try:
+            while True:
+                page, virtual_now = call_with_retries(
+                    self.services,
+                    self.relay_url,
+                    "com.atproto.sync.listRepos",
+                    now_us=virtual_now,
+                    policy=self.retry_policy,
+                    rng=self._retry_rng,
+                    counters=counters,
+                    cursor=cursor,
+                    limit=self.page_size,
+                )
+                for entry in page["repos"]:
+                    snapshot.repos[entry["did"]] = (entry["head"], entry["rev"])
+                cursor = page["cursor"]
+                if cursor is None:
+                    break
+        except XrpcError:
+            self.dataset.page_retries += counters["retries"]
+            self.dataset.aborted_crawls += 1
+            return snapshot
+        self.dataset.page_retries += counters["retries"]
         self.dataset.snapshots.append(snapshot)
         return snapshot
 

@@ -10,13 +10,16 @@ analysis.
 
 from __future__ import annotations
 
+import random
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.identity.resolver import DidResolver
 from repro.netsim.dns import DnsRecordType, DnsResolver, DnsError
+from repro.netsim.faults import DEFAULT_RETRY_POLICY, call_with_retries
 from repro.services.labeler import Label
-from repro.services.xrpc import ServiceDirectory
+from repro.services.xrpc import ServiceDirectory, XrpcError
 from repro.simulation.clock import US_PER_DAY
 
 
@@ -35,6 +38,9 @@ class LabelerDataset:
     statuses: dict[str, LabelerStatus] = field(default_factory=dict)
     labels: list[Label] = field(default_factory=list)
     signature_failures: int = 0
+    # Transient subscribe failures absorbed by retrying before the daily
+    # reconnect gave up on the endpoint for the day.
+    transient_retries: int = 0
 
     def announced_count(self) -> int:
         return len(self.statuses)
@@ -61,12 +67,15 @@ class LabelerCollector:
         resolver: DidResolver,
         dns: DnsResolver,
         verify_signatures: bool = True,
+        retry_policy=None,
     ):
         self.services = services
         self.resolver = resolver
         self.dns = dns
         self.verify_signatures = verify_signatures
+        self.retry_policy = retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
         self._verify_keys: dict[str, object] = {}
+        self._retry_rng = random.Random(0x1AB5)
         self.dataset = LabelerDataset()
 
     def discover(self, dids) -> None:
@@ -85,13 +94,24 @@ class LabelerCollector:
                     status.endpoint = doc.labeler_endpoint
             if status.endpoint is None:
                 continue
-            labels = self.services.try_call(
-                status.endpoint,
-                "com.atproto.label.subscribeLabels",
-                cursor=status.cursor,
-            )
-            if labels is None:
-                continue  # endpoint down today; retry on next reconnect
+            counters: Counter = Counter()
+            try:
+                labels, _ = call_with_retries(
+                    self.services,
+                    status.endpoint,
+                    "com.atproto.label.subscribeLabels",
+                    now_us=now_us,
+                    policy=self.retry_policy,
+                    rng=self._retry_rng,
+                    counters=counters,
+                    cursor=status.cursor,
+                )
+            except XrpcError as exc:
+                self.dataset.transient_retries += counters["retries"]
+                if self.retry_policy.is_retryable(exc.status):
+                    continue  # endpoint down today; retry on next reconnect
+                raise
+            self.dataset.transient_retries += counters["retries"]
             status.reachable = True
             self._resolve_ip(status)
             for label in labels:

@@ -9,6 +9,7 @@ used) and reduces each record to a compact analysis row.
 from __future__ import annotations
 
 import datetime
+import random
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
@@ -85,7 +86,16 @@ class RepositoriesDataset:
     crawl_duration_us: int = 0
     verified_signatures: int = 0
     signature_failures: int = 0
+    # Repos the crawl could not obtain, and why — the paper likewise
+    # reports fewer repositories (5.52M) than identifiers (5.59M).
     failed_dids: set = field(default_factory=set)
+    failure_reasons: dict[str, str] = field(default_factory=dict)
+    # Resilience accounting: per-request retries, skip-queue rounds, and
+    # transient failures that later recovered.
+    requests_attempted: int = 0
+    transient_retries: int = 0
+    requeued_dids: int = 0
+    retry_rounds: int = 0
     posts: list[PostRow] = field(default_factory=list)
     likes: list[SubjectRow] = field(default_factory=list)
     follows: list[SubjectRow] = field(default_factory=list)
@@ -120,13 +130,21 @@ class RepositoriesCollector:
     recorded on the dataset.
     """
 
+    #: Skip-queue passes after the initial crawl; the wait before each
+    #: doubles so a pass lands past any outage shorter than ~2.5 hours.
+    MAX_RETRY_ROUNDS = 4
+    FIRST_ROUND_WAIT_US = 10 * 60 * 1_000_000  # 10 virtual minutes
+
     def __init__(
         self,
         services: ServiceDirectory,
         relay_url: str,
         rate_per_second: float = 6.4,
         resolver=None,
+        retry_policy=None,
     ):
+        from repro.netsim.faults import DEFAULT_RETRY_POLICY
+
         self.services = services
         self.relay_url = relay_url
         self.rate_per_second = rate_per_second
@@ -134,39 +152,93 @@ class RepositoriesCollector:
         # commit signature is verified against the account's published
         # signing key (end-to-end authenticated transfer).
         self.resolver = resolver
+        self.retry_policy = retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
         self.dataset = RepositoriesDataset()
 
     def crawl(self, dids: Iterable[str], now_us: int) -> RepositoriesDataset:
+        """Download every repo, skipping-and-retrying transient failures.
+
+        Each request retries transient errors in place (shared backoff
+        policy); a DID whose retries exhaust is parked on a skip queue and
+        re-attempted in later passes with growing waits, so an outage that
+        ends mid-crawl costs nothing but time.  DIDs that never succeed
+        are recorded with their final failure reason, the way the paper
+        reports the repos its snapshot could not fetch.
+        """
+        from repro.netsim.faults import TRANSIENT_STATUSES, call_with_retries
         from repro.netsim.ratelimit import TokenBucket
 
         bucket = TokenBucket(self.rate_per_second, burst=10)
         virtual_now = now_us
         data = self.dataset
         data.time_us = now_us
-        for did in dids:
-            virtual_now = bucket.acquire(virtual_now)
-            try:
-                car = self.services.call(self.relay_url, "com.atproto.sync.getRepo", did=did)
-            except XrpcError:
-                data.failed_dids.add(did)
-                continue
-            verify_key = self._signing_key_for(did)
-            try:
-                snapshot = import_car(car, verify_key=verify_key)
-            except ValueError:
-                data.signature_failures += 1
-                snapshot = import_car(car)
-            else:
-                if verify_key is not None:
-                    data.verified_signatures += 1
-            data.repo_count += 1
-            count = 0
-            for path, record in snapshot.records.items():
-                count += 1
-                self._ingest(did, path, record)
-            data.records_per_repo[did] = count
+        rng = random.Random(0x5EED ^ 0xCA11)
+        counters = Counter()
+
+        pending = list(dids)
+        rounds = 0
+        while pending:
+            still_failing: list[str] = []
+            for did in pending:
+                virtual_now = bucket.acquire(virtual_now)
+                try:
+                    car, virtual_now = call_with_retries(
+                        self.services,
+                        self.relay_url,
+                        "com.atproto.sync.getRepo",
+                        now_us=virtual_now,
+                        policy=self.retry_policy,
+                        rng=rng,
+                        counters=counters,
+                        did=did,
+                    )
+                except XrpcError as exc:
+                    if exc.status in TRANSIENT_STATUSES:
+                        still_failing.append(did)
+                    else:
+                        data.failed_dids.add(did)
+                        data.failure_reasons[did] = "xrpc %d: %s" % (exc.status, exc)
+                    continue
+                data.failed_dids.discard(did)  # recovered on a later round
+                data.failure_reasons.pop(did, None)
+                self._ingest_repo(did, car)
+            if not still_failing:
+                break
+            if rounds >= self.MAX_RETRY_ROUNDS:
+                for did in still_failing:
+                    data.failed_dids.add(did)
+                    data.failure_reasons[did] = (
+                        "transient failures exhausted %d retry rounds" % rounds
+                    )
+                break
+            # Park the failures and come back after a growing wait.
+            data.requeued_dids += len(still_failing)
+            rounds += 1
+            virtual_now += self.FIRST_ROUND_WAIT_US * (2 ** (rounds - 1))
+            pending = still_failing
+        data.retry_rounds = max(data.retry_rounds, rounds)
+        data.requests_attempted += counters["attempts"]
+        data.transient_retries += counters["retries"]
         data.crawl_duration_us = virtual_now - now_us
         return data
+
+    def _ingest_repo(self, did: str, car: bytes) -> None:
+        data = self.dataset
+        verify_key = self._signing_key_for(did)
+        try:
+            snapshot = import_car(car, verify_key=verify_key)
+        except ValueError:
+            data.signature_failures += 1
+            snapshot = import_car(car)
+        else:
+            if verify_key is not None:
+                data.verified_signatures += 1
+        data.repo_count += 1
+        count = 0
+        for path, record in snapshot.records.items():
+            count += 1
+            self._ingest(did, path, record)
+        data.records_per_repo[did] = count
 
     def _signing_key_for(self, did: str):
         if self.resolver is None:

@@ -28,6 +28,7 @@ from repro.core.collect.identifiers import ListReposCollector, UserIdentifierDat
 from repro.core.collect.labelers import LabelerCollector, LabelerDataset
 from repro.core.collect.repos import RepositoriesCollector, RepositoriesDataset
 from repro.identity.handles import HandleResolver
+from repro.netsim.faults import FaultInjector, FaultPlan, FaultStats
 from repro.netsim.psl import default_psl
 from repro.simulation.config import (
     DIDDOC_SNAPSHOT_US,
@@ -52,20 +53,42 @@ class StudyDatasets:
     feed_generators: FeedGeneratorDataset
     labels: LabelerDataset
     active: ActiveMeasurementDataset
+    # What the fault injector actually did during the run (None when the
+    # study ran fault-free).
+    faults: Optional[FaultStats] = None
 
 
 class MeasurementPipeline:
-    """Wires the collectors to a world and executes the study."""
+    """Wires the collectors to a world and executes the study.
 
-    def __init__(self, world: World):
+    ``fault_plan`` (optional) turns on deterministic fault injection: the
+    plan's injector is installed on the world's service directory so every
+    XRPC call passes its gate, the firehose collector gets the plan's
+    disconnect windows, and the non-XRPC probes (identity, DNS, WHOIS)
+    draw from the same injector.
+    """
+
+    def __init__(self, world: World, fault_plan: Optional[FaultPlan] = None):
         self.world = world
+        self.fault_plan = fault_plan
+        self.fault_injector: Optional[FaultInjector] = None
         services = world.services
+        if fault_plan is not None and not fault_plan.is_empty():
+            self.fault_injector = FaultInjector(fault_plan)
+            services.fault_injector = self.fault_injector
         self.identifier_collector = ListReposCollector(services, world.relay.url)
-        self.diddoc_collector = DidDocumentCollector(world.resolver)
+        self.diddoc_collector = DidDocumentCollector(
+            world.resolver, injector=self.fault_injector
+        )
         self.repo_collector = RepositoriesCollector(
             services, world.relay.url, resolver=world.resolver
         )
-        self.firehose_collector = FirehoseCollector(start_us=FIREHOSE_COLLECT_START_US)
+        self.firehose_collector = FirehoseCollector(
+            start_us=FIREHOSE_COLLECT_START_US,
+            services=services,
+            relay_url=world.relay.url,
+            fault_plan=fault_plan,
+        )
         self.labeler_collector = LabelerCollector(services, world.resolver, world.dns)
         self.feedgen_collector = FeedGeneratorCollector(services, world.appview.url)
         self.active_measurements = ActiveMeasurements(
@@ -73,6 +96,7 @@ class MeasurementPipeline:
             world.whois,
             world.tranco,
             default_psl(),
+            injector=self.fault_injector,
         )
         self._schedule()
 
@@ -128,6 +152,10 @@ class MeasurementPipeline:
 
     def run(self, progress=None) -> StudyDatasets:
         self.world.run(progress=progress)
+        # Close out any firehose disconnect window still open at the end
+        # of the collection period: no further live frame will trigger the
+        # resume path, so catch up explicitly before reading the dataset.
+        self.firehose_collector.backfill(FIREHOSE_COLLECT_END_US)
         # Final labeler discovery/backfill (as of 2024-05-01 in the paper;
         # the firehose may have surfaced labelers the repo snapshot missed).
         self.labeler_collector.discover(self.firehose_collector.dataset.labeler_service_dids)
@@ -138,9 +166,9 @@ class MeasurementPipeline:
             for handle in self.diddoc_collector.dataset.handles()
             if not handle.endswith(".bsky.social")
         ]
-        self.active_measurements.probe_handles(non_bsky)
+        self.active_measurements.probe_handles(non_bsky, now_us=LABEL_SNAPSHOT_US)
         self.active_measurements.extract_registered_domains(non_bsky)
-        self.active_measurements.scan_whois()
+        self.active_measurements.scan_whois(now_us=LABEL_SNAPSHOT_US)
         self.active_measurements.cross_reference_tranco()
         return self.datasets()
 
@@ -153,16 +181,19 @@ class MeasurementPipeline:
             feed_generators=self.feedgen_collector.dataset,
             labels=self.labeler_collector.dataset,
             active=self.active_measurements.dataset,
+            faults=self.fault_injector.stats if self.fault_injector else None,
         )
 
 
-def run_study(config=None, progress=None) -> tuple[World, StudyDatasets]:
+def run_study(
+    config=None, progress=None, fault_plan: Optional[FaultPlan] = None
+) -> tuple[World, StudyDatasets]:
     """Convenience: build a world, run the full pipeline, return both."""
     from repro.simulation.config import SimulationConfig
 
     if config is None:
         config = SimulationConfig.tiny()
     world = World(config)
-    pipeline = MeasurementPipeline(world)
+    pipeline = MeasurementPipeline(world, fault_plan=fault_plan)
     datasets = pipeline.run(progress=progress)
     return world, datasets

@@ -301,6 +301,91 @@ def render_table5() -> str:
     return "Table 5: Feed-service feature matrix\n" + body
 
 
+def render_collection_health(datasets: StudyDatasets) -> str:
+    """Resilience accounting: what went wrong and what the crawlers did.
+
+    Covers injected faults (when a fault plan was active), firehose
+    disconnects / cursor-resumes / retention gaps, and per-collector retry
+    totals — the run's answer to Section 2's collection-challenges
+    discussion.  Renders sensibly for a fault-free run too.
+    """
+    fh = datasets.firehose
+    repos = datasets.repositories
+    lines = ["Collection health: injected faults, retries, and gaps"]
+    if datasets.faults is None:
+        lines.append("fault injection: off (fault-free run)")
+    else:
+        stats = datasets.faults
+        lines.append(
+            "fault injection: %d faults injected across %d dispatched calls, "
+            "%.1fs latency added"
+            % (
+                stats.total_injected(),
+                stats.calls_seen,
+                stats.injected_latency_us / 1e6,
+            )
+        )
+        if stats.injected_by_kind:
+            lines.append(
+                "  by kind:   "
+                + ", ".join(
+                    "%s=%d" % (kind, count)
+                    for kind, count in sorted(stats.injected_by_kind.items())
+                )
+            )
+        if stats.injected_by_status:
+            lines.append(
+                "  by status: "
+                + ", ".join(
+                    "%d=%d" % (status, count)
+                    for status, count in sorted(stats.injected_by_status.items())
+                )
+            )
+    lines.append(
+        "firehose: %d disconnects, %d reconnects, %d events recovered by "
+        "cursor-resume" % (fh.disconnects, fh.reconnects, fh.replayed_events)
+    )
+    if fh.gaps:
+        lines.append(
+            "firehose retention gaps: %d (%d events lost for good)"
+            % (len(fh.gaps), fh.dropped_events)
+        )
+        for gap in fh.gaps[:5]:
+            lines.append(
+                "  cursor %d -> oldest available %s: %d dropped"
+                % (gap.resume_cursor, gap.oldest_available_seq, gap.dropped)
+            )
+    else:
+        lines.append("firehose retention gaps: none")
+    lines.append(
+        "repo crawl: %d requests (%d retries), %d DIDs requeued over %d "
+        "skip-queue rounds, %d permanent failures"
+        % (
+            repos.requests_attempted,
+            repos.transient_retries,
+            repos.requeued_dids,
+            repos.retry_rounds,
+            len(repos.failed_dids),
+        )
+    )
+    for did, reason in sorted(repos.failure_reasons.items())[:5]:
+        lines.append("  %s: %s" % (did, reason))
+    lines.append(
+        "identifier crawls: %d page retries, %d aborted crawls"
+        % (datasets.identifiers.page_retries, datasets.identifiers.aborted_crawls)
+    )
+    lines.append(
+        "other retries: diddocs=%d labelers=%d feedgens=%d active-probes=%d"
+        % (
+            datasets.did_documents.transient_retries,
+            datasets.labels.transient_retries,
+            datasets.feed_generators.transient_retries,
+            datasets.active.transient_retries,
+        )
+    )
+    return "\n".join(lines)
+
+
 def full_report(datasets: StudyDatasets) -> str:
     """Every table and figure, in paper order."""
     sections = [
@@ -322,5 +407,6 @@ def full_report(datasets: StudyDatasets) -> str:
         render_fig11(datasets),
         render_fig12(datasets),
         render_table5(),
+        render_collection_health(datasets),
     ]
     return ("\n\n" + "=" * 72 + "\n\n").join(sections)

@@ -10,21 +10,43 @@ a Tranco-style popularity ranking, and an IP/hosting-class model.
 """
 
 from repro.netsim.dns import DnsRecordType, DnsResolver, DnsZone, NxDomain
+from repro.netsim.faults import (
+    DEFAULT_RETRY_POLICY,
+    Disconnect,
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+    FlakyRule,
+    Outage,
+    RetryPolicy,
+    SlowHost,
+    call_with_retries,
+)
 from repro.netsim.psl import PublicSuffixList, default_psl
 from repro.netsim.tranco import TrancoList
 from repro.netsim.web import WebHostRegistry, WebError
 from repro.netsim.whois import RegistrarDatabase, WhoisService
 
 __all__ = [
+    "DEFAULT_RETRY_POLICY",
+    "Disconnect",
     "DnsRecordType",
     "DnsResolver",
     "DnsZone",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "FlakyRule",
     "NxDomain",
+    "Outage",
     "PublicSuffixList",
     "RegistrarDatabase",
+    "RetryPolicy",
+    "SlowHost",
     "TrancoList",
     "WebError",
     "WebHostRegistry",
     "WhoisService",
+    "call_with_retries",
     "default_psl",
 ]

@@ -1,0 +1,358 @@
+"""Deterministic fault injection for the collection path.
+
+The paper's datasets came out of long-running crawls against an unreliable
+network: a 10-day rate-limited ``getRepo`` snapshot, self-hosted PDSes
+that time out or vanish, and a firehose whose three-day retention window
+silently drops slow subscribers (Sections 2-3).  This module lets a study
+run *rehearse* that unreliability on the simulated clock:
+
+* :class:`FaultPlan` — a frozen, seeded description of what goes wrong
+  and when: full outages, transient 429/5xx flakiness, slow hosts that
+  sometimes exceed the client timeout, and firehose disconnect windows;
+* :class:`FaultInjector` — the runtime that draws from the plan.  The
+  :class:`~repro.services.xrpc.ServiceDirectory` consults it before every
+  dispatched call, and non-XRPC probes (DID resolution, DNS, WHOIS) ask
+  it directly via :meth:`FaultInjector.raise_transient`;
+* :class:`RetryPolicy` / :func:`call_with_retries` — the
+  backoff-with-jitter policy every collector shares, operating on virtual
+  microseconds so a faulted crawl's wall-clock footprint stays computable.
+
+Everything is deterministic: the same plan and seed produce the same
+faults in the same order, so a fault-injected study is exactly as
+reproducible as a fault-free one — and a *recoverable* plan (every outage
+ends, every disconnect is shorter than firehose retention) converges to
+the same Table 1 statistics.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.services.xrpc import XrpcError
+
+US_PER_SECOND = 1_000_000
+US_PER_MINUTE = 60 * US_PER_SECOND
+US_PER_HOUR = 60 * US_PER_MINUTE
+
+#: XRPC statuses worth retrying: transport failure (0), timeout (408),
+#: rate limiting (429), and upstream 5xx.  404s and other 4xx are final.
+TRANSIENT_STATUSES = (0, 408, 429, 500, 502, 503)
+
+#: Pseudo-targets for fault draws that do not go through the XRPC
+#: directory; FlakyRule.url can name these instead of an endpoint URL.
+TARGET_IDENTITY = "target:identity"  # DID document resolution
+TARGET_DNS = "target:dns"  # handle-verification DNS probes
+TARGET_WHOIS = "target:whois"  # WHOIS scans
+
+
+def _url_matches(pattern: str, url: str) -> bool:
+    if pattern == "*":
+        return True
+    pattern = pattern.rstrip("/").lower()
+    url = url.rstrip("/").lower()
+    return url == pattern or url.startswith(pattern)
+
+
+@dataclass(frozen=True)
+class Outage:
+    """A service is fully unreachable during [start_us, end_us)."""
+
+    url: str
+    start_us: int
+    end_us: int
+    status: int = 0  # 0 = connection refused; 408 = hang until timeout
+
+    def applies(self, url: str, now_us: int) -> bool:
+        return self.start_us <= now_us < self.end_us and _url_matches(self.url, url)
+
+
+@dataclass(frozen=True)
+class FlakyRule:
+    """A share of calls to matching targets fail with a transient status."""
+
+    url: str = "*"
+    probability: float = 0.0
+    statuses: tuple[int, ...] = (429, 500, 503)
+    start_us: int = 0
+    end_us: Optional[int] = None
+
+    def applies(self, url: str, now_us: int) -> bool:
+        if now_us < self.start_us:
+            return False
+        if self.end_us is not None and now_us >= self.end_us:
+            return False
+        return _url_matches(self.url, url)
+
+
+@dataclass(frozen=True)
+class SlowHost:
+    """Added per-call latency; calls past ``timeout_us`` fail with 408.
+
+    Models the paper's self-hosted PDSes "that time out": every call to a
+    matching host pays ``base_latency_us`` (plus deterministic jitter),
+    and when the drawn latency exceeds the client timeout the call is
+    charged the full timeout and fails.
+    """
+
+    url: str
+    base_latency_us: int = 200_000
+    jitter_us: int = 0
+    timeout_us: int = 30 * US_PER_SECOND
+    timeout_probability: float = 0.0
+
+
+@dataclass(frozen=True)
+class Disconnect:
+    """The collector's firehose subscription is dead during the window.
+
+    Events published inside the window are lost on the dead connection;
+    the collector notices on the next delivery attempt after ``end_us``
+    and resumes via ``subscribeRepos(cursor)``.  A window shorter than the
+    firehose retention is fully recoverable; a longer one produces an
+    ``OutdatedCursor`` gap with dropped-event accounting.
+    """
+
+    start_us: int
+    end_us: int
+
+    def covers(self, now_us: int) -> bool:
+        return self.start_us <= now_us < self.end_us
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, immutable schedule of network faults."""
+
+    seed: int = 0
+    outages: tuple[Outage, ...] = ()
+    flaky: tuple[FlakyRule, ...] = ()
+    slow_hosts: tuple[SlowHost, ...] = ()
+    disconnects: tuple[Disconnect, ...] = ()
+
+    def is_disconnected(self, now_us: int) -> bool:
+        return any(window.covers(now_us) for window in self.disconnects)
+
+    def is_empty(self) -> bool:
+        return not (self.outages or self.flaky or self.slow_hosts or self.disconnects)
+
+    @classmethod
+    def recoverable(
+        cls,
+        seed: int,
+        start_us: int,
+        end_us: int,
+        relay_url: str = "https://bsky.network",
+    ) -> "FaultPlan":
+        """A moderate, fully recoverable plan over the collection window.
+
+        Every fault heals: outages end well before the collection window
+        does, firehose disconnects stay far below the three-day retention,
+        and flaky responses are transient — so collectors that retry and
+        cursor-resume recover every event and the run converges to the
+        fault-free Table 1.
+        """
+        rng = random.Random(seed ^ 0xFA_07)
+        span = max(1, end_us - start_us)
+        disconnects = []
+        for _ in range(3):
+            at = start_us + int(rng.random() * span * 0.8)
+            length = int(rng.uniform(1, 8) * US_PER_HOUR)
+            disconnects.append(Disconnect(at, at + length))
+        outage_at = start_us + int(rng.random() * span * 0.7)
+        outages = (
+            # The relay drops out entirely for under an hour; crawls that
+            # hit the window park failed DIDs on the retry queue.
+            Outage(relay_url, outage_at, outage_at + int(rng.uniform(10, 45) * US_PER_MINUTE)),
+        )
+        flaky = (
+            FlakyRule(url=relay_url, probability=0.08, statuses=(429, 503)),
+            FlakyRule(url=TARGET_IDENTITY, probability=0.05, statuses=(500,)),
+            FlakyRule(url=TARGET_DNS, probability=0.04, statuses=(0,)),
+            FlakyRule(url=TARGET_WHOIS, probability=0.04, statuses=(0,)),
+        )
+        slow_hosts = (
+            # Self-hosted PDSes answer slowly and occasionally hang past
+            # the client timeout.
+            SlowHost(
+                "https://pds.",
+                base_latency_us=2 * US_PER_SECOND,
+                jitter_us=US_PER_SECOND,
+                timeout_probability=0.05,
+            ),
+        )
+        return cls(
+            seed=seed,
+            outages=outages,
+            flaky=flaky,
+            slow_hosts=slow_hosts,
+            disconnects=tuple(sorted(disconnects, key=lambda d: d.start_us)),
+        )
+
+
+@dataclass
+class FaultStats:
+    """What the injector actually did — reported next to the datasets."""
+
+    injected_by_kind: Counter = field(default_factory=Counter)  # outage/flaky/timeout
+    injected_by_status: Counter = field(default_factory=Counter)
+    injected_by_target: Counter = field(default_factory=Counter)
+    injected_latency_us: int = 0
+    calls_seen: int = 0
+
+    def total_injected(self) -> int:
+        return sum(self.injected_by_kind.values())
+
+
+class FaultInjector:
+    """Draws faults from a plan, in call order, from one seeded stream."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.stats = FaultStats()
+        self._rng = random.Random(plan.seed ^ 0xFA_175)
+
+    # -- XRPC path (ServiceDirectory.before dispatch) ------------------------
+
+    def before_call(self, url: str, method: str, now_us: int) -> int:
+        """Fault gate for one dispatched call.
+
+        Raises :class:`XrpcError` when the call fails; otherwise returns
+        the injected latency in microseconds (0 when the host is healthy).
+        """
+        self.stats.calls_seen += 1
+        for outage in self.plan.outages:
+            if outage.applies(url, now_us):
+                self._count("outage", outage.status, url)
+                raise XrpcError(
+                    outage.status,
+                    "injected outage: %s unreachable (%s)" % (url, method),
+                    injected=True,
+                )
+        latency = 0
+        for slow in self.plan.slow_hosts:
+            if not _url_matches(slow.url, url):
+                continue
+            drawn = slow.base_latency_us
+            if slow.jitter_us:
+                drawn += int(self._rng.random() * slow.jitter_us)
+            if slow.timeout_probability and self._rng.random() < slow.timeout_probability:
+                self.stats.injected_latency_us += slow.timeout_us
+                self._count("timeout", 408, url)
+                raise XrpcError(
+                    408,
+                    "injected timeout: %s took too long (%s)" % (url, method),
+                    injected=True,
+                )
+            latency += min(drawn, slow.timeout_us)
+        for rule in self.plan.flaky:
+            if rule.probability and rule.applies(url, now_us):
+                if self._rng.random() < rule.probability:
+                    status = rule.statuses[self._rng.randrange(len(rule.statuses))]
+                    self._count("flaky", status, url)
+                    raise XrpcError(
+                        status,
+                        "injected transient %d from %s (%s)" % (status, url, method),
+                        injected=True,
+                    )
+        self.stats.injected_latency_us += latency
+        return latency
+
+    # -- non-XRPC probes (resolver, DNS, WHOIS) ------------------------------
+
+    def raise_transient(self, target: str, now_us: int) -> None:
+        """Fault gate for probes that bypass the service directory.
+
+        ``target`` is one of the ``TARGET_*`` pseudo-URLs; a matching
+        flaky rule may raise a transient :class:`XrpcError`.
+        """
+        for rule in self.plan.flaky:
+            if rule.probability and rule.applies(target, now_us):
+                if self._rng.random() < rule.probability:
+                    status = rule.statuses[self._rng.randrange(len(rule.statuses))]
+                    self._count("flaky", status, target)
+                    raise XrpcError(
+                        status,
+                        "injected transient %d from %s" % (status, target),
+                        injected=True,
+                    )
+
+    def _count(self, kind: str, status: int, target: str) -> None:
+        self.stats.injected_by_kind[kind] += 1
+        self.stats.injected_by_status[status] += 1
+        self.stats.injected_by_target[target] += 1
+
+
+# ---------------------------------------------------------------------------
+# Retry / backoff policy shared by every collector
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter, in virtual time."""
+
+    max_attempts: int = 5
+    base_backoff_us: int = US_PER_SECOND  # first retry waits ~1s
+    multiplier: float = 2.0
+    max_backoff_us: int = 2 * US_PER_MINUTE
+    jitter: float = 0.25  # fraction of the backoff added as jitter
+
+    def is_retryable(self, status: int) -> bool:
+        return status in TRANSIENT_STATUSES
+
+    def backoff_us(self, attempt: int, rng: Optional[random.Random] = None) -> int:
+        """Wait before retry number ``attempt`` (1-based)."""
+        base = self.base_backoff_us * self.multiplier ** (attempt - 1)
+        base = min(base, self.max_backoff_us)
+        if rng is not None and self.jitter:
+            base += base * self.jitter * rng.random()
+        return int(base)
+
+
+#: The default policy collectors share; a fault-free run never consults it.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+def call_with_retries(
+    services,
+    url: str,
+    method: str,
+    *,
+    now_us: int,
+    policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+    rng: Optional[random.Random] = None,
+    counters: Optional[Counter] = None,
+    params: Optional[dict] = None,
+    **kwargs,
+):
+    """Dispatch an XRPC call, retrying transient failures with backoff.
+
+    Returns ``(result, now_us)`` where ``now_us`` includes injected
+    latency and all backoff waits (virtual time — callers decide whether
+    to sleep or just account for it).  Non-retryable errors and retryable
+    errors that exhaust the policy re-raise the final :class:`XrpcError`.
+    ``counters`` (when given) accumulates ``attempts`` and ``retries``.
+    XRPC parameters go in ``**kwargs``, or — when a name collides with
+    this function's own keywords (``now_us`` et al.) — in ``params``.
+    """
+    call_params = dict(params) if params else {}
+    call_params.update(kwargs)
+    attempt = 0
+    while True:
+        attempt += 1
+        if counters is not None:
+            counters["attempts"] += 1
+        services.now_us = now_us
+        try:
+            result = services.call(url, method, **call_params)
+        except XrpcError as exc:
+            if not policy.is_retryable(exc.status) or attempt >= policy.max_attempts:
+                raise
+            if counters is not None:
+                counters["retries"] += 1
+            now_us += policy.backoff_us(attempt, rng)
+            continue
+        return result, now_us + services.last_call_latency_us

@@ -10,6 +10,8 @@ paper's repository snapshot took 10 days at the negotiated rate.
 
 from __future__ import annotations
 
+import math
+
 US_PER_SECOND = 1_000_000
 
 
@@ -47,7 +49,10 @@ class TokenBucket:
             self._tokens -= 1.0
             return max(now_us, self._updated_us)
         deficit = 1.0 - self._tokens
-        wait_us = int(deficit / self.rate * US_PER_SECOND)
+        # Round *up*: truncating schedules requests fractionally early, and
+        # over a 10-day crawl the accumulated sub-microsecond credits drift
+        # the effective rate above the negotiated one.
+        wait_us = math.ceil(deficit / self.rate * US_PER_SECOND)
         self._tokens = 0.0
         self._updated_us = max(now_us, self._updated_us) + wait_us
         return self._updated_us

@@ -196,10 +196,13 @@ class Pds(XrpcService):
     # -- XRPC surface ----------------------------------------------------------------
 
     def xrpc_listRepos(self, cursor: Optional[str] = None, limit: int = 500) -> dict:
+        # bisect, not .index(): the cursor DID may have been deleted between
+        # pages, and pagination must continue from its sort position rather
+        # than silently ending the crawl (see Relay.xrpc_listRepos).
+        from bisect import bisect_right
+
         dids = sorted(self._repos)
-        start = 0
-        if cursor is not None:
-            start = dids.index(cursor) + 1 if cursor in dids else len(dids)
+        start = bisect_right(dids, cursor) if cursor is not None else 0
         page = dids[start : start + limit]
         repos = [
             {"did": did, "head": str(self._repos[did].head), "rev": self._repos[did].rev}

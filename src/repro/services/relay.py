@@ -17,14 +17,17 @@ collectors consume.  Key behaviours modelled here:
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Callable, Optional
 
 from repro.atproto.events import (
+    INFO_OUTDATED_CURSOR,
     CommitEvent,
     CommitOp,
     FirehoseEvent,
     HandleEvent,
     IdentityEvent,
+    InfoEvent,
     TombstoneEvent,
 )
 from repro.atproto.repo import CommitMeta, Repo
@@ -43,6 +46,7 @@ class Firehose:
         self._first_index_seq = 1  # seq of _events[0]
         self._next_seq = 1
         self._subscribers: list[Callable[[FirehoseEvent], None]] = []
+        self.dropped_total = 0  # events pruned out of the retention window
 
     def next_seq(self) -> int:
         return self._next_seq
@@ -67,18 +71,48 @@ class Firehose:
         if dropped:
             self._events = self._events[dropped:]
             self._first_index_seq += dropped
+            self.dropped_total += dropped
 
     def subscribe(self, callback: Callable[[FirehoseEvent], None]) -> None:
         """Live subscription: callback runs for every future event."""
         self._subscribers.append(callback)
 
     def events_since(self, cursor: int = 0, limit: Optional[int] = None) -> list[FirehoseEvent]:
-        """Replay buffered events with seq > cursor (subject to retention)."""
+        """Replay buffered events with seq > cursor (subject to retention).
+
+        When the cursor predates the retention window the replay *starts
+        with* an ``#info``/``OutdatedCursor`` frame carrying the oldest
+        sequence number still available and the number of events that were
+        dropped — the consumer learns exactly how large its gap is instead
+        of silently receiving a stream with a hole in it.
+        """
         start = max(0, cursor + 1 - self._first_index_seq)
-        events = self._events[start:]
+        events: list[FirehoseEvent] = list(self._events[start:])
         if limit is not None:
             events = events[:limit]
-        return list(events)
+        gap = self.gap_for_cursor(cursor)
+        if gap is not None:
+            events.insert(0, gap)
+        return events
+
+    def gap_for_cursor(self, cursor: int) -> Optional[InfoEvent]:
+        """The ``OutdatedCursor`` frame a resume from ``cursor`` deserves,
+        or None when the cursor is still inside the retention window."""
+        if cursor + 1 >= self._first_index_seq:
+            return None
+        dropped = self._first_index_seq - (cursor + 1)
+        oldest = self._events[0].seq if self._events else None
+        newest_us = self._events[-1].time_us if self._events else 0
+        return InfoEvent(
+            seq=0,
+            did="",
+            time_us=newest_us,
+            name=INFO_OUTDATED_CURSOR,
+            message="requested cursor %d predates retention; replay resumes at %s "
+            "(%d events dropped)" % (cursor, oldest, dropped),
+            oldest_seq=oldest,
+            dropped=dropped,
+        )
 
     def oldest_available_seq(self) -> Optional[int]:
         if not self._events:
@@ -164,11 +198,16 @@ class Relay(XrpcService):
         return list(self._repo_locations)
 
     def xrpc_listRepos(self, cursor: Optional[str] = None, limit: int = 1000) -> dict:
-        """List all repos the relay mirrors, with head commit versions."""
+        """List all repos the relay mirrors, with head commit versions.
+
+        The cursor is the last DID of the previous page.  Resume via
+        ``bisect`` on the sorted DID list: if the cursor DID was tombstoned
+        between pages it no longer appears in the listing, but pagination
+        must continue from where it *would* sort — an exact-match lookup
+        would silently end the crawl and drop every remaining repo.
+        """
         dids = sorted(self._repo_locations)
-        start = 0
-        if cursor is not None:
-            start = dids.index(cursor) + 1 if cursor in dids else len(dids)
+        start = bisect_right(dids, cursor) if cursor is not None else 0
         page = dids[start : start + limit]
         repos = []
         for did in page:

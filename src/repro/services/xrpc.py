@@ -14,11 +14,18 @@ from typing import Any, Optional
 
 
 class XrpcError(Exception):
-    """A failed XRPC call (unknown host, unknown method, upstream error)."""
+    """A failed XRPC call (unknown host, unknown method, upstream error).
 
-    def __init__(self, status: int, message: str):
+    ``injected`` marks errors raised by the fault-injection gate rather
+    than the service itself — transient by construction, so best-effort
+    callers (:meth:`ServiceDirectory.try_call`) may treat them like
+    connection failures instead of semantic errors.
+    """
+
+    def __init__(self, status: int, message: str, injected: bool = False):
         super().__init__("XRPC %d: %s" % (status, message))
         self.status = status
+        self.injected = injected
 
 
 class XrpcService:
@@ -39,12 +46,23 @@ class ServiceDirectory:
     responding — the paper finds 26% of announced Labelers and ~7% of Feed
     Generators unreachable, and the collectors must observe those failures
     the same way a real crawler does (as connection errors).
+
+    ``fault_injector`` (a :class:`repro.netsim.faults.FaultInjector`) is
+    consulted before every dispatch: it may raise transient or permanent
+    :class:`XrpcError`\\ s and may charge latency, which callers that track
+    virtual time read back from ``last_call_latency_us``.  ``now_us`` is
+    the directory's notion of current virtual time; callers making timed
+    calls set it so time-windowed faults (outages) apply correctly.
     """
 
     def __init__(self):
         self._services: dict[str, XrpcService] = {}
         self._down: set[str] = set()
         self.call_count = 0
+        self.fault_injector = None
+        self.now_us = 0
+        self.last_call_latency_us = 0
+        self.injected_latency_us = 0
 
     def register(self, url: str, service: XrpcService) -> None:
         self._services[self._norm(url)] = service
@@ -75,6 +93,11 @@ class ServiceDirectory:
         """Dispatch an XRPC call to the service behind ``url``."""
         self.call_count += 1
         normalized = self._norm(url)
+        self.last_call_latency_us = 0
+        if self.fault_injector is not None:
+            latency = self.fault_injector.before_call(normalized, method, self.now_us)
+            self.last_call_latency_us = latency
+            self.injected_latency_us += latency
         if normalized in self._down:
             raise XrpcError(0, "connection to %s failed" % url)
         service = self._services.get(normalized)
@@ -83,11 +106,16 @@ class ServiceDirectory:
         return service.xrpc_call(method, **params)
 
     def try_call(self, url: str, method: str, **params: Any) -> Any:
-        """Like :meth:`call` but returns None on transport-level failure."""
+        """Like :meth:`call` but returns None on transport failure.
+
+        Transport errors (status 0) and injected transient faults both
+        come back as None; semantic errors raised by the service itself
+        (404, 500 from a handler body, ...) still propagate.
+        """
         try:
             return self.call(url, method, **params)
         except XrpcError as exc:
-            if exc.status == 0:
+            if exc.status == 0 or exc.injected:
                 return None
             raise
 

@@ -182,6 +182,10 @@ class Engine:
         for day_us in day_range(config.start_us, config.end_us):
             day_end = day_us + US_PER_DAY
             self._commits_today = 0
+            # Keep the service directory's clock roughly current so
+            # time-windowed faults apply to calls made outside the
+            # retry helper (which sets it precisely per attempt).
+            self.world.services.now_us = day_us
 
             while signup_i < len(signups) and signups[signup_i].spec.signup_us < day_end:
                 self._do_signup(signups[signup_i])

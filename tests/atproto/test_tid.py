@@ -48,6 +48,15 @@ class TestTid:
         assert Tid.is_valid(str(Tid(123, 4)))
         assert not Tid.is_valid("not-a-tid")
 
+    def test_comparison_with_non_tid_returns_notimplemented(self):
+        assert Tid.__lt__(Tid(0, 0), "2222222222222") is NotImplemented
+
+    def test_comparison_with_non_tid_raises_typeerror(self):
+        with pytest.raises(TypeError):
+            Tid(0, 0) < 42
+        with pytest.raises(TypeError):
+            Tid(0, 0) < "2222222222222"
+
 
 class TestTidClock:
     def test_monotonic_under_repeated_timestamp(self):

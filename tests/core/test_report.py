@@ -70,4 +70,5 @@ def test_full_report_contains_all_sections(study_datasets):
     text = report.full_report(study_datasets)
     for marker in ("Table 1", "Figure 1", "Figure 12", "Table 5", "Table 6"):
         assert marker in text
-    assert text.count("=" * 72) == 17  # 18 sections, 17 separators
+    assert text.count("=" * 72) == 18  # 19 sections, 18 separators
+    assert "Collection health" in text

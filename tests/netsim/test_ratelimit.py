@@ -56,6 +56,35 @@ class TestTokenBucket:
         assert bucket.schedule_duration_us(10) == 0
         assert bucket.schedule_duration_us(110) == 10 * US
 
+    def test_long_run_rate_never_exceeds_negotiated(self):
+        """Over a long crawl the realized rate must stay at or below the
+        negotiated one.  Fractional waits must round *up*: truncation lets
+        sub-microsecond credits accumulate and quietly push the effective
+        rate above the agreement (the paper's 6.4 rps ethics commitment).
+        """
+        # 6.4 is the paper's getRepo rate; 3.0 and 7.3 have waits that do
+        # not divide a microsecond evenly, where truncation bites hardest.
+        for rate in (6.4, 3.0, 7.3):
+            bucket = TokenBucket(rate_per_second=rate, burst=1)
+            t = 0
+            n = 20_000
+            for _ in range(n):
+                t = bucket.acquire(t)
+            elapsed_s = t / US
+            realized = (n - 1) / elapsed_s  # first token is free (burst)
+            assert realized <= rate + 1e-9, "rate %.1f exceeded" % rate
+
+    def test_ceil_rounding_each_wait(self):
+        """Every scheduled wait covers the full deficit (no early grants)."""
+        bucket = TokenBucket(rate_per_second=3.0, burst=1)
+        t = bucket.acquire(0)
+        previous = t
+        for _ in range(100):
+            t = bucket.acquire(t)
+            # 1/3 s spacing must never be truncated down to 333_333 us.
+            assert t - previous >= 333_334
+            previous = t
+
 
 class TestCrawlDuration:
     def test_paper_repo_crawl_rate(self):

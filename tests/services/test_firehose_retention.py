@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.atproto.events import IdentityEvent
+from repro.atproto.events import KIND_INFO, IdentityEvent, InfoEvent
 from repro.services.relay import Firehose
 
 DAY_US = 24 * 3600 * 1_000_000
@@ -33,7 +33,9 @@ class TestRetention:
         for day in range(6):
             publish_at(firehose, day * DAY_US)
         events = firehose.events_since(0)
-        assert [e.seq for e in events] == [5, 6]
+        # The replay leads with an OutdatedCursor notice, then the backlog.
+        assert events[0].kind == KIND_INFO
+        assert [e.seq for e in events[1:]] == [5, 6]
 
     def test_cursor_mid_backlog(self):
         firehose = Firehose()
@@ -68,6 +70,58 @@ class TestRetention:
         firehose.subscribe(received_b.append)
         publish_at(firehose, 10**15)
         assert len(received_a) == len(received_b) == 1
+
+
+class TestRetentionGaps:
+    """The OutdatedCursor semantics: a cursor that predates the retention
+    window gets an explicit ``#info`` frame instead of a silent hole."""
+
+    def make_pruned(self):
+        firehose = Firehose(retention_us=DAY_US)
+        for day in range(6):
+            publish_at(firehose, day * DAY_US)
+        return firehose  # seqs 1-4 pruned; 5, 6 retained
+
+    def test_gap_frame_reports_oldest_and_dropped(self):
+        firehose = self.make_pruned()
+        info = firehose.events_since(0)[0]
+        assert isinstance(info, InfoEvent)
+        assert info.name == "OutdatedCursor"
+        assert info.oldest_seq == 5
+        assert info.dropped == 4  # seqs 1-4 are gone
+        assert firehose.dropped_total == 4
+
+    def test_gap_sized_to_cursor(self):
+        firehose = self.make_pruned()
+        info = firehose.events_since(cursor=2)[0]
+        assert isinstance(info, InfoEvent)
+        assert info.dropped == 2  # seqs 3 and 4 were missed
+
+    def test_cursor_inside_window_gets_no_gap(self):
+        firehose = self.make_pruned()
+        events = firehose.events_since(cursor=4)
+        assert [e.seq for e in events] == [5, 6]
+        assert firehose.gap_for_cursor(4) is None
+
+    def test_cursor_at_window_edge(self):
+        firehose = self.make_pruned()
+        # cursor 4 means "I have seen up to seq 4"; seq 5 is the oldest
+        # retained event, so nothing was actually lost.
+        assert firehose.gap_for_cursor(4) is None
+        assert firehose.gap_for_cursor(3) is not None
+
+    def test_gap_frame_not_counted_against_limit_members(self):
+        firehose = self.make_pruned()
+        events = firehose.events_since(0, limit=1)
+        # One real event plus the leading notice.
+        assert [e.kind for e in events].count(KIND_INFO) == 1
+        assert len([e for e in events if e.kind != KIND_INFO]) == 1
+
+    def test_fresh_firehose_has_no_gap(self):
+        firehose = Firehose(retention_us=DAY_US)
+        publish_at(firehose, 0)
+        assert firehose.gap_for_cursor(0) is None
+        assert all(e.kind != KIND_INFO for e in firehose.events_since(0))
 
 
 @settings(max_examples=30, deadline=None)

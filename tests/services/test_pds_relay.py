@@ -202,8 +202,13 @@ class TestFirehoseRetention:
                     seq=seq, did="did:plc:" + "a" * 24, time_us=base + day * self.DAY_US
                 )
             )
-        # Asking from seq 0 only returns what retention kept.
-        assert len(firehose.events_since(0)) == firehose.backlog_size()
+        # Asking from seq 0 returns what retention kept, preceded by an
+        # OutdatedCursor notice sizing the gap.
+        events = firehose.events_since(0)
+        info, replay = events[0], events[1:]
+        assert info.kind == "#info"
+        assert info.dropped == firehose.oldest_available_seq() - 1
+        assert len(replay) == firehose.backlog_size()
 
     def test_live_subscription(self):
         from repro.atproto.events import IdentityEvent
@@ -216,3 +221,57 @@ class TestFirehoseRetention:
         )
         assert len(received) == 1
         assert received[0].seq == 1
+
+
+class TestListReposTombstonedCursor:
+    """Pagination must survive the cursor DID being deleted between pages
+    (bisect on sort position, not an exact-match index lookup)."""
+
+    def seed_users(self, net, count=6):
+        dids = []
+        for i in range(count):
+            did, _ = net.create_user("user%d" % i)
+            net.pds.create_record(did, POST, post("x"), net.tick())
+            dids.append(did)
+        return sorted(dids)
+
+    def drain(self, service, limit=2):
+        seen, cursor = [], None
+        while True:
+            page = service.xrpc_listRepos(cursor=cursor, limit=limit)
+            seen.extend(entry["did"] for entry in page["repos"])
+            cursor = page["cursor"]
+            if cursor is None:
+                return seen
+
+    def test_relay_pagination_continues_past_tombstoned_cursor(self, net):
+        dids = self.seed_users(net)
+        first = net.relay.xrpc_listRepos(limit=2)
+        cursor = first["cursor"]
+        net.pds.remove_account(cursor, net.tick())  # tombstone mid-crawl
+        seen = [e["did"] for e in first["repos"]]
+        while cursor is not None:
+            page = net.relay.xrpc_listRepos(cursor=cursor, limit=2)
+            seen.extend(e["did"] for e in page["repos"])
+            cursor = page["cursor"]
+        # Every surviving repo after the tombstoned one is still listed.
+        assert set(seen) >= set(dids) - {first["cursor"]}
+        assert len(seen) == len(set(seen))  # no duplicates either
+
+    def test_pds_pagination_continues_past_tombstoned_cursor(self, net):
+        dids = self.seed_users(net)
+        first = net.pds.xrpc_listRepos(limit=2)
+        cursor = first["cursor"]
+        net.pds.remove_account(cursor, net.tick())
+        seen = [e["did"] for e in first["repos"]]
+        while cursor is not None:
+            page = net.pds.xrpc_listRepos(cursor=cursor, limit=2)
+            seen.extend(e["did"] for e in page["repos"])
+            cursor = page["cursor"]
+        assert set(seen) >= set(dids) - {first["cursor"]}
+        assert len(seen) == len(set(seen))
+
+    def test_full_listing_unaffected_without_tombstone(self, net):
+        dids = self.seed_users(net)
+        assert self.drain(net.relay) == dids
+        assert self.drain(net.pds) == dids

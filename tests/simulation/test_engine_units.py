@@ -92,9 +92,16 @@ class TestWorldInvariants:
             assert study_world.relay.cached_repo(user.did) is not None
 
     def test_firehose_seq_dense(self, study_world):
+        from repro.atproto.events import KIND_INFO
+
         events = study_world.relay.firehose.events_since(0)
-        seqs = [e.seq for e in events]
+        seqs = [e.seq for e in events if e.kind != KIND_INFO]
         assert seqs == list(range(seqs[0], seqs[0] + len(seqs)))
+        # An 18-month timeline with 3-day retention must have pruned, and
+        # the cursor-0 replay must announce that instead of hiding it.
+        if seqs[0] > 1:
+            assert events[0].kind == KIND_INFO
+            assert events[0].dropped == seqs[0] - 1
 
     def test_self_hosted_pdses_crawled(self, study_world):
         for pds in study_world.self_hosted_pdses:

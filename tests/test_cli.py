@@ -19,9 +19,10 @@ class TestCli:
         assert "Skyfeed" in out
 
     def test_artefact_registry_complete(self):
-        # 17 dynamic artefacts + table5 handled separately.
-        assert len(ARTEFACTS) == 17
+        # 18 dynamic artefacts + table5 handled separately.
+        assert len(ARTEFACTS) == 18
         assert "fig12" in ARTEFACTS and "table6" in ARTEFACTS
+        assert "health" in ARTEFACTS
 
     def test_unknown_artefact_rejected(self):
         with pytest.raises(SystemExit):
