@@ -7,7 +7,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test test-fast test-faults bench bench-perf lint report check
+.PHONY: test test-fast test-faults test-integrity bench bench-perf lint report check
 
 test:  ## tier-1 suite (must stay green)
 	$(PYTHON) -m pytest -x -q
@@ -17,6 +17,9 @@ test-fast:  ## tier-1 suite minus the slow scenario worlds
 
 test-faults:  ## fault-injection + resilience suite only
 	$(PYTHON) -m pytest -x -q tests/netsim/test_faults.py tests/core/test_resilience.py tests/services/test_firehose_retention.py
+
+test-integrity:  ## Byzantine-data hardening + checkpoint/resume suite only
+	$(PYTHON) -m pytest -x -q tests/atproto/test_car_fuzz.py tests/atproto/test_crypto.py tests/core/test_integrity.py tests/core/test_checkpoint_resume.py
 
 bench:  ## run the perf harness, write BENCH_perf.json
 	$(PYTHON) -m repro bench
@@ -34,4 +37,4 @@ lint:  ## ruff, when available (not part of the baked toolchain)
 report:  ## full study at default scale, all tables and figures
 	$(PYTHON) -m repro
 
-check: test test-faults lint  ## what CI would run
+check: test test-faults test-integrity lint  ## what CI would run

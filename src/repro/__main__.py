@@ -33,7 +33,12 @@ ARTEFACTS = {
     "fig11": report.render_fig11,
     "fig12": report.render_fig12,
     "health": report.render_collection_health,
+    "integrity": report.render_integrity,
 }
+
+
+def _shard_urls(count: int = 4) -> tuple[str, ...]:
+    return tuple("https://shard%02d.pds.bsky.network" % i for i in range(count))
 
 
 def main(argv=None) -> int:
@@ -73,6 +78,36 @@ def main(argv=None) -> int:
         "plan of relay outages, transient errors, and firehose disconnects "
         "over the collection window (see the 'health' artefact)",
     )
+    parser.add_argument(
+        "--adversary-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="run with seeded Byzantine hosts: poisoned PDS shards serving "
+        "corrupted CARs and lying DID documents, a relay garbling firehose "
+        "frames, and forged handle answers (see the 'integrity' artefact)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="journal study progress to DIR (atomic write-then-rename); "
+        "required for --resume and --crash-seed",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore a checkpoint from --checkpoint-dir and continue; the "
+        "finished study's artefacts are byte-identical to an uninterrupted "
+        "run of the same seed",
+    )
+    parser.add_argument(
+        "--crash-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="kill the study at a seeded progress point (testing the "
+        "checkpoint/resume path); rerun with --resume to continue",
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress progress output")
     parser.add_argument(
         "--export",
@@ -109,8 +144,48 @@ def main(argv=None) -> int:
         fault_plan = FaultPlan.recoverable(
             args.fault_seed, FIREHOSE_COLLECT_START_US, FIREHOSE_COLLECT_END_US
         )
+    adversarial_plan = None
+    if args.adversary_seed is not None:
+        from repro.netsim.faults import AdversarialPlan
+
+        shards = _shard_urls()
+        adversarial_plan = AdversarialPlan.poison(
+            args.adversary_seed,
+            pds_hosts=shards[:3],
+            relay_url="https://bsky.network",
+            decoy_pds=shards[3],
+        )
+    crash_plan = None
+    if args.crash_seed is not None:
+        from repro.netsim.faults import CrashPlan
+
+        if not args.checkpoint_dir:
+            parser.error("--crash-seed requires --checkpoint-dir")
+        crash_plan = CrashPlan.seeded(args.crash_seed)
+    if args.resume and not args.checkpoint_dir:
+        parser.error("--resume requires --checkpoint-dir")
     started = time.time()
-    _, datasets = run_study(config, progress=progress, fault_plan=fault_plan)
+    try:
+        _, datasets = run_study(
+            config,
+            progress=progress,
+            fault_plan=fault_plan,
+            adversarial_plan=adversarial_plan,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            crash_plan=crash_plan,
+        )
+    except Exception as exc:
+        from repro.netsim.faults import StudyCrashed
+
+        if not isinstance(exc, StudyCrashed):
+            raise
+        print(
+            "study crashed at tick %d (%s); rerun with --resume "
+            "--checkpoint-dir %s to continue" % (exc.tick, exc.label, args.checkpoint_dir),
+            file=sys.stderr,
+        )
+        return 3
     if not args.quiet:
         print("study ready in %.1fs" % (time.time() - started), file=sys.stderr)
     if args.artefact == "all":

@@ -3,22 +3,34 @@
 Repositories are exported over ``com.atproto.sync.getRepo`` as CAR files: a
 CBOR header naming the root CID(s), followed by length-prefixed
 ``CID || block-bytes`` sections.
+
+Reading is *self-certifying* by default: every block's payload is hashed
+and compared against the digest its CID claims, so a PDS (or a relay
+cache) serving tampered bytes is caught at the parse boundary instead of
+polluting whatever consumes the repository.  Structural garbage —
+truncated sections, overlong varints, zero-length sections, trailing
+bytes — is rejected as :class:`CarError`.
 """
 
 from __future__ import annotations
 
+import hashlib
 import io
 from typing import Iterable, Iterator
 
 from repro.atproto.cbor import cbor_decode, cbor_encode
 from repro.atproto.cid import Cid
-from repro.atproto.varint import encode_varint, read_varint
+from repro.atproto.varint import VarintError, encode_varint, read_varint
 
 CAR_VERSION = 1
 
 
 class CarError(ValueError):
     """Raised on malformed CAR data."""
+
+
+class BlockDigestError(CarError):
+    """A block's payload hash does not match the digest its CID claims."""
 
 
 def write_car(root: Cid, blocks: Iterable[tuple[Cid, bytes]]) -> bytes:
@@ -35,34 +47,64 @@ def write_car(root: Cid, blocks: Iterable[tuple[Cid, bytes]]) -> bytes:
     return out.getvalue()
 
 
-def read_car(data: bytes) -> tuple[list[Cid], dict[Cid, bytes]]:
-    """Parse a CARv1 file into its roots and a CID → block map."""
-    stream = io.BytesIO(data)
+def _read_header(stream: io.BytesIO) -> list[Cid]:
     try:
         header_len = read_varint(stream)
     except EOFError as exc:
         raise CarError("empty CAR file") from exc
+    except VarintError as exc:
+        raise CarError("malformed CAR header length: %s" % exc) from exc
+    if header_len == 0:
+        raise CarError("zero-length CAR header")
     header_bytes = stream.read(header_len)
     if len(header_bytes) != header_len:
         raise CarError("truncated CAR header")
-    header = cbor_decode(header_bytes)
+    try:
+        header = cbor_decode(header_bytes)
+    except ValueError as exc:
+        raise CarError("undecodable CAR header: %s" % exc) from exc
     if not isinstance(header, dict) or header.get("version") != CAR_VERSION:
         raise CarError("unsupported CAR header: %r" % (header,))
     roots = header.get("roots")
     if not isinstance(roots, list) or not all(isinstance(r, Cid) for r in roots):
         raise CarError("CAR header must list root CIDs")
+    return roots
+
+
+def _read_section(stream: io.BytesIO, verify_digest: bool) -> tuple[Cid, bytes] | None:
+    try:
+        section_len = read_varint(stream)
+    except EOFError:
+        return None
+    except VarintError as exc:
+        # Trailing garbage or an overlong varint where a section length
+        # should be.
+        raise CarError("malformed CAR section length: %s" % exc) from exc
+    if section_len == 0:
+        raise CarError("zero-length CAR section")
+    section = stream.read(section_len)
+    if len(section) != section_len:
+        raise CarError("truncated CAR section")
+    cid, body = _split_cid(section)
+    if verify_digest and hashlib.sha256(body).digest() != cid.digest:
+        raise BlockDigestError("block payload does not hash to %s" % cid)
+    return cid, body
+
+
+def read_car(data: bytes, verify_digests: bool = True) -> tuple[list[Cid], dict[Cid, bytes]]:
+    """Parse a CARv1 file into its roots and a CID → block map.
+
+    ``verify_digests`` (default on) hashes every block payload and raises
+    :class:`BlockDigestError` when it disagrees with the claimed CID.
+    """
+    stream = io.BytesIO(data)
+    roots = _read_header(stream)
     blocks: dict[Cid, bytes] = {}
     while True:
-        try:
-            section_len = read_varint(stream)
-        except EOFError:
+        section = _read_section(stream, verify_digests)
+        if section is None:
             break
-        section = stream.read(section_len)
-        if len(section) != section_len:
-            raise CarError("truncated CAR section")
-        # CIDv1 with sha2-256: varint(1) varint(codec) varint(0x12) varint(32)
-        # is at most 4+32 bytes for our codecs; parse by splitting greedily.
-        cid, body = _split_cid(section)
+        cid, body = section
         blocks[cid] = body
     return roots, blocks
 
@@ -71,27 +113,36 @@ def _split_cid(section: bytes) -> tuple[Cid, bytes]:
     from repro.atproto.varint import decode_varint
 
     pos = 0
-    _, pos = decode_varint(section, pos)  # version
-    _, pos = decode_varint(section, pos)  # codec
-    _, pos = decode_varint(section, pos)  # multihash fn
-    hash_len, pos = decode_varint(section, pos)
+    try:
+        version, pos = decode_varint(section, pos)
+        _, pos = decode_varint(section, pos)  # codec
+        _, pos = decode_varint(section, pos)  # multihash fn
+        hash_len, pos = decode_varint(section, pos)
+    except (VarintError, EOFError, IndexError) as exc:
+        raise CarError("malformed CID in CAR section: %s" % exc) from exc
+    if version != 1:
+        raise CarError("unsupported CID version %d in CAR section" % version)
     end = pos + hash_len
     if end > len(section):
         raise CarError("truncated CID in CAR section")
-    return Cid.from_bytes(section[:end]), section[end:]
+    try:
+        cid = Cid.from_bytes(section[:end])
+    except ValueError as exc:
+        raise CarError("invalid CID in CAR section: %s" % exc) from exc
+    return cid, section[end:]
 
 
-def iter_car_blocks(data: bytes) -> Iterator[tuple[Cid, bytes]]:
-    """Stream the block sections of a CAR file without building a dict."""
+def iter_car_blocks(data: bytes, verify_digests: bool = True) -> Iterator[tuple[Cid, bytes]]:
+    """Stream the block sections of a CAR file without building a dict.
+
+    The header is validated (version + root list) exactly as in
+    :func:`read_car`, and the same structural / digest checks apply to
+    each section.
+    """
     stream = io.BytesIO(data)
-    header_len = read_varint(stream)
-    stream.seek(header_len, io.SEEK_CUR)
+    _read_header(stream)
     while True:
-        try:
-            section_len = read_varint(stream)
-        except EOFError:
+        section = _read_section(stream, verify_digests)
+        if section is None:
             return
-        section = stream.read(section_len)
-        if len(section) != section_len:
-            raise CarError("truncated CAR section")
-        yield _split_cid(section)
+        yield section

@@ -45,6 +45,12 @@ class Cid:
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Cid is immutable")
 
+    def __reduce__(self):
+        # The immutability guard (__setattr__ raises) breaks the default
+        # pickle path; rebuild from the constructor args instead.  Needed
+        # so datasets holding CIDs survive checkpoint/resume journaling.
+        return (Cid, (self.version, self.codec, self.digest))
+
     def to_bytes(self) -> bytes:
         """Binary CID: varint(version) varint(codec) multihash (cached)."""
         cached = self._bytes

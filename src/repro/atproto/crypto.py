@@ -235,12 +235,22 @@ class VerifyingKey:
         self.point = point
 
     def verify(self, message: bytes, signature: bytes) -> bool:
-        """Verify a compact 64-byte signature; rejects high-S signatures."""
-        if len(signature) != 64:
+        """Verify a compact 64-byte signature; rejects high-S signatures.
+
+        ``r`` and ``s`` must each lie in [1, n-1] — zero or >= n is an
+        outright forgery attempt (s = 0 would make ``w`` undefined, and
+        values >= n alias a smaller scalar) — and ``s`` must additionally
+        be in the low half of the range (ATProto's low-S rule).
+        """
+        if not isinstance(signature, (bytes, bytearray)) or len(signature) != 64:
             return False
         r = int.from_bytes(signature[:32], "big")
         s = int.from_bytes(signature[32:], "big")
-        if not (1 <= r < N and 1 <= s <= N // 2):
+        if not (1 <= r <= N - 1):
+            return False
+        if not (1 <= s <= N - 1):
+            return False
+        if s > N // 2:  # valid scalar, but violates low-S normalization
             return False
         digest = hashlib.sha256(message).digest()
         z = int.from_bytes(digest, "big") % N

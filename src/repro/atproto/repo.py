@@ -31,6 +31,10 @@ class RepoError(ValueError):
     """Raised on invalid repository operations."""
 
 
+class SignatureError(RepoError):
+    """The commit signature does not verify against the expected key."""
+
+
 @dataclass(frozen=True)
 class WriteOp:
     """One write in a commit: create, update, or delete a record."""
@@ -250,20 +254,41 @@ class RepoSnapshot:
         return list(seen)
 
 
-def import_car(data: bytes, verify_key: Optional[PublicKey] = None) -> RepoSnapshot:
-    """Parse a repo CAR export, optionally verifying the commit signature."""
-    roots, blocks = read_car(data)
+def import_car(
+    data: bytes,
+    verify_key: Optional[PublicKey] = None,
+    verify_digests: bool = True,
+    check_mst: bool = False,
+) -> RepoSnapshot:
+    """Parse a repo CAR export, optionally verifying the commit signature.
+
+    ``verify_digests`` hashes every block against its claimed CID (see
+    :func:`repro.atproto.car.read_car`); ``check_mst`` additionally runs
+    the reconstructed tree through :meth:`Mst.check_invariants`, so an
+    import with both enabled plus a ``verify_key`` is a full
+    self-certification of the snapshot.  Failure kinds stay
+    distinguishable: digest mismatches raise
+    :class:`~repro.atproto.car.BlockDigestError`, structural garbage
+    :class:`~repro.atproto.car.CarError`, tree violations
+    :class:`~repro.atproto.mst.MstError`, and bad signatures
+    :class:`SignatureError`.
+    """
+    roots, blocks = read_car(data, verify_digests=verify_digests)
     if len(roots) != 1:
         raise RepoError("repo CAR must have exactly one root")
     commit = cbor_decode(blocks[roots[0]])
     if not isinstance(commit, dict) or commit.get("version") != COMMIT_VERSION:
         raise RepoError("root block is not a v%d commit" % COMMIT_VERSION)
+    if not isinstance(commit.get("did"), str) or not isinstance(commit.get("rev"), str):
+        raise RepoError("commit is missing did/rev fields")
     if verify_key is not None:
         sig = commit.get("sig")
         unsigned = {k: v for k, v in commit.items() if k != "sig"}
         if not isinstance(sig, bytes) or not verify_key.verify(cbor_encode(unsigned), sig):
-            raise RepoError("commit signature verification failed")
+            raise SignatureError("commit signature verification failed")
     mst = load_mst(blocks, commit["data"]) if commit["data"] in blocks else Mst()
+    if check_mst:
+        mst.check_invariants()
     snapshot = RepoSnapshot(did=commit["did"], rev=commit["rev"], commit_cid=roots[0])
     for path, cid in mst.items():
         if cid not in blocks:

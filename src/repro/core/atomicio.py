@@ -1,0 +1,51 @@
+"""Atomic file writes for study artefacts and checkpoints.
+
+Every durable file the study produces goes through write-temp-then-rename:
+the bytes land in a temporary sibling first and only an ``os.replace``
+(atomic on POSIX within a filesystem) makes them visible under the final
+name.  A crash mid-write therefore leaves either the previous complete
+file or nothing — never a torn artefact that a resumed run (or a plotting
+script) would misread as valid.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Any, Iterable, Sequence
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + ``os.replace``)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp_path = path + ".tmp.%d" % os.getpid()
+    with open(tmp_path, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    try:
+        os.replace(tmp_path, path)
+    except OSError:
+        os.unlink(tmp_path)
+        raise
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_json(path: str, obj: Any, indent: int = 2) -> None:
+    atomic_write_text(path, json.dumps(obj, indent=indent) + "\n")
+
+
+def atomic_write_csv(path: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Render a CSV fully in memory, then publish it atomically."""
+    import io
+
+    buffer = io.StringIO(newline="")
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    writer.writerows(rows)
+    atomic_write_bytes(path, buffer.getvalue().encode("utf-8"))

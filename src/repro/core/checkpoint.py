@@ -1,0 +1,139 @@
+"""Crash-safe checkpoint/resume for the measurement pipeline.
+
+The study journals its progress — which scheduled actions completed, every
+collector's dataset, the firehose cursor, the repo-crawl frontier — into a
+single pickled state file, published with write-temp-then-rename so a
+crash mid-save leaves the previous complete checkpoint intact.
+
+The contract is *determinism*, not mere continuation: everything the
+collectors draw is a stateless function of (config seed, item), and every
+collector guards against re-doing work the checkpoint already recorded,
+so a run that crashes and resumes any number of times exports artefacts
+byte-identical to an uninterrupted run of the same seed.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Any, Callable, Optional
+
+from repro.core.atomicio import atomic_write_bytes
+from repro.netsim.faults import CrashPlan, StudyCrashed
+
+CHECKPOINT_FILENAME = "study.ckpt"
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """An unusable checkpoint (wrong version, different study config)."""
+
+
+class CheckpointJournal:
+    """On-disk store for one study's checkpoint state."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self.path = os.path.join(directory, CHECKPOINT_FILENAME)
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def save(self, state: dict) -> None:
+        payload = dict(state)
+        payload["__version__"] = CHECKPOINT_VERSION
+        atomic_write_bytes(self.path, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+
+    def load(self) -> Optional[dict]:
+        if not self.exists():
+            return None
+        with open(self.path, "rb") as handle:
+            state = pickle.load(handle)
+        if not isinstance(state, dict) or state.get("__version__") != CHECKPOINT_VERSION:
+            raise CheckpointError("incompatible checkpoint at %s" % self.path)
+        return state
+
+    def clear(self) -> None:
+        if self.exists():
+            os.unlink(self.path)
+
+
+class StudyCheckpointer:
+    """Progress ticks, done-action bookkeeping, and periodic journaling.
+
+    ``tick`` is called on every unit of collection progress (a scheduled
+    action, one firehose ingest, one crawled repo, one probe).  The tick
+    counter is *process-local* — a resumed run starts again from zero —
+    which is what lets a :class:`CrashPlan` compose across a chain of
+    crash/resume cycles instead of re-firing at the same spot forever.
+
+    ``save_every`` bounds how much item-level progress a crash can lose
+    between full action-boundary saves.
+    """
+
+    def __init__(
+        self,
+        journal: Optional[CheckpointJournal] = None,
+        crash_plan: Optional[CrashPlan] = None,
+        save_every: int = 500,
+    ):
+        self.journal = journal
+        self.crash_plan = crash_plan
+        self.save_every = save_every
+        self.done: set[str] = set()
+        self.ticks = 0
+        self._since_save = 0
+        self._state_fn: Optional[Callable[[], dict]] = None
+
+    def bind(self, state_fn: Callable[[], dict]) -> None:
+        """Register the pipeline callback that snapshots full study state."""
+        self._state_fn = state_fn
+
+    # -- progress ------------------------------------------------------------
+
+    def tick(self, label: str = "") -> None:
+        self.ticks += 1
+        if self.crash_plan is not None and self.crash_plan.should_crash(self.ticks):
+            # An abrupt kill: no save here — whatever happened since the
+            # last journal write is lost, exactly like a real crash.
+            raise StudyCrashed(self.ticks, label)
+        self._since_save += 1
+        if self.journal is not None and self._since_save >= self.save_every:
+            self.save()
+
+    def is_done(self, action_id: str) -> bool:
+        return action_id in self.done
+
+    def mark_done(self, action_id: str) -> None:
+        self.done.add(action_id)
+
+    # -- journaling ----------------------------------------------------------
+
+    def save(self) -> None:
+        if self.journal is None or self._state_fn is None:
+            return
+        state = self._state_fn()
+        state["done"] = set(self.done)
+        self.journal.save(state)
+        self._since_save = 0
+
+    def restore(self) -> Optional[dict]:
+        """Load the journal (if any); re-adopts the done-action set."""
+        if self.journal is None:
+            return None
+        state = self.journal.load()
+        if state is None:
+            return None
+        done = state.get("done")
+        if isinstance(done, set):
+            self.done = set(done)
+        return state
+
+
+def state_guard(state: dict, key: str, expected: Any) -> None:
+    """Reject a checkpoint written by a differently-configured study."""
+    found = state.get(key)
+    if found != expected:
+        raise CheckpointError(
+            "checkpoint %s mismatch: journal has %r, this run has %r" % (key, found, expected)
+        )

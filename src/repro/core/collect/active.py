@@ -84,6 +84,10 @@ class ActiveMeasurements:
         psl: PublicSuffixList,
         injector=None,
         retry_policy=None,
+        adversary=None,
+        integrity=None,
+        resolve_did_doc=None,
+        on_progress=None,
     ):
         self.handle_resolver = handle_resolver
         self.whois = whois
@@ -91,6 +95,14 @@ class ActiveMeasurements:
         self.psl = psl
         self.injector = injector
         self.retry_policy = retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
+        # ``adversary`` forges DNS TXT/.well-known answers for poisoned
+        # domains; ``integrity`` + ``resolve_did_doc`` run the
+        # bidirectional check (handle → DID → document → handle) and
+        # quarantine answers that fail it.
+        self.adversary = adversary
+        self.integrity = integrity
+        self.resolve_did_doc = resolve_did_doc
+        self.on_progress = on_progress
         self.dataset = ActiveMeasurementDataset()
         self._retry_rng = random.Random(0xAC71)
         self._now_us = 0  # advances with retry backoffs across a campaign
@@ -120,7 +132,10 @@ class ActiveMeasurements:
     def probe_handles(self, handles: Iterable[str], now_us: int = 0) -> None:
         """Verify ownership mechanisms for (non-bsky.social) handles."""
         self._now_us = max(self._now_us, now_us)
+        probed = {row.handle for row in self.dataset.handle_probes}
         for handle in handles:
+            if handle in probed:
+                continue  # resume: already probed before the checkpoint
             if not self._gate(TARGET_DNS):
                 self.dataset.handle_probes.append(HandleProbeRow(handle, None, None))
                 continue
@@ -129,9 +144,28 @@ class ActiveMeasurements:
             except ValueError:
                 self.dataset.handle_probes.append(HandleProbeRow(handle, None, None))
                 continue
-            self.dataset.handle_probes.append(
-                HandleProbeRow(handle, probe.did, probe.mechanism)
-            )
+            did, mechanism = probe.did, probe.mechanism
+            if self.adversary is not None and did is not None:
+                forged = self.adversary.forge_handle_answer(handle)
+                if forged is not None:
+                    did = forged  # the domain's zone answers with a lie
+            if self.integrity is not None and did is not None:
+                host = self._registered_domain(handle) or handle
+                doc = self.resolve_did_doc(did) if self.resolve_did_doc else None
+                if not self.integrity.check_handle_bidi(host, handle, did, doc):
+                    # The mechanism observation stands (the answer did
+                    # arrive via DNS TXT / .well-known) but the claimed
+                    # DID is quarantined, not recorded as owned.
+                    did = None
+            self.dataset.handle_probes.append(HandleProbeRow(handle, did, mechanism))
+            if self.on_progress is not None:
+                self.on_progress("probe:%s" % handle)
+
+    def _registered_domain(self, handle: str) -> Optional[str]:
+        try:
+            return self.psl.registered_domain(handle)
+        except ValueError:
+            return None
 
     def extract_registered_domains(self, handles: Iterable[str]) -> list[str]:
         """Registered (effective second-level) domains via the PSL."""
@@ -149,7 +183,12 @@ class ActiveMeasurements:
     def scan_whois(self, domains: Optional[Iterable[str]] = None, now_us: int = 0) -> None:
         self._now_us = max(self._now_us, now_us)
         targets = list(domains) if domains is not None else self.dataset.registered_domains
+        scanned = {row.domain for row in self.dataset.whois_rows}
         for domain in targets:
+            if domain in scanned:
+                continue  # resume: already scanned before the checkpoint
+            if self.on_progress is not None:
+                self.on_progress("whois:%s" % domain)
             if not self._gate(TARGET_WHOIS):
                 self.dataset.whois_rows.append(WhoisRow(domain, responded=False))
                 continue

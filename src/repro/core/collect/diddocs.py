@@ -37,6 +37,9 @@ class DidDocumentDataset:
     time_us: int = 0
     documents: dict[str, DidDocumentRow] = field(default_factory=dict)
     failed: set[str] = field(default_factory=set)  # identifiers with no doc
+    # Documents rejected by the integrity cross-check (claimed PDS does
+    # not host the DID); accounted in the integrity report, never ingested.
+    quarantined: set[str] = field(default_factory=set)
     # Resolution attempts that hit an injected transient error and were
     # retried; ``unresolved_transient`` counts DIDs abandoned only because
     # every retry failed (distinct from genuinely tombstoned DIDs).
@@ -60,34 +63,66 @@ class DidDocumentDataset:
 class DidDocumentCollector:
     """Bulk DID-document downloader."""
 
-    def __init__(self, resolver: DidResolver, injector=None, retry_policy=None):
+    def __init__(
+        self,
+        resolver: DidResolver,
+        injector=None,
+        retry_policy=None,
+        adversary=None,
+        integrity=None,
+        host_of=None,
+        on_progress=None,
+    ):
         self.resolver = resolver
         self.injector = injector
         self.retry_policy = retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
+        # ``adversary`` tampers resolved documents in flight (a poisoned
+        # directory response); ``integrity`` cross-checks every document's
+        # claimed PDS against that PDS's own listRepos membership and
+        # quarantines mismatches, attributed via ``host_of`` to the DID's
+        # actual hosting PDS.
+        self.adversary = adversary
+        self.integrity = integrity
+        self.host_of = host_of
+        self.on_progress = on_progress
         self.dataset = DidDocumentDataset()
         self._retry_rng = random.Random(0xD1DD0C)
 
     def crawl(self, dids: Iterable[str], now_us: int) -> DidDocumentDataset:
-        self.dataset.time_us = now_us
+        data = self.dataset
+        data.time_us = now_us
         virtual_now = now_us
         for did in dids:
+            if did in data.documents or did in data.failed or did in data.quarantined:
+                continue  # resume: this DID is already accounted for
             resolved, virtual_now = self._resolve_with_retries(did, virtual_now)
             if resolved is None:
-                self.dataset.failed.add(did)
+                data.failed.add(did)
                 continue
             doc = resolved[0]
             if doc is None:
                 # Tombstoned or unresolvable — the paper likewise obtained
                 # fewer documents (5.08M) than identifiers (5.59M).
-                self.dataset.failed.add(did)
+                data.failed.add(did)
                 continue
-            self.dataset.documents[did] = DidDocumentRow(
+            if self.adversary is not None:
+                doc = self.adversary.tamper_diddoc(did, doc)
+            if self.integrity is not None:
+                host = self.host_of(did) if self.host_of is not None else did
+                if not self.integrity.check_diddoc(host, did, doc):
+                    data.quarantined.add(did)
+                    if self.on_progress is not None:
+                        self.on_progress("diddoc:%s" % did)
+                    continue
+            data.documents[did] = DidDocumentRow(
                 did=did,
                 method=did.split(":", 2)[1],
                 handle=doc.handle,
                 pds_endpoint=doc.pds_endpoint,
                 labeler_endpoint=doc.labeler_endpoint,
             )
+            if self.on_progress is not None:
+                self.on_progress("diddoc:%s" % did)
         return self.dataset
 
     def _resolve_with_retries(self, did: str, now_us: int):

@@ -75,11 +75,15 @@ class FeedGeneratorCollector:
         appview_url: str,
         page_limit: int = 100,
         retry_policy=None,
+        integrity=None,
+        on_progress=None,
     ):
         self.services = services
         self.appview_url = appview_url
         self.page_limit = page_limit
         self.retry_policy = retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
+        self.integrity = integrity
+        self.on_progress = on_progress
         self.dataset = FeedGeneratorDataset()
         self._retry_rng = random.Random(0xFEED)
         self._retry_counters: Counter = Counter()
@@ -139,7 +143,11 @@ class FeedGeneratorCollector:
     def crawl_feed_posts(self, now_us: int, max_pages: int = 200) -> int:
         """One getFeed sweep over all online feeds (anonymous viewer)."""
         self.fetch_metadata(now_us)  # pick up feeds discovered since last sweep
-        self.dataset.crawl_times.append(now_us)
+        if now_us in self.dataset.crawl_times:
+            # Resume: this sweep completed before the checkpoint (the
+            # per-feed buckets already dedupe by post URI, but the sweep
+            # timestamp must not be double-recorded).
+            return 0
         observed = 0
         for meta in self.dataset.reachable():
             cursor: Optional[str] = None
@@ -161,6 +169,10 @@ class FeedGeneratorCollector:
                     break
                 for item in page["feed"]:
                     post = item["post"]
+                    if self.integrity is not None and not self.integrity.check_record_uri(
+                        meta.service_did or self.appview_url, post["uri"]
+                    ):
+                        continue  # quarantined: not a well-formed at:// URI
                     if post["uri"] not in bucket:
                         observed += 1
                         bucket[post["uri"]] = FeedPostObservation(
@@ -173,6 +185,12 @@ class FeedGeneratorCollector:
                 pages += 1
                 if cursor is None:
                     break
+            if self.on_progress is not None:
+                self.on_progress("feed:%s:%d" % (meta.uri, now_us))
+        # Recorded only once the sweep completes: a checkpoint taken
+        # mid-sweep must make the resumed run redo the whole sweep (the
+        # buckets dedupe), not skip its unfinished remainder.
+        self.dataset.crawl_times.append(now_us)
         return observed
 
     def schedule_biweekly_crawls(self, world, start_us: int, end_us: int) -> None:

@@ -93,12 +93,18 @@ class FirehoseCollector:
         relay_url: Optional[str] = None,
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+        adversary=None,
+        integrity=None,
+        on_progress=None,
     ):
         self.start_us = start_us
         self.services = services
         self.relay_url = relay_url
         self.fault_plan = fault_plan
         self.retry_policy = retry_policy
+        self.adversary = adversary
+        self.integrity = integrity
+        self.on_progress = on_progress
         self.dataset = FirehoseDataset(start_us=start_us)
         self.cursor = 0  # seq of the newest event ingested
         self.retry_counters: Counter = Counter()
@@ -117,6 +123,12 @@ class FirehoseCollector:
     # -- live path -------------------------------------------------------------
 
     def consume(self, event: FirehoseEvent) -> None:
+        if event.seq and event.seq <= self.cursor:
+            # Already ingested.  On a checkpoint-resumed run the world
+            # replays the whole simulation, so every pre-checkpoint frame
+            # is delivered again; skipping here keeps all bookkeeping
+            # (fault windows, corruption draws, counters) exactly-once.
+            return
         if self.fault_plan is not None and self.fault_plan.is_disconnected(event.time_us):
             # The frame is lost on the dead connection.  Count the drop
             # once per window; the backlog is recovered on reconnect.
@@ -130,7 +142,20 @@ class FirehoseCollector:
             # already in the relay's buffer).
             self._resume(event.time_us)
             return
-        self._ingest(event)
+        if self.adversary is not None and self.relay_url is not None:
+            garbage = self.adversary.corrupt_frame(event.seq, self.relay_url)
+            if garbage is not None:
+                # The wire delivered a torn frame.  It cannot decode, so
+                # it is quarantined (attributed to the relay) and treated
+                # like a dead connection: the intact event is recovered
+                # from the relay's buffer on the next cursor-resume.
+                if self.integrity is not None:
+                    self.integrity.check_frame_bytes(self.relay_url, event.seq, garbage)
+                self._connected = False
+                self.dataset.disconnects += 1
+                return
+        if self._ingest(event) and self.on_progress is not None:
+            self.on_progress("firehose:seq:%d" % event.seq)
 
     # -- cursor resume ---------------------------------------------------------
 

@@ -68,11 +68,15 @@ class ListReposCollector:
         relay_url: str,
         page_size: int = 1000,
         retry_policy=None,
+        integrity=None,
+        on_progress=None,
     ):
         self.services = services
         self.relay_url = relay_url
         self.page_size = page_size
         self.retry_policy = retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
+        self.integrity = integrity
+        self.on_progress = on_progress
         self.dataset = UserIdentifierDataset()
         self._retry_rng = random.Random(0x11D5)
 
@@ -85,6 +89,10 @@ class ListReposCollector:
 
         from repro.services.xrpc import XrpcError
 
+        for existing in self.dataset.snapshots:
+            if existing.time_us == now_us:
+                # Resume: this crawl completed before the checkpoint.
+                return existing
         snapshot = IdentifierSnapshot(time_us=now_us)
         counters: Counter = Counter()
         cursor = None
@@ -103,7 +111,14 @@ class ListReposCollector:
                     limit=self.page_size,
                 )
                 for entry in page["repos"]:
-                    snapshot.repos[entry["did"]] = (entry["head"], entry["rev"])
+                    did = entry["did"]
+                    if self.integrity is not None and not self.integrity.check_identifier(
+                        self.relay_url, did, entry["head"], entry["rev"]
+                    ):
+                        continue  # quarantined: unusable as a crawl seed
+                    snapshot.repos[did] = (entry["head"], entry["rev"])
+                if self.on_progress is not None:
+                    self.on_progress("listRepos:%s" % (cursor or "start"))
                 cursor = page["cursor"]
                 if cursor is None:
                     break

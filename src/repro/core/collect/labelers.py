@@ -68,19 +68,31 @@ class LabelerCollector:
         dns: DnsResolver,
         verify_signatures: bool = True,
         retry_policy=None,
+        integrity=None,
+        on_progress=None,
     ):
         self.services = services
         self.resolver = resolver
         self.dns = dns
         self.verify_signatures = verify_signatures
         self.retry_policy = retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
+        # With an IntegrityMonitor, labels whose signature fails are
+        # quarantined (dropped + accounted against the endpoint) instead
+        # of being appended alongside the failure counter.
+        self.integrity = integrity
+        self.on_progress = on_progress
         self._verify_keys: dict[str, object] = {}
         self._retry_rng = random.Random(0x1AB5)
         self.dataset = LabelerDataset()
 
     def discover(self, dids) -> None:
-        """Register labeler DIDs found in repos or on the firehose."""
-        for did in dids:
+        """Register labeler DIDs found in repos or on the firehose.
+
+        Insertion is sorted per batch: callers pass sets as well as
+        lists, and the ``statuses`` order decides how label pulls
+        interleave — it must not depend on hash-randomized set order.
+        """
+        for did in sorted(dids):
             if did not in self.dataset.statuses:
                 self.dataset.statuses[did] = LabelerStatus(did=did)
 
@@ -120,11 +132,23 @@ class LabelerCollector:
                     # time of this reconnect; stop and resume next time.
                     break
                 if self.verify_signatures and not self._signature_ok(label):
+                    if self.integrity is not None:
+                        # Quarantine: advance the cursor past the bad
+                        # label (re-pulling it would fail identically)
+                        # but keep it out of the dataset.
+                        self.integrity.check_label(status.endpoint, label.uri, False)
+                        self.dataset.signature_failures += 1
+                        status.cursor = label.seq
+                        continue
                     self.dataset.signature_failures += 1
+                elif self.integrity is not None and label.sig:
+                    self.integrity.check_label(status.endpoint, label.uri, True)
                 self.dataset.labels.append(label)
                 status.cursor = label.seq
                 status.label_count += 1
                 pulled += 1
+                if self.on_progress is not None:
+                    self.on_progress("label:%s:%d" % (status.did, label.seq))
         return pulled
 
     def _signature_ok(self, label: Label) -> bool:

@@ -142,6 +142,9 @@ class RepositoriesCollector:
         rate_per_second: float = 6.4,
         resolver=None,
         retry_policy=None,
+        integrity=None,
+        host_of=None,
+        on_progress=None,
     ):
         from repro.netsim.faults import DEFAULT_RETRY_POLICY
 
@@ -153,6 +156,14 @@ class RepositoriesCollector:
         # signing key (end-to-end authenticated transfer).
         self.resolver = resolver
         self.retry_policy = retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
+        # Optional IntegrityMonitor: runs the full self-certification
+        # stack (digests, MST invariants, signature) on every download and
+        # quarantines failures instead of ingesting them.  ``host_of``
+        # maps a DID to its hosting PDS so quarantines are attributed to
+        # the origin host even though the bytes came through the relay.
+        self.integrity = integrity
+        self.host_of = host_of
+        self.on_progress = on_progress
         self.dataset = RepositoriesDataset()
 
     def crawl(self, dids: Iterable[str], now_us: int) -> RepositoriesDataset:
@@ -175,7 +186,13 @@ class RepositoriesCollector:
         rng = random.Random(0x5EED ^ 0xCA11)
         counters = Counter()
 
-        pending = list(dids)
+        # Resume support: a DID the dataset already accounts for (crawled
+        # or terminally failed/quarantined) is never fetched again.
+        pending = [
+            did
+            for did in dids
+            if did not in data.records_per_repo and did not in data.failed_dids
+        ]
         rounds = 0
         while pending:
             still_failing: list[str] = []
@@ -202,6 +219,8 @@ class RepositoriesCollector:
                 data.failed_dids.discard(did)  # recovered on a later round
                 data.failure_reasons.pop(did, None)
                 self._ingest_repo(did, car)
+                if self.on_progress is not None:
+                    self.on_progress("repo:%s" % did)
             if not still_failing:
                 break
             if rounds >= self.MAX_RETRY_ROUNDS:
@@ -225,14 +244,28 @@ class RepositoriesCollector:
     def _ingest_repo(self, did: str, car: bytes) -> None:
         data = self.dataset
         verify_key = self._signing_key_for(did)
-        try:
-            snapshot = import_car(car, verify_key=verify_key)
-        except ValueError:
-            data.signature_failures += 1
-            snapshot = import_car(car)
-        else:
+        if self.integrity is not None:
+            host = self.host_of(did) if self.host_of is not None else self.relay_url
+            snapshot = self.integrity.verify_repo_car(host, did, car, verify_key=verify_key)
+            if snapshot is None:
+                # Quarantined: the repo never enters the dataset, and the
+                # DID is terminally failed (re-fetching would serve the
+                # same poisoned bytes — corruption draws are stateless).
+                kind = self.integrity.report.quarantined[-1].kind
+                data.failed_dids.add(did)
+                data.failure_reasons[did] = "quarantined: %s" % kind
+                return
             if verify_key is not None:
                 data.verified_signatures += 1
+        else:
+            try:
+                snapshot = import_car(car, verify_key=verify_key)
+            except ValueError:
+                data.signature_failures += 1
+                snapshot = import_car(car)
+            else:
+                if verify_key is not None:
+                    data.verified_signatures += 1
         data.repo_count += 1
         count = 0
         for path, record in snapshot.records.items():

@@ -2,27 +2,29 @@
 
 Writes one machine-readable file per paper artefact so external plotting
 tools can draw the real figures.  Returns the list of paths written.
+
+Every file is published atomically (write-temp-then-``os.replace``, see
+:mod:`repro.core.atomicio`): a crash mid-export leaves either the
+previous complete artefact or nothing, never a torn file.
 """
 
 from __future__ import annotations
 
-import csv
 import json
-import os
 
 from repro.core.analysis import activity, feeds, graph, identity, moderation, summary
+from repro.core.atomicio import atomic_write_csv, atomic_write_json
 from repro.core.pipeline import StudyDatasets
 
 
 def _write_csv(path: str, headers, rows) -> None:
-    with open(path, "w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(headers)
-        writer.writerows(rows)
+    atomic_write_csv(path, headers, rows)
 
 
 def export_artefacts(datasets: StudyDatasets, directory: str) -> list[str]:
     """Write every table/figure's underlying data; returns file paths."""
+    import os
+
     os.makedirs(directory, exist_ok=True)
     written: list[str] = []
 
@@ -217,10 +219,12 @@ def export_artefacts(datasets: StudyDatasets, directory: str) -> list[str]:
     )
 
     # Table 5 (static) + dataset overview
-    with open(out("table5_features.json"), "w") as handle:
-        json.dump(feeds.table5_feature_matrix(), handle, indent=2)
+    atomic_write_json(out("table5_features.json"), feeds.table5_feature_matrix())
     overview = summary.dataset_overview(datasets)
-    with open(out("dataset_overview.json"), "w") as handle:
-        json.dump(overview.__dict__, handle, indent=2)
+    atomic_write_json(out("dataset_overview.json"), overview.__dict__)
+
+    # Integrity/quarantine ledger (what was rejected, from whom, and why)
+    if datasets.integrity is not None:
+        atomic_write_json(out("integrity.json"), datasets.integrity.to_jsonable())
 
     return written

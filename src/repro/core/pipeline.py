@@ -13,6 +13,20 @@ Reproduces the paper's collection schedule against a simulated world:
 
 ``MeasurementPipeline(world).run()`` returns a :class:`StudyDatasets`
 bundle, the input to every analysis in :mod:`repro.core.analysis`.
+
+Robustness layers (all optional except integrity, which is always on):
+
+* ``fault_plan`` — transient unreliability (outages, flaky hosts,
+  disconnects) behind every network call;
+* ``adversarial_plan`` — Byzantine hosts serving corrupted CARs,
+  wrong-key commits, garbage frames, lying DID documents, and forged
+  handle answers; the always-on :class:`IntegrityMonitor` quarantines
+  what fails verification instead of letting it pollute the datasets;
+* ``checkpoint_dir`` / ``resume`` / ``crash_plan`` — crash-safe
+  journaling: progress (done actions, every collector's dataset, the
+  firehose cursor, the crawl frontier) is checkpointed atomically, a
+  :class:`CrashPlan` kills the study at seeded points, and a resumed
+  run produces export artefacts byte-identical to an uninterrupted one.
 """
 
 from __future__ import annotations
@@ -20,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.core.checkpoint import CheckpointJournal, StudyCheckpointer, state_guard
 from repro.core.collect.active import ActiveMeasurementDataset, ActiveMeasurements
 from repro.core.collect.diddocs import DidDocumentCollector, DidDocumentDataset
 from repro.core.collect.feedgens import FeedGeneratorCollector, FeedGeneratorDataset
@@ -27,9 +42,19 @@ from repro.core.collect.firehose import FirehoseCollector, FirehoseDataset
 from repro.core.collect.identifiers import ListReposCollector, UserIdentifierDataset
 from repro.core.collect.labelers import LabelerCollector, LabelerDataset
 from repro.core.collect.repos import RepositoriesCollector, RepositoriesDataset
+from repro.core.integrity import IntegrityMonitor, IntegrityReport
 from repro.identity.handles import HandleResolver
-from repro.netsim.faults import FaultInjector, FaultPlan, FaultStats
+from repro.netsim.faults import (
+    AdversarialPlan,
+    Adversary,
+    AdversaryStats,
+    CrashPlan,
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+)
 from repro.netsim.psl import default_psl
+from repro.simulation.clock import US_PER_DAY
 from repro.simulation.config import (
     DIDDOC_SNAPSHOT_US,
     FEED_COLLECT_END_US,
@@ -56,6 +81,11 @@ class StudyDatasets:
     # What the fault injector actually did during the run (None when the
     # study ran fault-free).
     faults: Optional[FaultStats] = None
+    # The integrity/quarantine ledger (always present: verification runs
+    # on every collected item whether or not an adversary was configured).
+    integrity: Optional[IntegrityReport] = None
+    # What the adversary actually tampered with (None without a plan).
+    adversary: Optional[AdversaryStats] = None
 
 
 class MeasurementPipeline:
@@ -66,9 +96,25 @@ class MeasurementPipeline:
     XRPC call passes its gate, the firehose collector gets the plan's
     disconnect windows, and the non-XRPC probes (identity, DNS, WHOIS)
     draw from the same injector.
+
+    ``adversarial_plan`` (optional) installs a Byzantine :class:`Adversary`
+    behind the same directory; the always-on integrity monitor is what
+    keeps its corruption out of the datasets.
+
+    ``checkpoint_dir`` enables crash-safe journaling; with ``resume=True``
+    a journal found there is restored and completed work is skipped.
+    ``crash_plan`` (testing) kills the study at seeded progress ticks.
     """
 
-    def __init__(self, world: World, fault_plan: Optional[FaultPlan] = None):
+    def __init__(
+        self,
+        world: World,
+        fault_plan: Optional[FaultPlan] = None,
+        adversarial_plan: Optional[AdversarialPlan] = None,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
+        crash_plan: Optional[CrashPlan] = None,
+    ):
         self.world = world
         self.fault_plan = fault_plan
         self.fault_injector: Optional[FaultInjector] = None
@@ -76,47 +122,172 @@ class MeasurementPipeline:
         if fault_plan is not None and not fault_plan.is_empty():
             self.fault_injector = FaultInjector(fault_plan)
             services.fault_injector = self.fault_injector
-        self.identifier_collector = ListReposCollector(services, world.relay.url)
+
+        self.adversary: Optional[Adversary] = None
+        if adversarial_plan is not None and not adversarial_plan.is_empty():
+            self.adversary = Adversary(adversarial_plan, host_of=self._host_of)
+            services.adversary = self.adversary
+
+        # Verification is not optional: every collector passes its data
+        # through the monitor even when no adversary is configured, so a
+        # clean run and a poisoned run differ only in what gets
+        # quarantined, never in how clean data is handled.
+        self.integrity = IntegrityMonitor(directory=services)
+
+        journal = CheckpointJournal(checkpoint_dir) if checkpoint_dir else None
+        self.checkpointer = StudyCheckpointer(journal=journal, crash_plan=crash_plan)
+        self.checkpointer.bind(self._checkpoint_state)
+        tick = self.checkpointer.tick
+
+        self.identifier_collector = ListReposCollector(
+            services, world.relay.url, integrity=self.integrity, on_progress=tick
+        )
         self.diddoc_collector = DidDocumentCollector(
-            world.resolver, injector=self.fault_injector
+            world.resolver,
+            injector=self.fault_injector,
+            adversary=self.adversary,
+            integrity=self.integrity,
+            host_of=self._host_of,
+            on_progress=tick,
         )
         self.repo_collector = RepositoriesCollector(
-            services, world.relay.url, resolver=world.resolver
+            services,
+            world.relay.url,
+            resolver=world.resolver,
+            integrity=self.integrity,
+            host_of=self._host_of,
+            on_progress=tick,
         )
         self.firehose_collector = FirehoseCollector(
             start_us=FIREHOSE_COLLECT_START_US,
             services=services,
             relay_url=world.relay.url,
             fault_plan=fault_plan,
+            adversary=self.adversary,
+            integrity=self.integrity,
+            on_progress=tick,
         )
-        self.labeler_collector = LabelerCollector(services, world.resolver, world.dns)
-        self.feedgen_collector = FeedGeneratorCollector(services, world.appview.url)
+        self.labeler_collector = LabelerCollector(
+            services,
+            world.resolver,
+            world.dns,
+            integrity=self.integrity,
+            on_progress=tick,
+        )
+        self.feedgen_collector = FeedGeneratorCollector(
+            services, world.appview.url, integrity=self.integrity, on_progress=tick
+        )
         self.active_measurements = ActiveMeasurements(
             HandleResolver(world.dns, world.web),
             world.whois,
             world.tranco,
             default_psl(),
             injector=self.fault_injector,
+            adversary=self.adversary,
+            integrity=self.integrity,
+            resolve_did_doc=world.resolver.resolve,
+            on_progress=tick,
         )
+        if resume:
+            state = self.checkpointer.restore()
+            if state is not None:
+                self._restore(state)
         self._schedule()
+
+    def _host_of(self, did: str) -> str:
+        """The URL of the PDS hosting ``did`` (quarantine attribution)."""
+        pds = self.world.relay.hosting_pds(did)
+        return pds.url if pds is not None else self.world.relay.url
+
+    # -- checkpoint plumbing ----------------------------------------------------
+
+    def _checkpoint_state(self) -> dict:
+        fh = self.firehose_collector
+        return {
+            "seed": self.world.config.seed,
+            "scale": self.world.config.scale,
+            "identifiers": self.identifier_collector.dataset,
+            "diddocs": self.diddoc_collector.dataset,
+            "repos": self.repo_collector.dataset,
+            "firehose": {
+                "dataset": fh.dataset,
+                "cursor": fh.cursor,
+                "connected": fh._connected,
+            },
+            "labels": self.labeler_collector.dataset,
+            "feeds": self.feedgen_collector.dataset,
+            "active": self.active_measurements.dataset,
+            "integrity": self.integrity.report,
+            "adversary": self.adversary.stats if self.adversary else None,
+        }
+
+    def _restore(self, state: dict) -> None:
+        state_guard(state, "seed", self.world.config.seed)
+        state_guard(state, "scale", self.world.config.scale)
+        self.identifier_collector.dataset = state["identifiers"]
+        self.diddoc_collector.dataset = state["diddocs"]
+        self.repo_collector.dataset = state["repos"]
+        fh = state["firehose"]
+        self.firehose_collector.dataset = fh["dataset"]
+        self.firehose_collector.cursor = fh["cursor"]
+        self.firehose_collector._connected = fh["connected"]
+        self.labeler_collector.dataset = state["labels"]
+        self.feedgen_collector.dataset = state["feeds"]
+        self.active_measurements.dataset = state["active"]
+        self.integrity.adopt_report(state["integrity"])
+        if self.adversary is not None and state.get("adversary") is not None:
+            self.adversary.stats = state["adversary"]
+
+    def _add_action(self, time_us: int, name: str, fn) -> None:
+        """Schedule one journaled action: skip-if-done, save-on-complete."""
+        action_id = "%s@%d" % (name, time_us)
+
+        def wrapped(now_us: int) -> None:
+            ckpt = self.checkpointer
+            ckpt.tick(action_id)
+            if ckpt.is_done(action_id):
+                return
+            fn(now_us)
+            ckpt.mark_done(action_id)
+            ckpt.save()
+
+        self.world.schedule(time_us, wrapped)
+
+    def _post_step(self, name: str, fn) -> None:
+        """One journaled post-simulation step (same contract as actions)."""
+        ckpt = self.checkpointer
+        ckpt.tick(name)
+        if ckpt.is_done(name):
+            return
+        fn()
+        ckpt.mark_done(name)
+        ckpt.save()
+
+    # -- schedule ---------------------------------------------------------------
 
     def _schedule(self) -> None:
         world = self.world
         self.firehose_collector.attach(world)
-        self.identifier_collector.schedule_weekly(
-            world, FIREHOSE_COLLECT_START_US, FIREHOSE_COLLECT_END_US
-        )
-        world.schedule(DIDDOC_SNAPSHOT_US, self._snapshot_did_documents)
-        world.schedule(REPO_SNAPSHOT_US, self._snapshot_repositories)
-        self.labeler_collector.schedule_daily_reconnects(
-            world, FIREHOSE_COLLECT_START_US, LABEL_SNAPSHOT_US
-        )
-        world.schedule(FEED_COLLECT_START_US, self._start_feed_collection)
+        t = FIREHOSE_COLLECT_START_US
+        while t < FIREHOSE_COLLECT_END_US:
+            self._add_action(
+                t, "identifiers", lambda now_us: self.identifier_collector.crawl(now_us)
+            )
+            t += 7 * US_PER_DAY
+        self._add_action(DIDDOC_SNAPSHOT_US, "diddoc-snapshot", self._snapshot_did_documents)
+        self._add_action(REPO_SNAPSHOT_US, "repo-snapshot", self._snapshot_repositories)
+        t = FIREHOSE_COLLECT_START_US
+        while t < LABEL_SNAPSHOT_US:
+            self._add_action(
+                t,
+                "labelers",
+                lambda now_us: self.labeler_collector.connect_and_backfill(now_us),
+            )
+            t += US_PER_DAY
+        self._add_action(FEED_COLLECT_START_US, "feed-start", self._start_feed_collection)
         t = FEED_COLLECT_START_US + 1
-        from repro.simulation.clock import US_PER_DAY
-
         while t < FEED_COLLECT_END_US:
-            world.schedule(t, self._feed_crawl_sweep)
+            self._add_action(t, "feed-sweep", self._feed_crawl_sweep)
             t += 14 * US_PER_DAY
 
     # -- scheduled actions ------------------------------------------------------
@@ -155,12 +326,31 @@ class MeasurementPipeline:
         # Close out any firehose disconnect window still open at the end
         # of the collection period: no further live frame will trigger the
         # resume path, so catch up explicitly before reading the dataset.
-        self.firehose_collector.backfill(FIREHOSE_COLLECT_END_US)
+        self._post_step(
+            "post:backfill",
+            lambda: self.firehose_collector.backfill(FIREHOSE_COLLECT_END_US),
+        )
         # Final labeler discovery/backfill (as of 2024-05-01 in the paper;
         # the firehose may have surfaced labelers the repo snapshot missed).
+        self._post_step("post:labeler-final", self._final_labeler_pull)
+        # Active identity measurements over the DID-document handles.
+        self._post_step("post:active-probes", self._probe_identity)
+        self._post_step(
+            "post:whois", lambda: self.active_measurements.scan_whois(now_us=LABEL_SNAPSHOT_US)
+        )
+        self._post_step(
+            "post:tranco", lambda: self.active_measurements.cross_reference_tranco()
+        )
+        # Final journal write: a later resume of a completed study finds
+        # every action and step marked done and just re-exports.
+        self.checkpointer.save()
+        return self.datasets()
+
+    def _final_labeler_pull(self) -> None:
         self.labeler_collector.discover(self.firehose_collector.dataset.labeler_service_dids)
         self.labeler_collector.connect_and_backfill(LABEL_SNAPSHOT_US)
-        # Active identity measurements over the DID-document handles.
+
+    def _probe_identity(self) -> None:
         non_bsky = [
             handle
             for handle in self.diddoc_collector.dataset.handles()
@@ -168,9 +358,6 @@ class MeasurementPipeline:
         ]
         self.active_measurements.probe_handles(non_bsky, now_us=LABEL_SNAPSHOT_US)
         self.active_measurements.extract_registered_domains(non_bsky)
-        self.active_measurements.scan_whois(now_us=LABEL_SNAPSHOT_US)
-        self.active_measurements.cross_reference_tranco()
-        return self.datasets()
 
     def datasets(self) -> StudyDatasets:
         return StudyDatasets(
@@ -182,18 +369,38 @@ class MeasurementPipeline:
             labels=self.labeler_collector.dataset,
             active=self.active_measurements.dataset,
             faults=self.fault_injector.stats if self.fault_injector else None,
+            integrity=self.integrity.report,
+            adversary=self.adversary.stats if self.adversary else None,
         )
 
 
 def run_study(
-    config=None, progress=None, fault_plan: Optional[FaultPlan] = None
+    config=None,
+    progress=None,
+    fault_plan: Optional[FaultPlan] = None,
+    adversarial_plan: Optional[AdversarialPlan] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    crash_plan: Optional[CrashPlan] = None,
 ) -> tuple[World, StudyDatasets]:
-    """Convenience: build a world, run the full pipeline, return both."""
+    """Convenience: build a world, run the full pipeline, return both.
+
+    With ``crash_plan`` the call may raise
+    :class:`~repro.netsim.faults.StudyCrashed`; rerun with ``resume=True``
+    (and the same ``checkpoint_dir``) to continue from the journal.
+    """
     from repro.simulation.config import SimulationConfig
 
     if config is None:
         config = SimulationConfig.tiny()
     world = World(config)
-    pipeline = MeasurementPipeline(world, fault_plan=fault_plan)
+    pipeline = MeasurementPipeline(
+        world,
+        fault_plan=fault_plan,
+        adversarial_plan=adversarial_plan,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        crash_plan=crash_plan,
+    )
     datasets = pipeline.run(progress=progress)
     return world, datasets

@@ -386,6 +386,57 @@ def render_collection_health(datasets: StudyDatasets) -> str:
     return "\n".join(lines)
 
 
+def render_integrity(datasets: StudyDatasets) -> str:
+    """Byzantine-data accounting: verification volume and quarantines.
+
+    Every collector passes its data through the integrity monitor (block
+    digests vs CIDs, commit signatures vs DID-document keys, MST
+    invariants, frame decoding, PDS membership cross-checks, handle
+    round-trips); anything that fails is quarantined and attributed here
+    to the host that served it, per corruption kind.
+    """
+    lines = ["Data integrity: verification and quarantine accounting"]
+    report = datasets.integrity
+    if report is None:
+        lines.append("integrity monitoring: off")
+        return "\n".join(lines)
+    if report.checked:
+        lines.append(
+            "verified: "
+            + ", ".join(
+                "%s=%d" % (kind, report.checked[kind]) for kind in sorted(report.checked)
+            )
+        )
+    else:
+        lines.append("verified: nothing collected")
+    adversary = datasets.adversary
+    if adversary is not None and adversary.total():
+        lines.append(
+            "adversary: %d items tampered ("
+            % adversary.total()
+            + ", ".join(
+                "%s=%d" % (kind, count) for kind, count in sorted(adversary.by_kind().items())
+            )
+            + ")"
+        )
+    if not report.quarantined:
+        lines.append("quarantined: nothing — every item passed verification")
+        return "\n".join(lines)
+    lines.append("quarantined: %d items" % report.total_quarantined())
+    lines.append(
+        format_table(
+            ("host", "kind", "quarantined"),
+            [
+                (host, kind, count)
+                for (host, kind), count in sorted(report.counts.items())
+            ],
+        )
+    )
+    for item in sorted(report.quarantined, key=lambda q: (q.host, q.kind, q.item))[:10]:
+        lines.append("  %s [%s] %s: %s" % (item.host, item.kind, item.item, item.detail))
+    return "\n".join(lines)
+
+
 def full_report(datasets: StudyDatasets) -> str:
     """Every table and figure, in paper order."""
     sections = [
@@ -408,5 +459,6 @@ def full_report(datasets: StudyDatasets) -> str:
         render_fig12(datasets),
         render_table5(),
         render_collection_health(datasets),
+        render_integrity(datasets),
     ]
     return ("\n\n" + "=" * 72 + "\n\n").join(sections)

@@ -286,6 +286,348 @@ class FaultInjector:
 
 
 # ---------------------------------------------------------------------------
+# Adversarial (Byzantine) data corruption
+# ---------------------------------------------------------------------------
+
+#: Corruption modes an :class:`AdversarialPlan` can assign to a host.
+CORRUPT_CAR_BITFLIP = "car-bitflip"  # random byte flipped in a repo CAR
+CORRUPT_CAR_DIGEST = "car-digest-mismatch"  # block body != claimed CID digest
+CORRUPT_COMMIT_KEY = "commit-wrong-key"  # commit re-signed with the wrong key
+CORRUPT_FRAME = "frame-garbage"  # truncated/garbage firehose frame
+CORRUPT_DIDDOC_PDS = "diddoc-wrong-pds"  # DID document claims the wrong PDS
+CORRUPT_HANDLE = "handle-mismatch"  # DNS TXT / well-known answers a wrong DID
+
+#: The modes that tamper with ``getRepo`` CAR responses.
+CAR_CORRUPTION_KINDS = (CORRUPT_CAR_BITFLIP, CORRUPT_CAR_DIGEST, CORRUPT_COMMIT_KEY)
+
+ALL_CORRUPTION_KINDS = CAR_CORRUPTION_KINDS + (
+    CORRUPT_FRAME,
+    CORRUPT_DIDDOC_PDS,
+    CORRUPT_HANDLE,
+)
+
+
+def _target_matches(pattern: str, target: str) -> bool:
+    """URL-prefix or domain-suffix match (handles are matched by domain)."""
+    if pattern == "*":
+        return True
+    pattern = pattern.rstrip("/").lower()
+    target = target.rstrip("/").lower()
+    return target == pattern or target.startswith(pattern) or target.endswith("." + pattern)
+
+
+@dataclass(frozen=True)
+class CorruptionRule:
+    """One poisoned host: which data it serves corrupted, and how often.
+
+    ``host`` is a URL prefix (PDS / relay endpoints) or a bare domain
+    (matched as a suffix, for handle rules).  ``param`` carries
+    mode-specific data: the decoy endpoint for ``diddoc-wrong-pds``, the
+    forged DID for ``handle-mismatch``.
+    """
+
+    host: str
+    kind: str
+    probability: float = 1.0
+    param: Optional[str] = None
+
+    def __post_init__(self):
+        if self.kind not in ALL_CORRUPTION_KINDS:
+            raise ValueError("unknown corruption kind %r" % self.kind)
+
+
+@dataclass(frozen=True)
+class AdversarialPlan:
+    """A seeded, immutable description of Byzantine hosts.
+
+    Unlike :class:`FaultPlan` (which models *transient* unreliability),
+    an adversarial plan makes chosen hosts serve data that is well-formed
+    enough to reach the collectors but fails self-certification: blocks
+    whose bytes do not hash to their CID, commits signed with the wrong
+    key, garbage firehose frames, DID documents pointing at the wrong
+    PDS, and handle-verification answers naming a DID the handle does
+    not own.  Every draw is stateless (seeded per item), so the same plan
+    corrupts exactly the same items in every run — and in a resumed one.
+    """
+
+    seed: int = 0
+    rules: tuple[CorruptionRule, ...] = ()
+
+    def is_empty(self) -> bool:
+        return not self.rules
+
+    def hosts(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for rule in self.rules:
+            seen.setdefault(rule.host, None)
+        return list(seen)
+
+    @classmethod
+    def poison(
+        cls,
+        seed: int,
+        pds_hosts: tuple[str, ...] = (),
+        relay_url: Optional[str] = None,
+        handle_domains: tuple[str, ...] = (),
+        decoy_pds: Optional[str] = None,
+        frame_probability: float = 0.02,
+    ) -> "AdversarialPlan":
+        """A standard plan spreading every corruption mode across hosts.
+
+        Each poisoned PDS serves one CAR-corruption mode (cycled) for all
+        repos it hosts, plus wrong-PDS DID documents when ``decoy_pds``
+        names the endpoint the tampered documents should claim.  The
+        relay (when given) garbles a share of live firehose frames, and
+        each handle domain answers ownership probes with a forged DID.
+        """
+        rules: list[CorruptionRule] = []
+        for index, host in enumerate(pds_hosts):
+            kind = CAR_CORRUPTION_KINDS[index % len(CAR_CORRUPTION_KINDS)]
+            rules.append(CorruptionRule(host=host, kind=kind))
+            if decoy_pds is not None and decoy_pds != host:
+                rules.append(
+                    CorruptionRule(host=host, kind=CORRUPT_DIDDOC_PDS, param=decoy_pds)
+                )
+        if relay_url is not None:
+            rules.append(
+                CorruptionRule(
+                    host=relay_url, kind=CORRUPT_FRAME, probability=frame_probability
+                )
+            )
+        for domain in handle_domains:
+            rules.append(CorruptionRule(host=domain, kind=CORRUPT_HANDLE))
+        return cls(seed=seed, rules=tuple(rules))
+
+
+@dataclass
+class AdversaryStats:
+    """What the adversary actually tampered with during a run."""
+
+    tampered: Counter = field(default_factory=Counter)  # (host, kind) -> count
+
+    def total(self) -> int:
+        return sum(self.tampered.values())
+
+    def by_kind(self) -> Counter:
+        out: Counter = Counter()
+        for (_, kind), count in self.tampered.items():
+            out[kind] += count
+        return out
+
+
+class Adversary:
+    """Runtime that applies an :class:`AdversarialPlan` to served data.
+
+    ``host_of`` maps a DID to the URL of its *hosting* PDS, so data
+    served through the relay cache is still corrupted — and attributed —
+    per origin host, the way a misbehaving federated PDS poisons
+    everything downstream of it.  All draws are stateless functions of
+    ``(plan seed, kind, item)``: deterministic across runs, processes,
+    and checkpoint/resume boundaries.
+    """
+
+    def __init__(self, plan: AdversarialPlan, host_of=None):
+        self.plan = plan
+        self.host_of = host_of
+        self.stats = AdversaryStats()
+        from repro.atproto.keys import make_keypair
+
+        self._wrong_keypair = make_keypair(b"adversary-wrong-key:%d" % plan.seed, fast=True)
+
+    # -- rule / rng plumbing -------------------------------------------------
+
+    def _rng(self, kind: str, item: str) -> random.Random:
+        return random.Random("adv:%d:%s:%s" % (self.plan.seed, kind, item))
+
+    def _rule_for(self, kind: str, host: str, item: str) -> Optional[CorruptionRule]:
+        for rule in self.plan.rules:
+            if rule.kind != kind or not _target_matches(rule.host, host):
+                continue
+            if rule.probability >= 1.0 or self._rng(kind, item).random() < rule.probability:
+                return rule
+        return None
+
+    def origin_host(self, did: str, default: str) -> str:
+        if self.host_of is not None:
+            host = self.host_of(did)
+            if host:
+                return host
+        return default
+
+    def _count(self, host: str, kind: str) -> None:
+        self.stats.tampered[(host, kind)] += 1
+
+    # -- XRPC hook (ServiceDirectory, after dispatch) ------------------------
+
+    def after_call(self, url: str, method: str, params: dict, result):
+        """Tamper with a successful XRPC result on its way back."""
+        if method.endswith("sync.getRepo") and isinstance(result, (bytes, bytearray)):
+            did = str(params.get("did", ""))
+            return self.corrupt_car(bytes(result), self.origin_host(did, url), did)
+        return result
+
+    # -- corruption modes ----------------------------------------------------
+
+    def corrupt_car(self, car: bytes, host: str, did: str) -> bytes:
+        """Apply whichever CAR-corruption rule covers this repo's host."""
+        for kind in CAR_CORRUPTION_KINDS:
+            rule = self._rule_for(kind, host, did)
+            if rule is None:
+                continue
+            if kind == CORRUPT_CAR_BITFLIP:
+                car = self._bitflip(car, did)
+            elif kind == CORRUPT_CAR_DIGEST:
+                car = self._mismatch_digest(car, did)
+            else:
+                car = self._resign_commit(car)
+            self._count(host, kind)
+            return car
+        return car
+
+    def _bitflip(self, car: bytes, did: str) -> bytes:
+        rng = self._rng("bitflip-pos", did)
+        # Flip a bit past the header so the damage lands in a block
+        # (position and bit are a stateless function of the DID).
+        lo = min(len(car) - 1, 64)
+        pos = lo + rng.randrange(max(1, len(car) - lo))
+        flipped = bytearray(car)
+        flipped[pos] ^= 1 << rng.randrange(8)
+        return bytes(flipped)
+
+    def _mismatch_digest(self, car: bytes, did: str) -> bytes:
+        """Alter one block's payload while keeping its claimed CID."""
+        from repro.atproto.car import read_car, write_car
+
+        try:
+            roots, blocks = read_car(car, verify_digests=False)
+        except ValueError:
+            return car
+        items = list(blocks.items())
+        if len(items) < 2:
+            return car
+        rng = self._rng("digest-pos", did)
+        index = 1 + rng.randrange(len(items) - 1)  # never the root commit
+        cid, body = items[index]
+        tampered = bytearray(body if body else b"\x00")
+        tampered[rng.randrange(len(tampered))] ^= 0xFF
+        items[index] = (cid, bytes(tampered))
+        return write_car(roots[0], items)
+
+    def _resign_commit(self, car: bytes) -> bytes:
+        """Re-sign the root commit with the adversary's key.
+
+        The result is fully self-consistent (every digest matches, the
+        MST is intact) — only the signature check against the DID
+        document's published key can catch it.
+        """
+        from repro.atproto.car import read_car, write_car
+        from repro.atproto.cbor import cbor_decode, cbor_encode
+        from repro.atproto.cid import cid_for_dag_cbor_bytes
+
+        try:
+            roots, blocks = read_car(car, verify_digests=False)
+            commit = cbor_decode(blocks[roots[0]])
+        except (ValueError, KeyError, IndexError):
+            return car
+        if not isinstance(commit, dict):
+            return car
+        unsigned = {k: v for k, v in commit.items() if k != "sig"}
+        unsigned["sig"] = self._wrong_keypair.sign(cbor_encode(unsigned))
+        block = cbor_encode(unsigned)
+        new_root = cid_for_dag_cbor_bytes(block)
+        rest = [(cid, body) for cid, body in blocks.items() if cid != roots[0]]
+        return write_car(new_root, [(new_root, block)] + rest)
+
+    def corrupt_frame(self, seq: int, host: str) -> Optional[bytes]:
+        """Garbage bytes replacing a live firehose frame, or None."""
+        rule = self._rule_for(CORRUPT_FRAME, host, "seq:%d" % seq)
+        if rule is None:
+            return None
+        rng = self._rng("frame-bytes", "seq:%d" % seq)
+        # Lead with a CBOR break byte so the frame can never decode, then
+        # a short run of noise (a torn/truncated frame on the wire).
+        garbage = b"\xff" + bytes(rng.randrange(256) for _ in range(rng.randrange(0, 24)))
+        self._count(host, CORRUPT_FRAME)
+        return garbage
+
+    def tamper_diddoc(self, did: str, doc):
+        """Return a copy of ``doc`` claiming the wrong PDS, or ``doc``."""
+        if doc is None:
+            return None
+        host = self.origin_host(did, "")
+        rule = self._rule_for(CORRUPT_DIDDOC_PDS, host, did)
+        if rule is None:
+            return doc
+        from repro.identity.did import PDS_SERVICE_ID, DidDocument, ServiceEndpoint
+
+        decoy = rule.param or "https://pds.invalid"
+        tampered = DidDocument(
+            did=doc.did,
+            handle=doc.handle,
+            signing_key=doc.signing_key,
+            rotation_keys=doc.rotation_keys,
+            services=list(doc.services),
+        )
+        tampered.set_service(
+            ServiceEndpoint(PDS_SERVICE_ID, "AtprotoPersonalDataServer", decoy)
+        )
+        self._count(host, CORRUPT_DIDDOC_PDS)
+        return tampered
+
+    def forge_handle_answer(self, handle: str) -> Optional[str]:
+        """A forged DID for a poisoned handle domain, or None."""
+        rule = self._rule_for(CORRUPT_HANDLE, handle, handle)
+        if rule is None:
+            return None
+        self._count(rule.host, CORRUPT_HANDLE)
+        if rule.param:
+            return rule.param
+        rng = self._rng("forged-did", handle)
+        return "did:plc:" + "".join(
+            rng.choice("abcdefghijklmnopqrstuvwxyz234567") for _ in range(24)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Crash injection (process death mid-study)
+# ---------------------------------------------------------------------------
+
+
+class StudyCrashed(RuntimeError):
+    """The study was killed at a seeded crash point.
+
+    The checkpoint journal (when enabled) holds the last saved state; a
+    rerun with ``resume=True`` continues from it.
+    """
+
+    def __init__(self, tick: int, label: str):
+        super().__init__("study crashed at tick %d (%s)" % (tick, label))
+        self.tick = tick
+        self.label = label
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """Kill the study when the progress-tick counter hits a listed point.
+
+    Ticks count *this process's* collection progress (scheduled actions,
+    firehose ingests, per-repo and per-probe steps), so a resumed run
+    gets a fresh counter — crash points compose across a chain of
+    crash/resume cycles instead of re-firing at the same spot forever.
+    """
+
+    points: tuple[int, ...] = ()
+
+    def should_crash(self, tick: int) -> bool:
+        return tick in self.points
+
+    @classmethod
+    def seeded(cls, seed: int, n_points: int = 1, lo: int = 50, hi: int = 2000) -> "CrashPlan":
+        rng = random.Random(seed ^ 0xC4A5)
+        return cls(points=tuple(sorted(rng.randrange(lo, hi) for _ in range(n_points))))
+
+
+# ---------------------------------------------------------------------------
 # Retry / backoff policy shared by every collector
 # ---------------------------------------------------------------------------
 

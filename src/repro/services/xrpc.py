@@ -60,6 +60,7 @@ class ServiceDirectory:
         self._down: set[str] = set()
         self.call_count = 0
         self.fault_injector = None
+        self.adversary = None
         self.now_us = 0
         self.last_call_latency_us = 0
         self.injected_latency_us = 0
@@ -103,7 +104,13 @@ class ServiceDirectory:
         service = self._services.get(normalized)
         if service is None:
             raise XrpcError(0, "unknown host %s" % url)
-        return service.xrpc_call(method, **params)
+        result = service.xrpc_call(method, **params)
+        if self.adversary is not None:
+            # Byzantine hosts answer, but may answer with tampered bytes;
+            # the adversary rewrites responses in flight, after the honest
+            # service produced them.
+            result = self.adversary.after_call(normalized, method, params, result)
+        return result
 
     def try_call(self, url: str, method: str, **params: Any) -> Any:
         """Like :meth:`call` but returns None on transport failure.

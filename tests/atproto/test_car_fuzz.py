@@ -1,0 +1,153 @@
+"""Fuzz tests for the CAR parser: malformed input must raise CarError.
+
+Every mutation here is deterministic (seeded ``random.Random``), so a
+failure reproduces exactly.  The contract under test: ``read_car`` and
+``iter_car_blocks`` either return verified blocks or raise
+:class:`CarError` (or its :class:`BlockDigestError` subclass) — they
+never raise anything else and never return tampered payloads.
+"""
+
+import hashlib
+import random
+
+import pytest
+
+from repro.atproto.car import BlockDigestError, CarError, iter_car_blocks, read_car, write_car
+from repro.atproto.cbor import cbor_encode
+from repro.atproto.cid import Cid, cid_for_raw
+from repro.atproto.varint import encode_varint
+
+
+def sample_car(n_blocks: int = 8) -> bytes:
+    blocks = []
+    for i in range(n_blocks):
+        payload = b"block payload %d " % i + bytes(range(i, i + 16))
+        blocks.append((cid_for_raw(payload), payload))
+    return write_car(blocks[0][0], blocks)
+
+
+def exhaust(data: bytes):
+    """Run both parsers to completion on the same bytes."""
+    read_car(data)
+    list(iter_car_blocks(data))
+
+
+class TestStructuralGarbage:
+    def test_trailing_garbage_rejected(self):
+        car = sample_car()
+        for junk in (b"\x00", b"\xff", b"extra bytes after the last section"):
+            with pytest.raises(CarError):
+                exhaust(car + junk)
+
+    def test_every_truncation_point_rejected_or_clean(self):
+        # A CAR cut anywhere must either parse a shorter prefix of intact
+        # sections or raise CarError — never crash some other way.
+        car = sample_car(3)
+        for cut in range(len(car)):
+            try:
+                exhaust(car[:cut])
+            except CarError:
+                pass
+
+    def test_overlong_varint_section_length(self):
+        car = sample_car(1)
+        # 10 continuation bytes exceed the 9-byte varint cap.
+        with pytest.raises(CarError):
+            exhaust(car + b"\x80" * 10 + b"\x01")
+
+    def test_redundant_varint_encoding_rejected(self):
+        car = sample_car(1)
+        # 0x81 0x00 is a non-minimal encoding of 1.
+        with pytest.raises(CarError):
+            exhaust(car + b"\x81\x00" + b"x")
+
+    def test_zero_length_section_rejected(self):
+        car = sample_car(1)
+        with pytest.raises(CarError):
+            exhaust(car + encode_varint(0))
+
+    def test_header_claiming_version_2(self):
+        header = cbor_encode({"version": 2, "roots": []})
+        with pytest.raises(CarError):
+            exhaust(encode_varint(len(header)) + header)
+
+    def test_header_without_root_list(self):
+        header = cbor_encode({"version": 1, "roots": "nope"})
+        with pytest.raises(CarError):
+            exhaust(encode_varint(len(header)) + header)
+
+    def test_header_is_not_cbor(self):
+        with pytest.raises(CarError):
+            exhaust(encode_varint(4) + b"\xff\xff\xff\xff")
+
+    def test_empty_input(self):
+        with pytest.raises(CarError):
+            exhaust(b"")
+
+
+class TestDigestMismatch:
+    def test_flipped_payload_byte_caught(self):
+        car = bytearray(sample_car(4))
+        # Flip a byte near the end — inside the last block's payload.
+        car[-3] ^= 0xFF
+        with pytest.raises(BlockDigestError):
+            read_car(bytes(car))
+        with pytest.raises(BlockDigestError):
+            list(iter_car_blocks(bytes(car)))
+
+    def test_verify_digests_off_accepts_same_bytes(self):
+        car = bytearray(sample_car(4))
+        car[-3] ^= 0xFF
+        read_car(bytes(car), verify_digests=False)
+        list(iter_car_blocks(bytes(car), verify_digests=False))
+
+    def test_wrong_digest_cid_caught(self):
+        payload = b"honest payload"
+        lying_cid = Cid(1, 0x55, hashlib.sha256(b"different payload").digest())
+        car = write_car(lying_cid, [(lying_cid, payload)])
+        with pytest.raises(BlockDigestError):
+            read_car(car)
+
+
+class TestSeededMutations:
+    """Byte-level fuzzing with fixed seeds: no mutation may escape CarError."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_byte_flips(self, seed):
+        rng = random.Random(10_000 + seed)
+        car = bytearray(sample_car())
+        for _ in range(rng.randint(1, 6)):
+            car[rng.randrange(len(car))] ^= 1 << rng.randrange(8)
+        self._must_parse_or_reject(bytes(car))
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_truncations_and_splices(self, seed):
+        rng = random.Random(20_000 + seed)
+        car = bytearray(sample_car())
+        choice = rng.randrange(3)
+        if choice == 0:
+            mutated = car[: rng.randrange(len(car))]
+        elif choice == 1:
+            mutated = car + bytes(rng.randrange(256) for _ in range(rng.randint(1, 32)))
+        else:
+            cut = rng.randrange(len(car))
+            mutated = car[:cut] + car[cut + rng.randint(1, 16):]
+        self._must_parse_or_reject(bytes(mutated))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_pure_noise(self, seed):
+        rng = random.Random(30_000 + seed)
+        noise = bytes(rng.randrange(256) for _ in range(rng.randint(1, 512)))
+        self._must_parse_or_reject(noise)
+
+    @staticmethod
+    def _must_parse_or_reject(data: bytes):
+        for parse in (read_car, lambda d: list(iter_car_blocks(d))):
+            try:
+                result = parse(data)
+            except CarError:
+                continue
+            # Parsed fine: then every surviving block must verify.
+            blocks = result[1].items() if isinstance(result, tuple) else result
+            for cid, body in blocks:
+                assert hashlib.sha256(body).digest() == cid.digest

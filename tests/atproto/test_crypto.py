@@ -88,6 +88,53 @@ class TestSigning:
         key = SigningKey.from_seed(b"seed-6")
         assert not key.public_key.verify(b"m", b"\x00" * 63)
 
+
+class TestScalarRangeRejection:
+    """r and s must lie in [1, n-1]; out-of-range values are rejected
+    before any curve arithmetic runs (no exceptions, just False)."""
+
+    def setup_method(self):
+        self.key = SigningKey.from_seed(b"range-seed")
+        self.sig = self.key.sign(b"payload")
+        self.r = self.sig[:32]
+        self.s = self.sig[32:]
+
+    def verify(self, sig: bytes) -> bool:
+        return self.key.public_key.verify(b"payload", sig)
+
+    def test_valid_baseline(self):
+        assert self.verify(self.sig)
+
+    def test_r_zero_rejected(self):
+        assert not self.verify(b"\x00" * 32 + self.s)
+
+    def test_s_zero_rejected(self):
+        assert not self.verify(self.r + b"\x00" * 32)
+
+    def test_r_equal_n_rejected(self):
+        assert not self.verify(N.to_bytes(32, "big") + self.s)
+
+    def test_s_equal_n_rejected(self):
+        assert not self.verify(self.r + N.to_bytes(32, "big"))
+
+    def test_r_above_n_rejected(self):
+        assert not self.verify((N + 1).to_bytes(32, "big") + self.s)
+
+    def test_s_maximum_field_value_rejected(self):
+        assert not self.verify(self.r + b"\xff" * 32)
+
+    def test_truncated_signature_rejected(self):
+        assert not self.verify(self.sig[:63])
+        assert not self.verify(self.sig[:32])
+        assert not self.verify(b"")
+
+    def test_oversized_signature_rejected(self):
+        assert not self.verify(self.sig + b"\x00")
+
+    def test_non_bytes_signature_rejected(self):
+        assert not self.verify(None)
+        assert not self.verify(self.sig.hex())
+
     def test_invalid_private_scalar(self):
         with pytest.raises(CryptoError):
             SigningKey(0)

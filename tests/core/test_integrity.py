@@ -1,0 +1,317 @@
+"""Byzantine-data hardening: the adversarial end-to-end acceptance tests.
+
+The criterion from the issue: with an :class:`AdversarialPlan` poisoning
+three or more hosts, the study still completes; the integrity report
+attributes every quarantined item to a host and a corruption kind; and
+the datasets for *clean* hosts are byte-identical to a fault-free run
+with the same simulation seed.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.pipeline import run_study
+from repro.netsim.faults import (
+    ALL_CORRUPTION_KINDS,
+    CORRUPT_CAR_BITFLIP,
+    CORRUPT_COMMIT_KEY,
+    CORRUPT_FRAME,
+    CORRUPT_HANDLE,
+    Adversary,
+    AdversarialPlan,
+    CorruptionRule,
+)
+from repro.simulation.config import SimulationConfig
+
+ADVERSARY_SEED = 11
+POISONED_PDSES = (
+    "https://shard00.pds.bsky.network",
+    "https://shard01.pds.bsky.network",
+    "https://shard02.pds.bsky.network",
+)
+DECOY_PDS = "https://shard03.pds.bsky.network"
+RELAY = "https://bsky.network"
+FORGED_DOMAINS = ("cnn.com",)
+
+
+def adversarial_plan() -> AdversarialPlan:
+    return AdversarialPlan.poison(
+        ADVERSARY_SEED,
+        pds_hosts=POISONED_PDSES,
+        relay_url=RELAY,
+        handle_domains=FORGED_DOMAINS,
+        decoy_pds=DECOY_PDS,
+    )
+
+
+@pytest.fixture(scope="module")
+def adversarial_study():
+    """(world, datasets) for a tiny study with ≥3 poisoned hosts."""
+    return run_study(SimulationConfig.tiny(), adversarial_plan=adversarial_plan())
+
+
+@pytest.fixture(scope="module")
+def adversarial_datasets(adversarial_study):
+    return adversarial_study[1]
+
+
+def host_of(world, did: str) -> str:
+    pds = world.relay.hosting_pds(did)
+    return pds.url if pds is not None else world.relay.url
+
+
+class TestPlan:
+    def test_poison_covers_every_corruption_mode(self):
+        plan = adversarial_plan()
+        kinds = {rule.kind for rule in plan.rules}
+        assert kinds == set(ALL_CORRUPTION_KINDS)
+        assert set(POISONED_PDSES) <= set(plan.hosts())
+
+    def test_empty_plan(self):
+        assert AdversarialPlan().is_empty()
+        assert not adversarial_plan().is_empty()
+
+    def test_draws_are_stateless_and_seeded(self):
+        plan = AdversarialPlan(
+            seed=3, rules=(CorruptionRule(host="https://a", kind=CORRUPT_FRAME, probability=0.5),)
+        )
+        one, two = Adversary(plan), Adversary(plan)
+        frames_one = [one.corrupt_frame(seq, "https://a") for seq in range(200)]
+        frames_two = [two.corrupt_frame(seq, "https://a") for seq in range(200)]
+        assert frames_one == frames_two  # same plan → same draws, any order
+        assert any(f is not None for f in frames_one)
+        assert any(f is None for f in frames_one)
+
+    def test_forged_handle_answer_is_deterministic(self):
+        plan = AdversarialPlan(
+            seed=9, rules=(CorruptionRule(host="cnn.com", kind=CORRUPT_HANDLE),)
+        )
+        adversary = Adversary(plan)
+        forged = adversary.forge_handle_answer("alice.cnn.com")
+        assert forged is not None and forged.startswith("did:plc:")
+        assert forged == Adversary(plan).forge_handle_answer("alice.cnn.com")
+        assert adversary.forge_handle_answer("alice.example.com") is None
+
+
+class TestAdversarialStudy:
+    def test_study_completes_with_data(self, adversarial_datasets):
+        data = adversarial_datasets
+        assert sum(data.firehose.event_counts.values()) > 0
+        assert data.repositories.repo_count > 0
+        assert len(data.did_documents.documents) > 0
+        assert data.integrity is not None
+        assert data.adversary is not None
+
+    def test_adversary_actually_tampered(self, adversarial_datasets):
+        stats = adversarial_datasets.adversary
+        assert stats.total() > 0
+        tampered_hosts = {host for host, _ in stats.tampered}
+        # At least the three poisoned PDSes and the relay acted up.
+        assert set(POISONED_PDSES) <= tampered_hosts
+        assert RELAY in tampered_hosts
+
+    def test_every_quarantined_item_is_attributed(self, adversarial_datasets):
+        report = adversarial_datasets.integrity
+        assert report.total_quarantined() > 0
+        for item in report.quarantined:
+            assert item.host
+            assert item.kind
+            assert item.item
+            assert item.detail
+
+    def test_quarantines_match_counters(self, adversarial_datasets):
+        report = adversarial_datasets.integrity
+        assert sum(report.counts.values()) == len(report.quarantined)
+        for (host, kind), count in report.counts.items():
+            matching = [
+                q for q in report.quarantined if q.host == host and q.kind == kind
+            ]
+            assert len(matching) == count
+
+    def test_quarantines_confined_to_byzantine_hosts(
+        self, adversarial_datasets, study_datasets
+    ):
+        """Adversary-caused quarantines name only poisoned hosts.
+
+        The clean run's quarantines (e.g. bidirectional-verification
+        failures from organically stale handles) are the baseline; any
+        quarantine beyond that baseline must be attributed to a host the
+        plan poisons.
+        """
+        baseline = {
+            (q.host, q.kind, q.item) for q in study_datasets.integrity.quarantined
+        }
+        byzantine = set(POISONED_PDSES) | {RELAY} | set(FORGED_DOMAINS)
+        extra = [
+            q
+            for q in adversarial_datasets.integrity.quarantined
+            if (q.host, q.kind, q.item) not in baseline
+        ]
+        assert extra, "the adversary must cause quarantines beyond the baseline"
+        for q in extra:
+            assert q.host in byzantine, "unattributed quarantine: %r" % (q,)
+
+    def test_nothing_tampered_escapes_quarantine(
+        self, adversarial_datasets, study_datasets
+    ):
+        """Tampered-item count equals adversary-caused quarantines.
+
+        Corrupting one item (CAR, frame, DID document, handle answer)
+        must produce exactly one quarantine entry — nothing slips
+        through, nothing is double-counted.
+        """
+        baseline = len(study_datasets.integrity.quarantined)
+        caused = len(adversarial_datasets.integrity.quarantined) - baseline
+        assert caused == adversarial_datasets.adversary.total()
+
+    def test_report_is_deterministic(self, adversarial_datasets):
+        _, again = run_study(SimulationConfig.tiny(), adversarial_plan=adversarial_plan())
+        assert again.integrity.to_jsonable() == adversarial_datasets.integrity.to_jsonable()
+        assert dict(again.adversary.tampered) == dict(adversarial_datasets.adversary.tampered)
+
+
+class TestCleanHostIsolation:
+    """Data from unpoisoned hosts must be byte-identical to a clean run."""
+
+    def test_clean_host_repositories_identical(
+        self, adversarial_study, study_datasets
+    ):
+        world, adversarial = adversarial_study
+
+        def clean_rows(datasets):
+            return [
+                row
+                for row in datasets.repositories.posts
+                if host_of(world, row.did) not in POISONED_PDSES
+            ]
+
+        clean_run, adv_run = clean_rows(study_datasets), clean_rows(adversarial)
+        assert len(clean_run) > 0
+        assert pickle.dumps(clean_run) == pickle.dumps(adv_run)
+
+    def test_clean_host_record_counts_identical(self, adversarial_study, study_datasets):
+        world, adversarial = adversarial_study
+        for did, count in study_datasets.repositories.records_per_repo.items():
+            if host_of(world, did) in POISONED_PDSES:
+                continue
+            assert adversarial.repositories.records_per_repo[did] == count
+
+    def test_poisoned_repos_quarantined_not_polluting(
+        self, adversarial_study, study_datasets
+    ):
+        world, adversarial = adversarial_study
+        quarantined_dids = {
+            q.item
+            for q in adversarial.integrity.quarantined
+            if q.kind in ("block-digest", "commit-signature", "mst-invalid", "car-malformed")
+        }
+        assert quarantined_dids
+        for did in quarantined_dids:
+            assert host_of(world, did) in POISONED_PDSES
+            assert did in adversarial.repositories.failed_dids
+            assert "quarantined" in adversarial.repositories.failure_reasons[did]
+            # None of its rows made it into the analysis datasets.
+            assert all(row.did != did for row in adversarial.repositories.posts)
+
+    def test_firehose_statistics_survive_relay_garbling(
+        self, adversarial_datasets, study_datasets
+    ):
+        """Garbage frames are quarantined and replayed via the cursor, so
+        the firehose dataset converges to the clean run's statistics."""
+        adv, clean = adversarial_datasets.firehose, study_datasets.firehose
+        assert dict(adv.event_counts) == dict(clean.event_counts)
+        assert dict(adv.op_counts) == dict(clean.op_counts)
+        assert adv.end_us == clean.end_us
+
+    def test_clean_host_handle_probes_identical(
+        self, adversarial_study, study_datasets
+    ):
+        """Probes for users hosted on clean PDSes are unchanged.
+
+        (Users on poisoned shards lose their DID document to quarantine,
+        so their handles legitimately drop out of the probe list.)
+        """
+        world, adversarial = adversarial_study
+        clean_docs = {
+            row.handle
+            for row in study_datasets.did_documents.documents.values()
+            if row.handle and host_of(world, row.did) not in POISONED_PDSES
+        }
+
+        def clean_rows(datasets):
+            return [
+                (r.handle, r.did, r.mechanism)
+                for r in datasets.active.handle_probes
+                if r.handle in clean_docs
+            ]
+
+        assert clean_rows(study_datasets) == clean_rows(adversarial)
+
+
+class TestHandleBidiCheck:
+    """Unit coverage for the bidirectional handle verification gate."""
+
+    def make_monitor(self):
+        from repro.core.integrity import IntegrityMonitor
+
+        return IntegrityMonitor(directory=None)
+
+    def make_doc(self, did="did:plc:" + "a" * 24, handle="alice.cnn.com"):
+        from repro.identity.did import DidDocument
+
+        return DidDocument(did=did, handle=handle)
+
+    def test_honest_answer_passes(self):
+        monitor = self.make_monitor()
+        doc = self.make_doc()
+        assert monitor.check_handle_bidi("cnn.com", "alice.cnn.com", doc.did, doc)
+        assert monitor.report.total_quarantined() == 0
+
+    def test_forged_did_fails_and_is_attributed_to_domain(self):
+        monitor = self.make_monitor()
+        doc = self.make_doc(handle="someone.else.example")
+        assert not monitor.check_handle_bidi("cnn.com", "alice.cnn.com", doc.did, doc)
+        (item,) = monitor.report.quarantined
+        assert item.host == "cnn.com"
+        assert item.kind == "handle-bidi"
+        assert item.item == "alice.cnn.com"
+
+    def test_missing_document_fails(self):
+        monitor = self.make_monitor()
+        assert not monitor.check_handle_bidi(
+            "cnn.com", "alice.cnn.com", "did:plc:" + "b" * 24, None
+        )
+        assert monitor.report.total_quarantined() == 1
+
+    def test_quarantine_is_idempotent(self):
+        monitor = self.make_monitor()
+        doc = self.make_doc(handle="someone.else.example")
+        for _ in range(3):  # redone work after a crash/resume
+            monitor.check_handle_bidi("cnn.com", "alice.cnn.com", doc.did, doc)
+        assert monitor.report.total_quarantined() == 1
+
+
+class TestReportRendering:
+    def test_integrity_section_lists_hosts_and_kinds(self, adversarial_datasets):
+        from repro.core.report import render_integrity
+
+        text = render_integrity(adversarial_datasets)
+        assert "quarantined" in text
+        for host in POISONED_PDSES:
+            assert host in text
+
+    def test_integrity_json_round_trips(self, adversarial_datasets, tmp_path):
+        import json
+
+        from repro.core.export import export_artefacts
+
+        paths = export_artefacts(adversarial_datasets, str(tmp_path))
+        integrity_path = [p for p in paths if p.endswith("integrity.json")]
+        assert integrity_path
+        with open(integrity_path[0]) as fh:
+            payload = json.load(fh)
+        assert payload["quarantined_total"] == len(
+            adversarial_datasets.integrity.quarantined
+        )
+        assert payload["quarantined_by_host_kind"]
