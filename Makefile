@@ -7,7 +7,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test test-fast test-faults test-integrity bench bench-perf lint report check
+.PHONY: test test-fast test-faults test-integrity test-telemetry bench bench-perf lint report trace check
 
 test:  ## tier-1 suite (must stay green)
 	$(PYTHON) -m pytest -x -q
@@ -20,6 +20,9 @@ test-faults:  ## fault-injection + resilience suite only
 
 test-integrity:  ## Byzantine-data hardening + checkpoint/resume suite only
 	$(PYTHON) -m pytest -x -q tests/atproto/test_car_fuzz.py tests/atproto/test_crypto.py tests/core/test_integrity.py tests/core/test_checkpoint_resume.py
+
+test-telemetry:  ## metrics registry + tracer + telemetry determinism suite only
+	$(PYTHON) -m pytest -x -q tests/obs tests/core/test_telemetry.py
 
 bench:  ## run the perf harness, write BENCH_perf.json
 	$(PYTHON) -m repro bench
@@ -37,4 +40,9 @@ lint:  ## ruff, when available (not part of the baked toolchain)
 report:  ## full study at default scale, all tables and figures
 	$(PYTHON) -m repro
 
-check: test test-faults test-integrity lint  ## what CI would run
+trace:  ## small traced study; validate the trace + metrics artefacts
+	$(PYTHON) -m repro telemetry --scale 60000 --feed-scale 1200 --quiet \
+		--fault-seed 7 --trace-out trace.json --metrics-out metrics.json
+	$(PYTHON) scripts/check_trace.py trace.json metrics.json
+
+check: test test-faults test-integrity test-telemetry lint  ## what CI would run

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Sanity-check a Chrome trace_event JSON file (``make trace``).
+
+Usage: python scripts/check_trace.py TRACE.json [METRICS.json]
+
+Exits non-zero if the trace would not load in chrome://tracing /
+Perfetto, or if the optional metrics snapshot is malformed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.obs.trace import validate_trace  # noqa: E402
+
+
+def check_metrics(path: str) -> list[str]:
+    with open(path) as handle:
+        snapshot = json.load(handle)
+    problems = []
+    if snapshot.get("schema") != "repro-metrics-v1":
+        problems.append("metrics schema is %r" % snapshot.get("schema"))
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(snapshot.get(section), dict):
+            problems.append("metrics %r section missing" % section)
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[0]) as handle:
+        document = json.load(handle)
+    problems = validate_trace(document)
+    events = document.get("traceEvents") or []
+    if argv[1:]:
+        problems += check_metrics(argv[1])
+    if problems:
+        for problem in problems:
+            print("FAIL: %s" % problem, file=sys.stderr)
+        return 1
+    print("ok: %s (%d events)" % (argv[0], len(events)))
+    if argv[1:]:
+        print("ok: %s" % argv[1])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -34,6 +34,7 @@ ARTEFACTS = {
     "fig12": report.render_fig12,
     "health": report.render_collection_health,
     "integrity": report.render_integrity,
+    "telemetry": report.render_telemetry,
 }
 
 
@@ -114,7 +115,36 @@ def main(argv=None) -> int:
         metavar="DIR",
         help="also write every artefact's underlying data as CSV/JSON",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the study's metrics registry snapshot (deterministic "
+        "JSON; see the 'telemetry' artefact) to PATH",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="record spans and write a Chrome trace_event JSON file to "
+        "PATH (open in chrome://tracing or https://ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=16,
+        metavar="N",
+        help="record 1-in-N spans for high-frequency categories like "
+        "per-XRPC-call spans (default 16; 1 = record everything)",
+    )
+    parser.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable the metrics registry and tracer entirely (benchmark "
+        "baseline; incompatible with --metrics-out/--trace-out)",
+    )
     args = parser.parse_args(argv)
+
+    if args.no_telemetry and (args.metrics_out or args.trace_out):
+        parser.error("--no-telemetry is incompatible with --metrics-out/--trace-out")
 
     config = SimulationConfig(
         seed=args.seed, scale=1 / args.scale, feed_scale=1 / args.feed_scale
@@ -164,6 +194,14 @@ def main(argv=None) -> int:
         crash_plan = CrashPlan.seeded(args.crash_seed)
     if args.resume and not args.checkpoint_dir:
         parser.error("--resume requires --checkpoint-dir")
+    from repro.obs.telemetry import Telemetry
+
+    if args.no_telemetry:
+        telemetry = Telemetry.disabled()
+    else:
+        telemetry = Telemetry(
+            trace=args.trace_out is not None, trace_sample=args.trace_sample
+        )
     started = time.time()
     try:
         _, datasets = run_study(
@@ -174,6 +212,7 @@ def main(argv=None) -> int:
             checkpoint_dir=args.checkpoint_dir,
             resume=args.resume,
             crash_plan=crash_plan,
+            telemetry=telemetry,
         )
     except Exception as exc:
         from repro.netsim.faults import StudyCrashed
@@ -198,6 +237,23 @@ def main(argv=None) -> int:
         paths = export_artefacts(datasets, args.export)
         if not args.quiet:
             print("exported %d artefact files to %s" % (len(paths), args.export), file=sys.stderr)
+    if args.metrics_out:
+        from repro.core.atomicio import atomic_write_text
+
+        atomic_write_text(args.metrics_out, telemetry.metrics_json())
+        if not args.quiet:
+            print("wrote metrics snapshot to %s" % args.metrics_out, file=sys.stderr)
+    if args.trace_out:
+        from repro.core.atomicio import atomic_write_json
+
+        atomic_write_json(args.trace_out, telemetry.tracer.export())
+        if not args.quiet:
+            stats = telemetry.tracer.stats()
+            print(
+                "wrote %d trace events to %s (open in chrome://tracing)"
+                % (stats["events"], args.trace_out),
+                file=sys.stderr,
+            )
     return 0
 
 

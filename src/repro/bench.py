@@ -121,17 +121,46 @@ def bench_pipeline(repeats: int = 2) -> dict:
 
     wall = None
     events = 0
+    phases: dict = {}
     for _ in range(repeats):  # best-of, like the microbenches
         t0 = time.perf_counter()
         _, datasets = run_study(SimulationConfig.tiny())
         elapsed = time.perf_counter() - t0
         events = datasets.firehose.total_events()
-        wall = elapsed if wall is None else min(wall, elapsed)
+        if wall is None or elapsed < wall:
+            wall = elapsed
+            # Phase-level attribution of the best run: where the wall
+            # seconds went (telemetry's per-phase profiler).
+            phases = {
+                name: round(wall_us / 1e6, 4)
+                for name, _runs, _virtual_us, wall_us in datasets.telemetry.phase_rows()
+            }
     return {
         "pipeline_tiny_wall_s": wall,
         "pipeline_tiny_firehose_events": events,
         "pipeline_tiny_events_per_s": events / wall,
+        "pipeline_phase_wall_s": phases,
     }
+
+
+def bench_telemetry_overhead(repeats: int = 2) -> dict:
+    """End-to-end cost of the always-on telemetry (guardrail: <5%).
+
+    Times the tiny pipeline with telemetry disabled and reports the
+    relative overhead of the instrumented run measured by
+    :func:`bench_pipeline` (which must run first).
+    """
+    from repro.core.pipeline import run_study
+    from repro.obs.telemetry import Telemetry
+    from repro.simulation.config import SimulationConfig
+
+    wall = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        run_study(SimulationConfig.tiny(), telemetry=Telemetry.disabled())
+        elapsed = time.perf_counter() - t0
+        wall = elapsed if wall is None else min(wall, elapsed)
+    return {"pipeline_tiny_no_telemetry_wall_s": wall}
 
 
 def run_benchmarks(include_pipeline: bool = True, progress=None) -> dict:
@@ -139,11 +168,17 @@ def run_benchmarks(include_pipeline: bool = True, progress=None) -> dict:
     results: dict = {}
     stages = [bench_cbor, bench_mst, bench_commit, bench_sampling]
     if include_pipeline:
-        stages.append(bench_pipeline)
+        stages.extend([bench_pipeline, bench_telemetry_overhead])
     for stage in stages:
         if progress is not None:
             progress("running %s..." % stage.__name__)
         results.update(stage())
+    instrumented = results.get("pipeline_tiny_wall_s")
+    baseline = results.get("pipeline_tiny_no_telemetry_wall_s")
+    if instrumented and baseline:
+        results["telemetry_overhead_pct"] = round(
+            (instrumented - baseline) / baseline * 100, 2
+        )
     return results
 
 
@@ -209,4 +244,7 @@ def main(out_path: str = "BENCH_perf.json", quiet: bool = False) -> int:
     end_to_end = document["speedup"].get("pipeline_tiny_wall_s")
     if end_to_end is not None and not quiet:
         print("end-to-end pipeline speedup: %.2fx" % end_to_end)
+    overhead = measured.get("telemetry_overhead_pct")
+    if overhead is not None and not quiet:
+        print("telemetry overhead: %.2f%% (instrumented vs --no-telemetry)" % overhead)
     return 0

@@ -16,10 +16,12 @@ from __future__ import annotations
 
 import os
 import pickle
+from contextlib import contextmanager
 from typing import Any, Callable, Optional
 
 from repro.core.atomicio import atomic_write_bytes
 from repro.netsim.faults import CrashPlan, StudyCrashed
+from repro.obs.telemetry import NULL_TELEMETRY
 
 CHECKPOINT_FILENAME = "study.ckpt"
 CHECKPOINT_VERSION = 1
@@ -69,6 +71,18 @@ class StudyCheckpointer:
 
     ``save_every`` bounds how much item-level progress a crash can lose
     between full action-boundary saves.
+
+    **Boundary consistency.**  Periodic (tick-driven) saves are deferred
+    while a scheduled action or post step executes (see
+    :meth:`deferred_saves`): the tick counter still advances — so crash
+    plans fire mid-action, like real crashes — but the journal is only
+    written between actions, when every dataset *and* the telemetry
+    registry form one transactionally consistent snapshot.  That is what
+    makes a resumed run's metrics exactly equal an uninterrupted run's:
+    a redone action re-counts from the same starting registry it first
+    counted from.  Streaming stretches (firehose frames between actions)
+    still save periodically — their ingest is cursor-guarded and thus
+    idempotent.
     """
 
     def __init__(
@@ -76,14 +90,20 @@ class StudyCheckpointer:
         journal: Optional[CheckpointJournal] = None,
         crash_plan: Optional[CrashPlan] = None,
         save_every: int = 500,
+        telemetry=None,
     ):
         self.journal = journal
         self.crash_plan = crash_plan
         self.save_every = save_every
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.done: set[str] = set()
         self.ticks = 0
         self._since_save = 0
+        self._defer_depth = 0
         self._state_fn: Optional[Callable[[], dict]] = None
+        registry = self.telemetry.registry
+        self._m_saves = registry.counter("checkpoint_saves_total", volatile=True)
+        self._m_restores = registry.counter("checkpoint_restores_total", volatile=True)
 
     def bind(self, state_fn: Callable[[], dict]) -> None:
         """Register the pipeline callback that snapshots full study state."""
@@ -98,8 +118,25 @@ class StudyCheckpointer:
             # last journal write is lost, exactly like a real crash.
             raise StudyCrashed(self.ticks, label)
         self._since_save += 1
-        if self.journal is not None and self._since_save >= self.save_every:
+        if (
+            self.journal is not None
+            and self._defer_depth == 0
+            and self._since_save >= self.save_every
+        ):
             self.save()
+
+    @contextmanager
+    def deferred_saves(self):
+        """Suppress periodic saves for the duration (crashes still fire).
+
+        Wrapped around each scheduled action / post step so the journal
+        only ever captures action-boundary state; see the class docstring.
+        """
+        self._defer_depth += 1
+        try:
+            yield self
+        finally:
+            self._defer_depth -= 1
 
     def is_done(self, action_id: str) -> bool:
         return action_id in self.done
@@ -112,18 +149,22 @@ class StudyCheckpointer:
     def save(self) -> None:
         if self.journal is None or self._state_fn is None:
             return
-        state = self._state_fn()
-        state["done"] = set(self.done)
-        self.journal.save(state)
+        with self.telemetry.tracer.span("checkpoint-save", cat="checkpoint"):
+            state = self._state_fn()
+            state["done"] = set(self.done)
+            self.journal.save(state)
+        self._m_saves.inc()
         self._since_save = 0
 
     def restore(self) -> Optional[dict]:
         """Load the journal (if any); re-adopts the done-action set."""
         if self.journal is None:
             return None
-        state = self.journal.load()
+        with self.telemetry.tracer.span("checkpoint-restore", cat="checkpoint"):
+            state = self.journal.load()
         if state is None:
             return None
+        self._m_restores.inc()
         done = state.get("done")
         if isinstance(done, set):
             self.done = set(done)

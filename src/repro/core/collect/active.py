@@ -19,6 +19,7 @@ from typing import Iterable, Optional
 from repro.identity.handles import HandleResolver
 from repro.netsim.faults import DEFAULT_RETRY_POLICY, TARGET_DNS, TARGET_WHOIS
 from repro.netsim.psl import PublicSuffixList
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.netsim.tranco import TrancoList
 from repro.netsim.whois import WhoisService
 from repro.services.xrpc import XrpcError
@@ -88,6 +89,7 @@ class ActiveMeasurements:
         integrity=None,
         resolve_did_doc=None,
         on_progress=None,
+        telemetry=None,
     ):
         self.handle_resolver = handle_resolver
         self.whois = whois
@@ -103,6 +105,7 @@ class ActiveMeasurements:
         self.integrity = integrity
         self.resolve_did_doc = resolve_did_doc
         self.on_progress = on_progress
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.dataset = ActiveMeasurementDataset()
         self._retry_rng = random.Random(0xAC71)
         self._now_us = 0  # advances with retry backoffs across a campaign
@@ -131,6 +134,10 @@ class ActiveMeasurements:
 
     def probe_handles(self, handles: Iterable[str], now_us: int = 0) -> None:
         """Verify ownership mechanisms for (non-bsky.social) handles."""
+        with self.telemetry.tracer.span("handle-probes", cat="collector"):
+            self._probe_handles(handles, now_us)
+
+    def _probe_handles(self, handles: Iterable[str], now_us: int = 0) -> None:
         self._now_us = max(self._now_us, now_us)
         probed = {row.handle for row in self.dataset.handle_probes}
         for handle in handles:
@@ -181,6 +188,10 @@ class ActiveMeasurements:
         return self.dataset.registered_domains
 
     def scan_whois(self, domains: Optional[Iterable[str]] = None, now_us: int = 0) -> None:
+        with self.telemetry.tracer.span("whois-scan", cat="collector"):
+            self._scan_whois(domains, now_us)
+
+    def _scan_whois(self, domains: Optional[Iterable[str]] = None, now_us: int = 0) -> None:
         self._now_us = max(self._now_us, now_us)
         targets = list(domains) if domains is not None else self.dataset.registered_domains
         scanned = {row.domain for row in self.dataset.whois_rows}

@@ -20,6 +20,7 @@ from typing import Iterable, Optional
 from repro.identity.plc import PlcDirectory
 from repro.identity.resolver import DidResolver
 from repro.netsim.faults import DEFAULT_RETRY_POLICY, TARGET_IDENTITY
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.services.xrpc import XrpcError
 
 
@@ -72,6 +73,7 @@ class DidDocumentCollector:
         integrity=None,
         host_of=None,
         on_progress=None,
+        telemetry=None,
     ):
         self.resolver = resolver
         self.injector = injector
@@ -85,10 +87,15 @@ class DidDocumentCollector:
         self.integrity = integrity
         self.host_of = host_of
         self.on_progress = on_progress
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.dataset = DidDocumentDataset()
         self._retry_rng = random.Random(0xD1DD0C)
 
     def crawl(self, dids: Iterable[str], now_us: int) -> DidDocumentDataset:
+        with self.telemetry.tracer.span("diddoc-crawl", cat="collector"):
+            return self._crawl(dids, now_us)
+
+    def _crawl(self, dids: Iterable[str], now_us: int) -> DidDocumentDataset:
         data = self.dataset
         data.time_us = now_us
         virtual_now = now_us

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.netsim.faults import DEFAULT_RETRY_POLICY, call_with_retries
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.services.xrpc import ServiceDirectory, XrpcError
 
 
@@ -77,6 +78,7 @@ class FeedGeneratorCollector:
         retry_policy=None,
         integrity=None,
         on_progress=None,
+        telemetry=None,
     ):
         self.services = services
         self.appview_url = appview_url
@@ -84,6 +86,7 @@ class FeedGeneratorCollector:
         self.retry_policy = retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
         self.integrity = integrity
         self.on_progress = on_progress
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.dataset = FeedGeneratorDataset()
         self._retry_rng = random.Random(0xFEED)
         self._retry_counters: Counter = Counter()
@@ -115,6 +118,10 @@ class FeedGeneratorCollector:
 
     def fetch_metadata(self, now_us: int) -> None:
         """getFeedGenerator for every discovered feed not yet fetched."""
+        with self.telemetry.tracer.span("feedgen-metadata", cat="collector"):
+            self._fetch_metadata(now_us)
+
+    def _fetch_metadata(self, now_us: int) -> None:
         for uri in sorted(self.dataset.discovered):
             if uri in self.dataset.metadata or uri in self.dataset.no_metadata:
                 continue

@@ -31,6 +31,7 @@ from repro.atproto.events import (
     TombstoneEvent,
 )
 from repro.netsim.faults import DEFAULT_RETRY_POLICY, FaultPlan, RetryPolicy, call_with_retries
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.services.xrpc import XrpcError
 
 
@@ -96,6 +97,7 @@ class FirehoseCollector:
         adversary=None,
         integrity=None,
         on_progress=None,
+        telemetry=None,
     ):
         self.start_us = start_us
         self.services = services
@@ -105,12 +107,23 @@ class FirehoseCollector:
         self.adversary = adversary
         self.integrity = integrity
         self.on_progress = on_progress
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.dataset = FirehoseDataset(start_us=start_us)
         self.cursor = 0  # seq of the newest event ingested
         self.retry_counters: Counter = Counter()
         self._connected = True
         self._relay = None  # direct fallback when no service directory is wired
         self._retry_rng = random.Random((fault_plan.seed if fault_plan else 0) ^ 0xF1EE)
+        # Live counters mirror the dataset's bookkeeping at the same
+        # guarded sites, so they inherit its exactly-once semantics
+        # across disconnects, replays, and checkpoint resumes.
+        registry = self.telemetry.registry
+        self._m_events = registry.counter("firehose_events_total", ("kind",))
+        self._m_ops = registry.counter("firehose_ops_total", ("collection", "action"))
+        self._m_bytes = registry.counter("firehose_bytes_total")
+        self._m_disconnects = registry.counter("firehose_disconnects_total")
+        self._m_reconnects = registry.counter("firehose_reconnects_total")
+        self._m_replayed = registry.counter("firehose_replayed_total")
 
     def attach(self, world) -> None:
         if self.services is None:
@@ -135,6 +148,7 @@ class FirehoseCollector:
             if self._connected:
                 self._connected = False
                 self.dataset.disconnects += 1
+                self._m_disconnects.inc()
             return
         if not self._connected:
             # First delivery attempt after the window: reconnect and
@@ -153,6 +167,7 @@ class FirehoseCollector:
                     self.integrity.check_frame_bytes(self.relay_url, event.seq, garbage)
                 self._connected = False
                 self.dataset.disconnects += 1
+                self._m_disconnects.inc()
                 return
         if self._ingest(event) and self.on_progress is not None:
             self.on_progress("firehose:seq:%d" % event.seq)
@@ -161,26 +176,31 @@ class FirehoseCollector:
 
     def _resume(self, now_us: int) -> None:
         """Reconnect via subscribeRepos(cursor); stay disconnected on failure."""
-        try:
-            events, _ = call_with_retries(
-                self.services,
-                self.relay_url,
-                "com.atproto.sync.subscribeRepos",
-                now_us=now_us,
-                policy=self.retry_policy,
-                rng=self._retry_rng,
-                counters=self.retry_counters,
-                cursor=self.cursor,
-            )
-        except XrpcError:
-            # Still down after retries; the next live frame tries again.
-            return
-        self._connected = True
-        self.dataset.reconnects += 1
-        for event in events:
-            replayed = self._ingest(event, replay=True)
-            if replayed:
-                self.dataset.replayed_events += 1
+        with self.telemetry.tracer.span(
+            "firehose-resume", cat="firehose", args={"cursor": self.cursor}
+        ):
+            try:
+                events, _ = call_with_retries(
+                    self.services,
+                    self.relay_url,
+                    "com.atproto.sync.subscribeRepos",
+                    now_us=now_us,
+                    policy=self.retry_policy,
+                    rng=self._retry_rng,
+                    counters=self.retry_counters,
+                    cursor=self.cursor,
+                )
+            except XrpcError:
+                # Still down after retries; the next live frame tries again.
+                return
+            self._connected = True
+            self.dataset.reconnects += 1
+            self._m_reconnects.inc()
+            for event in events:
+                replayed = self._ingest(event, replay=True)
+                if replayed:
+                    self.dataset.replayed_events += 1
+                    self._m_replayed.inc()
 
     def backfill(self, now_us: int) -> None:
         """Final catch-up (end of the collection window).
@@ -224,12 +244,21 @@ class FirehoseCollector:
         self.cursor = event.seq
         data = self.dataset
         data.event_counts[event.kind] += 1
+        self._m_events.inc((event.kind,))
         data.end_us = max(data.end_us, event.time_us)
-        data.bytes_received += _approximate_frame_bytes(event)
+        frame_bytes = _approximate_frame_bytes(event)
+        data.bytes_received += frame_bytes
+        self._m_bytes.inc((), frame_bytes)
+        tracer = self.telemetry.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "frame", "firehose-frame", args={"seq": event.seq, "kind": event.kind}
+            )
         if isinstance(event, CommitEvent):
             for op in event.ops:
                 collection = op.collection
                 data.op_counts[(collection, op.action)] += 1
+                self._m_ops.inc((collection, op.action))
                 if collection == "app.bsky.feed.post" and op.action == "create":
                     data.post_created_us["at://%s/%s" % (event.did, op.path)] = event.time_us
                 elif collection == "app.bsky.feed.generator" and op.action == "create":

@@ -12,6 +12,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.netsim.faults import DEFAULT_RETRY_POLICY, call_with_retries
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.services.xrpc import ServiceDirectory
 from repro.simulation.clock import US_PER_DAY
 
@@ -70,6 +71,7 @@ class ListReposCollector:
         retry_policy=None,
         integrity=None,
         on_progress=None,
+        telemetry=None,
     ):
         self.services = services
         self.relay_url = relay_url
@@ -77,10 +79,15 @@ class ListReposCollector:
         self.retry_policy = retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
         self.integrity = integrity
         self.on_progress = on_progress
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.dataset = UserIdentifierDataset()
         self._retry_rng = random.Random(0x11D5)
 
     def crawl(self, now_us: int) -> IdentifierSnapshot:
+        with self.telemetry.tracer.span("identifiers-crawl", cat="collector"):
+            return self._crawl(now_us)
+
+    def _crawl(self, now_us: int) -> IdentifierSnapshot:
         """One full pagination; transient page failures resume from the
         same cursor.  A crawl whose retries exhaust is abandoned (and
         counted) rather than recorded as a silently truncated snapshot —

@@ -18,6 +18,7 @@ from typing import Optional
 from repro.identity.resolver import DidResolver
 from repro.netsim.dns import DnsRecordType, DnsResolver, DnsError
 from repro.netsim.faults import DEFAULT_RETRY_POLICY, call_with_retries
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.services.labeler import Label
 from repro.services.xrpc import ServiceDirectory, XrpcError
 from repro.simulation.clock import US_PER_DAY
@@ -70,6 +71,7 @@ class LabelerCollector:
         retry_policy=None,
         integrity=None,
         on_progress=None,
+        telemetry=None,
     ):
         self.services = services
         self.resolver = resolver
@@ -81,6 +83,7 @@ class LabelerCollector:
         # of being appended alongside the failure counter.
         self.integrity = integrity
         self.on_progress = on_progress
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._verify_keys: dict[str, object] = {}
         self._retry_rng = random.Random(0x1AB5)
         self.dataset = LabelerDataset()
@@ -98,6 +101,10 @@ class LabelerCollector:
 
     def connect_and_backfill(self, now_us: int) -> int:
         """(Re)connect to every known labeler and pull new labels."""
+        with self.telemetry.tracer.span("labeler-backfill", cat="collector"):
+            return self._connect_and_backfill(now_us)
+
+    def _connect_and_backfill(self, now_us: int) -> int:
         pulled = 0
         for status in self.dataset.statuses.values():
             if status.endpoint is None:

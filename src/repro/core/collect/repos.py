@@ -25,6 +25,7 @@ from repro.atproto.lexicon import (
     REPOST,
 )
 from repro.atproto.repo import import_car
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.services.xrpc import ServiceDirectory, XrpcError
 
 
@@ -145,6 +146,7 @@ class RepositoriesCollector:
         integrity=None,
         host_of=None,
         on_progress=None,
+        telemetry=None,
     ):
         from repro.netsim.faults import DEFAULT_RETRY_POLICY
 
@@ -164,9 +166,14 @@ class RepositoriesCollector:
         self.integrity = integrity
         self.host_of = host_of
         self.on_progress = on_progress
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.dataset = RepositoriesDataset()
 
     def crawl(self, dids: Iterable[str], now_us: int) -> RepositoriesDataset:
+        with self.telemetry.tracer.span("repo-crawl", cat="collector"):
+            return self._crawl(dids, now_us)
+
+    def _crawl(self, dids: Iterable[str], now_us: int) -> RepositoriesDataset:
         """Download every repo, skipping-and-retrying transient failures.
 
         Each request retries transient errors in place (shared backoff

@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 
 from repro.core.analysis import activity, feeds, graph, identity, moderation, summary
-from repro.core.atomicio import atomic_write_csv, atomic_write_json
+from repro.core.atomicio import atomic_write_csv, atomic_write_json, atomic_write_text
 from repro.core.pipeline import StudyDatasets
 
 
@@ -226,5 +226,14 @@ def export_artefacts(datasets: StudyDatasets, directory: str) -> list[str]:
     # Integrity/quarantine ledger (what was rejected, from whom, and why)
     if datasets.integrity is not None:
         atomic_write_json(out("integrity.json"), datasets.integrity.to_jsonable())
+
+    telemetry = datasets.telemetry
+    if telemetry is not None and telemetry.enabled:
+        # Deterministic by construction: only virtual-time / counted
+        # series are non-volatile, so two same-seed runs (and a resumed
+        # run) write byte-identical files.
+        atomic_write_text(out("metrics.json"), telemetry.metrics_json())
+        if telemetry.tracer.enabled:
+            atomic_write_json(out("trace.json"), telemetry.tracer.export())
 
     return written

@@ -148,6 +148,19 @@ class IntegrityMonitor:
         self.report = report
         self._seen = {(q.host, q.kind, q.item) for q in report.quarantined}
 
+    def members_state(self) -> dict:
+        """The PDS-membership cache, for the checkpoint journal.
+
+        Without this a resumed run would re-crawl ``listRepos`` for
+        endpoints an earlier completed action already verified, skewing
+        the call counts telemetry persists.
+        """
+        return dict(self._pds_members)
+
+    def adopt_members(self, state: Optional[dict]) -> None:
+        if state:
+            self._pds_members = dict(state)
+
     # -- repository CARs -----------------------------------------------------
 
     def verify_repo_car(

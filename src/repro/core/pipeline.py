@@ -54,6 +54,8 @@ from repro.netsim.faults import (
     FaultStats,
 )
 from repro.netsim.psl import default_psl
+from repro.obs.profile import populate_final_metrics
+from repro.obs.telemetry import Telemetry
 from repro.simulation.clock import US_PER_DAY
 from repro.simulation.config import (
     DIDDOC_SNAPSHOT_US,
@@ -86,6 +88,9 @@ class StudyDatasets:
     integrity: Optional[IntegrityReport] = None
     # What the adversary actually tampered with (None without a plan).
     adversary: Optional[AdversaryStats] = None
+    # The study's telemetry (registry + tracer + phase profile); the
+    # report and exporter read it back, None only for hand-built bundles.
+    telemetry: Optional[Telemetry] = None
 
 
 class MeasurementPipeline:
@@ -114,8 +119,14 @@ class MeasurementPipeline:
         checkpoint_dir: Optional[str] = None,
         resume: bool = False,
         crash_plan: Optional[CrashPlan] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.world = world
+        if telemetry is None:
+            telemetry = world.telemetry
+        else:
+            world.set_telemetry(telemetry)
+        self.telemetry = telemetry
         self.fault_plan = fault_plan
         self.fault_injector: Optional[FaultInjector] = None
         services = world.services
@@ -135,12 +146,18 @@ class MeasurementPipeline:
         self.integrity = IntegrityMonitor(directory=services)
 
         journal = CheckpointJournal(checkpoint_dir) if checkpoint_dir else None
-        self.checkpointer = StudyCheckpointer(journal=journal, crash_plan=crash_plan)
+        self.checkpointer = StudyCheckpointer(
+            journal=journal, crash_plan=crash_plan, telemetry=telemetry
+        )
         self.checkpointer.bind(self._checkpoint_state)
         tick = self.checkpointer.tick
 
         self.identifier_collector = ListReposCollector(
-            services, world.relay.url, integrity=self.integrity, on_progress=tick
+            services,
+            world.relay.url,
+            integrity=self.integrity,
+            on_progress=tick,
+            telemetry=telemetry,
         )
         self.diddoc_collector = DidDocumentCollector(
             world.resolver,
@@ -149,6 +166,7 @@ class MeasurementPipeline:
             integrity=self.integrity,
             host_of=self._host_of,
             on_progress=tick,
+            telemetry=telemetry,
         )
         self.repo_collector = RepositoriesCollector(
             services,
@@ -157,6 +175,7 @@ class MeasurementPipeline:
             integrity=self.integrity,
             host_of=self._host_of,
             on_progress=tick,
+            telemetry=telemetry,
         )
         self.firehose_collector = FirehoseCollector(
             start_us=FIREHOSE_COLLECT_START_US,
@@ -166,6 +185,7 @@ class MeasurementPipeline:
             adversary=self.adversary,
             integrity=self.integrity,
             on_progress=tick,
+            telemetry=telemetry,
         )
         self.labeler_collector = LabelerCollector(
             services,
@@ -173,9 +193,14 @@ class MeasurementPipeline:
             world.dns,
             integrity=self.integrity,
             on_progress=tick,
+            telemetry=telemetry,
         )
         self.feedgen_collector = FeedGeneratorCollector(
-            services, world.appview.url, integrity=self.integrity, on_progress=tick
+            services,
+            world.appview.url,
+            integrity=self.integrity,
+            on_progress=tick,
+            telemetry=telemetry,
         )
         self.active_measurements = ActiveMeasurements(
             HandleResolver(world.dns, world.web),
@@ -187,6 +212,7 @@ class MeasurementPipeline:
             integrity=self.integrity,
             resolve_did_doc=world.resolver.resolve,
             on_progress=tick,
+            telemetry=telemetry,
         )
         if resume:
             state = self.checkpointer.restore()
@@ -218,7 +244,9 @@ class MeasurementPipeline:
             "feeds": self.feedgen_collector.dataset,
             "active": self.active_measurements.dataset,
             "integrity": self.integrity.report,
+            "integrity_members": self.integrity.members_state(),
             "adversary": self.adversary.stats if self.adversary else None,
+            "telemetry": self.telemetry.state(),
         }
 
     def _restore(self, state: dict) -> None:
@@ -235,8 +263,10 @@ class MeasurementPipeline:
         self.feedgen_collector.dataset = state["feeds"]
         self.active_measurements.dataset = state["active"]
         self.integrity.adopt_report(state["integrity"])
+        self.integrity.adopt_members(state.get("integrity_members"))
         if self.adversary is not None and state.get("adversary") is not None:
             self.adversary.stats = state["adversary"]
+        self.telemetry.adopt(state.get("telemetry"))
 
     def _add_action(self, time_us: int, name: str, fn) -> None:
         """Schedule one journaled action: skip-if-done, save-on-complete."""
@@ -247,7 +277,11 @@ class MeasurementPipeline:
             ckpt.tick(action_id)
             if ckpt.is_done(action_id):
                 return
-            fn(now_us)
+            # Saves are deferred so the journal only captures action
+            # boundaries (datasets + telemetry consistent); the phase
+            # profiler records nothing if the action crashes mid-way.
+            with ckpt.deferred_saves(), self.telemetry.phase(name):
+                fn(now_us)
             ckpt.mark_done(action_id)
             ckpt.save()
 
@@ -259,7 +293,8 @@ class MeasurementPipeline:
         ckpt.tick(name)
         if ckpt.is_done(name):
             return
-        fn()
+        with ckpt.deferred_saves(), self.telemetry.phase(name):
+            fn()
         ckpt.mark_done(name)
         ckpt.save()
 
@@ -322,7 +357,16 @@ class MeasurementPipeline:
     # -- execution -----------------------------------------------------------------
 
     def run(self, progress=None) -> StudyDatasets:
-        self.world.run(progress=progress)
+        with self.telemetry.tracer.span("study", cat="study"):
+            return self._run(progress)
+
+    def _run(self, progress=None) -> StudyDatasets:
+        # The world replays deterministically from scratch in every
+        # process (fresh World on resume), so the simulation phase is
+        # recounted, not accumulated across the checkpoint.
+        self.telemetry.reset_phase("simulation")
+        with self.telemetry.phase("simulation"):
+            self.world.run(progress=progress)
         # Close out any firehose disconnect window still open at the end
         # of the collection period: no further live frame will trigger the
         # resume path, so catch up explicitly before reading the dataset.
@@ -360,7 +404,7 @@ class MeasurementPipeline:
         self.active_measurements.extract_registered_domains(non_bsky)
 
     def datasets(self) -> StudyDatasets:
-        return StudyDatasets(
+        ds = StudyDatasets(
             identifiers=self.identifier_collector.dataset,
             did_documents=self.diddoc_collector.dataset,
             repositories=self.repo_collector.dataset,
@@ -371,7 +415,10 @@ class MeasurementPipeline:
             faults=self.fault_injector.stats if self.fault_injector else None,
             integrity=self.integrity.report,
             adversary=self.adversary.stats if self.adversary else None,
+            telemetry=self.telemetry,
         )
+        populate_final_metrics(self.telemetry, ds)
+        return ds
 
 
 def run_study(
@@ -382,6 +429,7 @@ def run_study(
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
     crash_plan: Optional[CrashPlan] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> tuple[World, StudyDatasets]:
     """Convenience: build a world, run the full pipeline, return both.
 
@@ -401,6 +449,7 @@ def run_study(
         checkpoint_dir=checkpoint_dir,
         resume=resume,
         crash_plan=crash_plan,
+        telemetry=telemetry,
     )
     datasets = pipeline.run(progress=progress)
     return world, datasets

@@ -383,7 +383,106 @@ def render_collection_health(datasets: StudyDatasets) -> str:
             datasets.active.transient_retries,
         )
     )
+    telemetry = datasets.telemetry
+    if telemetry is not None and telemetry.enabled:
+        from repro.obs import profile
+
+        failures = [
+            (outcome, count)
+            for outcome, count in profile.outcome_rows(telemetry.registry)
+            if outcome != profile.OUTCOME_OK
+        ]
+        if failures:
+            lines.append(
+                "failed calls by cause: "
+                + ", ".join("%s=%d" % pair for pair in failures)
+            )
     return "\n".join(lines)
+
+
+def render_telemetry(datasets: StudyDatasets) -> str:
+    """The telemetry section: phases, hot hosts/NSIDs, call outcomes.
+
+    Reads the study's metrics registry back (see ``repro.obs``): per-phase
+    virtual/wall durations, the top hosts by call volume with injected-
+    latency percentiles, the hottest method NSIDs, and the outcome
+    breakdown that attributes connection errors (unknown host vs down
+    host vs injected faults).
+    """
+    from repro.obs import profile
+
+    lines = ["Telemetry: phases, hot hosts, and call outcomes"]
+    telemetry = datasets.telemetry
+    if telemetry is None or not telemetry.enabled:
+        lines.append("telemetry: disabled (--no-telemetry run)")
+        return "\n".join(lines)
+
+    phase_rows = telemetry.phase_rows()
+    if phase_rows:
+        lines.append("")
+        lines.append(
+            format_table(
+                ("phase", "runs", "virtual", "wall"),
+                [
+                    (name, runs, _fmt_us(virtual_us), _fmt_us(wall_us))
+                    for name, runs, virtual_us, wall_us in phase_rows
+                ],
+            )
+        )
+
+    registry = telemetry.registry
+    hosts = profile.host_rows(registry, top_n=10)
+    if hosts:
+        lines.append("")
+        lines.append("top hosts by XRPC calls (latency = injected, virtual):")
+        lines.append(
+            format_table(
+                ("host", "calls", "errors", "p50", "p90", "p99"),
+                [
+                    (host, calls, errors, _fmt_us(p50), _fmt_us(p90), _fmt_us(p99))
+                    for host, calls, errors, p50, p90, p99 in hosts
+                ],
+            )
+        )
+    nsids = profile.nsid_rows(registry, top_n=10)
+    if nsids:
+        lines.append("")
+        lines.append("top method NSIDs:")
+        lines.append(format_table(("nsid", "calls", "errors"), nsids))
+    outcomes = profile.outcome_rows(registry)
+    if outcomes:
+        lines.append("")
+        lines.append(
+            "call outcomes: "
+            + ", ".join("%s=%d" % (outcome, count) for outcome, count in outcomes)
+        )
+
+    stats = telemetry.tracer.stats()
+    if telemetry.tracer.enabled:
+        lines.append(
+            "trace: %d events recorded (1-in-%d sampling, %d dropped)"
+            % (stats["events"], stats["sample_every"], stats["dropped"])
+        )
+    else:
+        lines.append("trace: off (enable with --trace-out)")
+    return "\n".join(lines)
+
+
+def _fmt_us(value) -> str:
+    """Compact human duration for microsecond quantities."""
+    if value is None:
+        return "-"
+    if value >= 86_400_000_000:
+        return "%.1fd" % (value / 86_400_000_000)
+    if value >= 3_600_000_000:
+        return "%.1fh" % (value / 3_600_000_000)
+    if value >= 60_000_000:
+        return "%.1fm" % (value / 60_000_000)
+    if value >= 1_000_000:
+        return "%.1fs" % (value / 1_000_000)
+    if value >= 1_000:
+        return "%.1fms" % (value / 1_000)
+    return "%dus" % value
 
 
 def render_integrity(datasets: StudyDatasets) -> str:
@@ -460,5 +559,6 @@ def full_report(datasets: StudyDatasets) -> str:
         render_table5(),
         render_collection_health(datasets),
         render_integrity(datasets),
+        render_telemetry(datasets),
     ]
     return ("\n\n" + "=" * 72 + "\n\n").join(sections)

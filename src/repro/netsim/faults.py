@@ -31,7 +31,12 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.services.xrpc import XrpcError
+from repro.services.xrpc import (
+    REASON_INJECTED_FLAKY,
+    REASON_INJECTED_OUTAGE,
+    REASON_INJECTED_TIMEOUT,
+    XrpcError,
+)
 
 US_PER_SECOND = 1_000_000
 US_PER_MINUTE = 60 * US_PER_SECOND
@@ -230,6 +235,7 @@ class FaultInjector:
                     outage.status,
                     "injected outage: %s unreachable (%s)" % (url, method),
                     injected=True,
+                    reason=REASON_INJECTED_OUTAGE,
                 )
         latency = 0
         for slow in self.plan.slow_hosts:
@@ -245,6 +251,8 @@ class FaultInjector:
                     408,
                     "injected timeout: %s took too long (%s)" % (url, method),
                     injected=True,
+                    reason=REASON_INJECTED_TIMEOUT,
+                    latency_us=slow.timeout_us,
                 )
             latency += min(drawn, slow.timeout_us)
         for rule in self.plan.flaky:
@@ -252,10 +260,16 @@ class FaultInjector:
                 if self._rng.random() < rule.probability:
                     status = rule.statuses[self._rng.randrange(len(rule.statuses))]
                     self._count("flaky", status, url)
+                    if latency:
+                        # Slow-host latency already accrued before the flaky
+                        # error hit; the failed attempt still paid for it.
+                        self.stats.injected_latency_us += latency
                     raise XrpcError(
                         status,
                         "injected transient %d from %s (%s)" % (status, url, method),
                         injected=True,
+                        reason=REASON_INJECTED_FLAKY,
+                        latency_us=latency,
                     )
         self.stats.injected_latency_us += latency
         return latency
@@ -277,6 +291,7 @@ class FaultInjector:
                         status,
                         "injected transient %d from %s" % (status, target),
                         injected=True,
+                        reason=REASON_INJECTED_FLAKY,
                     )
 
     def _count(self, kind: str, status: int, target: str) -> None:
@@ -691,6 +706,10 @@ def call_with_retries(
         try:
             result = services.call(url, method, **call_params)
         except XrpcError as exc:
+            # Even a failed attempt can consume virtual time (an injected
+            # timeout burns its full budget before erroring); account for
+            # it so the backoff clock matches what the crawler lived.
+            now_us += getattr(services, "last_call_latency_us", 0)
             if not policy.is_retryable(exc.status) or attempt >= policy.max_attempts:
                 raise
             if counters is not None:

@@ -1,0 +1,31 @@
+"""Observability: metrics registry, span tracer, per-phase profiling.
+
+``repro.obs`` is the always-available telemetry substrate of the study:
+
+* :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket
+  histograms with near-zero-allocation hot-path increments and a
+  deterministic JSON snapshot (``metrics.json``);
+* :mod:`repro.obs.trace` — a span tracer recording both wall time and
+  virtual (simulation) time, exporting Chrome ``trace_event`` JSON
+  viewable in ``chrome://tracing`` / Perfetto (``trace.json``);
+* :mod:`repro.obs.telemetry` — the facade the pipeline wires through
+  every choke point (``ServiceDirectory.call``, the collectors, the
+  engine day loop, checkpoint save/resume);
+* :mod:`repro.obs.profile` — report-side helpers: per-phase wall/virtual
+  durations, per-host latency percentiles, top-N hosts/NSIDs, and the
+  finalize pass that derives retry/quarantine series from the datasets.
+"""
+
+from repro.obs.metrics import MetricsRegistry, NullRegistry
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.obs.trace import NullTracer, SpanTracer, validate_trace
+
+__all__ = [
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_TELEMETRY",
+    "Telemetry",
+    "NullTracer",
+    "SpanTracer",
+    "validate_trace",
+]

@@ -1,0 +1,370 @@
+"""The metrics registry: counters, gauges, fixed-bucket histograms.
+
+Design constraints, in order:
+
+* **Hot-path cost.**  ``ServiceDirectory.call`` and the firehose ingest
+  loop increment on every event; an increment is one tuple key and one
+  dict store, no string formatting, no allocation beyond the key.
+* **Determinism.**  ``snapshot_json()`` is byte-identical for two runs
+  of the same seed: series are keyed and sorted by (family, labels),
+  and every persisted value derives from virtual time or counted items,
+  never from the wall clock.  Wall-clock families are declared
+  ``volatile`` and stay out of the snapshot (they still feed the
+  human-readable telemetry report).
+* **Crash-safety.**  ``state()`` / ``adopt()`` round-trip the registry
+  through the study checkpoint journal.  Because the pipeline journals
+  at action boundaries, a resumed run's non-volatile series end up
+  equal to an uninterrupted run's — the same contract the datasets
+  already honour.  Volatile families are process-local and reset on
+  adopt.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_right
+from typing import Iterable, Optional
+
+#: Default histogram bounds for injected/virtual latencies, in µs:
+#: sub-millisecond up to the minute-scale backoff ceiling.
+LATENCY_BUCKETS_US = (
+    1_000,
+    10_000,
+    50_000,
+    100_000,
+    250_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    5_000_000,
+    15_000_000,
+    60_000_000,
+)
+
+
+def series_key(name: str, label_names: tuple, labels: tuple) -> str:
+    if not label_names:
+        return name
+    inner = ",".join("%s=%s" % pair for pair in zip(label_names, labels))
+    return "%s{%s}" % (name, inner)
+
+
+class _Family:
+    """Shared bookkeeping for one named series family."""
+
+    kind = ""
+
+    def __init__(self, name: str, label_names: Iterable[str] = (), volatile: bool = False):
+        self.name = name
+        self.label_names = tuple(label_names)
+        self.volatile = volatile
+        self._data: dict = {}
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def items(self):
+        return self._data.items()
+
+    def get(self, labels: tuple = ()):
+        return self._data.get(labels, 0)
+
+    def _check_labels(self, labels: tuple) -> tuple:
+        if len(labels) != len(self.label_names):
+            raise ValueError(
+                "%s takes %d labels %r, got %r"
+                % (self.name, len(self.label_names), self.label_names, labels)
+            )
+        return labels
+
+
+class CounterFamily(_Family):
+    kind = "counter"
+
+    def inc(self, labels: tuple = (), amount: int = 1) -> None:
+        data = self._data
+        data[labels] = data.get(labels, 0) + amount
+
+    def total(self):
+        return sum(self._data.values())
+
+    def sum_by(self, index: int) -> dict:
+        """Aggregate the family over one label position."""
+        out: dict = {}
+        for labels, value in self._data.items():
+            key = labels[index]
+            out[key] = out.get(key, 0) + value
+        return out
+
+
+class GaugeFamily(_Family):
+    kind = "gauge"
+
+    def set(self, labels: tuple = (), value=0) -> None:
+        self._data[labels] = value
+
+    def total(self):
+        return sum(self._data.values())
+
+
+class HistogramFamily(_Family):
+    """Fixed upper-bound buckets; one extra overflow bucket.
+
+    Per-series storage is ``[bucket_counts, sum, count]`` so an observe
+    is a bisect plus three in-place updates.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        label_names: Iterable[str] = (),
+        bounds: tuple = LATENCY_BUCKETS_US,
+        volatile: bool = False,
+    ):
+        super().__init__(name, label_names, volatile)
+        self.bounds = tuple(bounds)
+
+    def observe(self, labels: tuple = (), value=0) -> None:
+        record = self._data.get(labels)
+        if record is None:
+            record = [[0] * (len(self.bounds) + 1), 0, 0]
+            self._data[labels] = record
+        record[0][bisect_right(self.bounds, value)] += 1
+        record[1] += value
+        record[2] += 1
+
+    def count(self, labels: tuple = ()) -> int:
+        record = self._data.get(labels)
+        return record[2] if record is not None else 0
+
+    def sum(self, labels: tuple = ()):
+        record = self._data.get(labels)
+        return record[1] if record is not None else 0
+
+    def percentile(self, labels: tuple, q: float):
+        """Bucket-resolution quantile estimate (upper bound of the
+        bucket holding the q-th observation); None without data."""
+        record = self._data.get(labels)
+        if record is None or record[2] == 0:
+            return None
+        target = q * record[2]
+        seen = 0
+        for index, bucket_count in enumerate(record[0]):
+            seen += bucket_count
+            if seen >= target:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                # Overflow bucket: the best bound we have is the mean of
+                # what landed there, floored at the last finite bound.
+                return max(self.bounds[-1], record[1] // max(1, record[2]))
+        return self.bounds[-1]
+
+
+class MetricsRegistry:
+    """Named family store with idempotent creation and stable snapshots."""
+
+    def __init__(self):
+        self.families: dict[str, _Family] = {}
+
+    # -- family creation (idempotent) ----------------------------------------
+
+    def counter(self, name: str, label_names=(), volatile: bool = False) -> CounterFamily:
+        return self._family(CounterFamily, name, label_names, volatile)
+
+    def gauge(self, name: str, label_names=(), volatile: bool = False) -> GaugeFamily:
+        return self._family(GaugeFamily, name, label_names, volatile)
+
+    def histogram(
+        self, name: str, label_names=(), bounds=LATENCY_BUCKETS_US, volatile: bool = False
+    ) -> HistogramFamily:
+        family = self.families.get(name)
+        if family is None:
+            family = HistogramFamily(name, label_names, bounds=bounds, volatile=volatile)
+            self.families[name] = family
+            return family
+        self._check_existing(family, HistogramFamily, name, label_names)
+        if family.bounds != tuple(bounds):
+            raise ValueError("histogram %s re-declared with different bounds" % name)
+        return family
+
+    def _family(self, cls, name, label_names, volatile):
+        family = self.families.get(name)
+        if family is None:
+            family = cls(name, label_names, volatile=volatile)
+            self.families[name] = family
+            return family
+        self._check_existing(family, cls, name, label_names)
+        return family
+
+    @staticmethod
+    def _check_existing(family, cls, name, label_names) -> None:
+        if not isinstance(family, cls) or family.label_names != tuple(label_names):
+            raise ValueError(
+                "family %s already declared as %s%r"
+                % (name, family.kind, family.label_names)
+            )
+
+    def family(self, name: str) -> Optional[_Family]:
+        return self.families.get(name)
+
+    # -- snapshot -------------------------------------------------------------
+
+    def snapshot(self, include_volatile: bool = False) -> dict:
+        """A deterministic, JSON-ready view of every non-volatile series."""
+        counters: dict = {}
+        gauges: dict = {}
+        histograms: dict = {}
+        for name in sorted(self.families):
+            family = self.families[name]
+            if family.volatile and not include_volatile:
+                continue
+            if isinstance(family, HistogramFamily):
+                for labels in sorted(family._data, key=_label_sort_key):
+                    record = family._data[labels]
+                    histograms[series_key(name, family.label_names, labels)] = {
+                        "le": list(family.bounds) + ["+Inf"],
+                        "counts": list(record[0]),
+                        "sum": record[1],
+                        "count": record[2],
+                    }
+            else:
+                target = counters if isinstance(family, CounterFamily) else gauges
+                for labels in sorted(family._data, key=_label_sort_key):
+                    target[series_key(name, family.label_names, labels)] = family._data[
+                        labels
+                    ]
+        return {
+            "schema": "repro-metrics-v1",
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def snapshot_json(self, include_volatile: bool = False) -> str:
+        return (
+            json.dumps(self.snapshot(include_volatile), indent=2, sort_keys=True) + "\n"
+        )
+
+    # -- checkpoint plumbing ---------------------------------------------------
+
+    def state(self) -> dict:
+        """Picklable registry contents (non-volatile families only)."""
+        out = {}
+        for name, family in self.families.items():
+            if family.volatile:
+                continue
+            if isinstance(family, HistogramFamily):
+                data = {
+                    labels: [list(rec[0]), rec[1], rec[2]]
+                    for labels, rec in family._data.items()
+                }
+            else:
+                data = dict(family._data)
+            out[name] = {
+                "kind": family.kind,
+                "label_names": family.label_names,
+                "bounds": getattr(family, "bounds", None),
+                "data": data,
+            }
+        return out
+
+    def adopt(self, state: dict) -> None:
+        """Load checkpointed contents in place.
+
+        Families already handed out keep their object identity (the
+        service directory and collectors hold direct references);
+        volatile families reset — they are process-local by contract.
+        """
+        for family in self.families.values():
+            family.clear()
+        for name, entry in state.items():
+            kind = entry["kind"]
+            if kind == "histogram":
+                family = self.histogram(
+                    name, entry["label_names"], bounds=entry["bounds"]
+                )
+                family._data = {
+                    labels: [list(rec[0]), rec[1], rec[2]]
+                    for labels, rec in entry["data"].items()
+                }
+            else:
+                maker = self.counter if kind == "counter" else self.gauge
+                family = maker(name, entry["label_names"])
+                family._data = dict(entry["data"])
+
+
+def _label_sort_key(labels: tuple) -> tuple:
+    return tuple(str(part) for part in labels)
+
+
+# -- disabled variants --------------------------------------------------------
+
+
+class _NullFamily:
+    """Accepts every metrics call and records nothing."""
+
+    kind = "null"
+    name = "null"
+    label_names = ()
+    volatile = True
+    bounds = ()
+
+    def inc(self, labels=(), amount=1):
+        pass
+
+    def set(self, labels=(), value=0):
+        pass
+
+    def observe(self, labels=(), value=0):
+        pass
+
+    def clear(self):
+        pass
+
+    def items(self):
+        return ()
+
+    def get(self, labels=()):
+        return 0
+
+    def total(self):
+        return 0
+
+    def sum_by(self, index):
+        return {}
+
+    def count(self, labels=()):
+        return 0
+
+    def sum(self, labels=()):
+        return 0
+
+    def percentile(self, labels, q):
+        return None
+
+
+_NULL_FAMILY = _NullFamily()
+
+
+class NullRegistry(MetricsRegistry):
+    """The ``--no-telemetry`` registry: every family is a shared no-op."""
+
+    def counter(self, name, label_names=(), volatile=False):
+        return _NULL_FAMILY
+
+    def gauge(self, name, label_names=(), volatile=False):
+        return _NULL_FAMILY
+
+    def histogram(self, name, label_names=(), bounds=LATENCY_BUCKETS_US, volatile=False):
+        return _NULL_FAMILY
+
+    def family(self, name):
+        return None
+
+    def state(self) -> dict:
+        return {}
+
+    def adopt(self, state: dict) -> None:
+        pass

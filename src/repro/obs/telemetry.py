@@ -1,0 +1,163 @@
+"""The telemetry facade the pipeline threads through every choke point.
+
+One :class:`Telemetry` object bundles the metrics registry, the span
+tracer, and the phase profiler.  It is always available — a fault-free
+``World()`` constructs one so bare service directories and collectors
+count into a real registry — and ``Telemetry.disabled()`` swaps in
+no-op variants for ``--no-telemetry`` benchmark runs.
+
+Clock contract: ``now_virtual`` reads the study's virtual clock
+(``ServiceDirectory.now_us``, advanced by the retry helper and the
+engine's day loop).  Phase durations are recorded on both clocks; only
+the virtual series persists into ``metrics.json`` — wall time is
+volatile by definition and lives in the human-readable report.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry, NullRegistry
+from repro.obs.trace import NullTracer, SpanTracer, _NULL_CONTEXT
+
+
+class _Phase:
+    """Context manager timing one pipeline phase on both clocks."""
+
+    __slots__ = ("telemetry", "name", "_span", "_wall0", "_virtual0")
+
+    def __init__(self, telemetry: "Telemetry", name: str):
+        self.telemetry = telemetry
+        self.name = name
+
+    def __enter__(self):
+        tel = self.telemetry
+        self._span = tel.tracer.span(self.name, cat="phase")
+        self._span.__enter__()
+        self._wall0 = time.perf_counter()
+        self._virtual0 = tel.now_virtual()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        tel = self.telemetry
+        self._span.__exit__(exc_type, exc, tb)
+        if exc_type is not None:
+            # A crashed phase records nothing: the journal never saw it
+            # either, so the redo after resume counts it exactly once.
+            return False
+        key = (self.name,)
+        tel._phase_runs.inc(key)
+        virtual_dur = tel.now_virtual() - self._virtual0
+        if virtual_dur > 0:
+            tel._phase_virtual.inc(key, virtual_dur)
+        tel._phase_wall.inc(key, int((time.perf_counter() - self._wall0) * 1e6))
+        return False
+
+
+class Telemetry:
+    """Registry + tracer + phase profiler, with checkpoint plumbing."""
+
+    def __init__(
+        self,
+        now_virtual=None,
+        trace: bool = False,
+        trace_sample: int = 16,
+        max_trace_events: Optional[int] = None,
+        enabled: bool = True,
+    ):
+        self.enabled = enabled
+        self._now_virtual = now_virtual
+        if enabled:
+            self.registry: MetricsRegistry = MetricsRegistry()
+        else:
+            self.registry = NullRegistry()
+        if trace and enabled:
+            kwargs = {} if max_trace_events is None else {"max_events": max_trace_events}
+            self.tracer = SpanTracer(
+                now_virtual=self.now_virtual, sample_every=trace_sample, **kwargs
+            )
+        else:
+            self.tracer = NullTracer()
+        self._phase_runs = self.registry.counter("phase_runs_total", ("phase",))
+        self._phase_virtual = self.registry.counter("phase_virtual_us_total", ("phase",))
+        self._phase_wall = self.registry.counter(
+            "phase_wall_us_total", ("phase",), volatile=True
+        )
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        return cls(enabled=False)
+
+    # -- clocks ---------------------------------------------------------------
+
+    def bind_now_virtual(self, fn) -> None:
+        self._now_virtual = fn
+        self.tracer.bind_now_virtual(fn)
+
+    def now_virtual(self) -> int:
+        fn = self._now_virtual
+        return fn() if fn is not None else 0
+
+    # -- phases ---------------------------------------------------------------
+
+    def phase(self, name: str):
+        """Time one named pipeline phase (wall + virtual + trace span)."""
+        if not self.enabled:
+            return _NULL_CONTEXT
+        return _Phase(self, name)
+
+    def reset_phase(self, name: str) -> None:
+        """Zero one phase's series (for phases recounted by full replay).
+
+        The simulation phase re-executes from scratch in every resumed
+        process (the engine deterministically replays the whole world),
+        so its checkpointed series must be dropped before the replay
+        recounts it — the same recount-from-zero contract the engine's
+        ``sim_*`` families follow.
+        """
+        if not self.enabled:
+            return
+        key = (name,)
+        for family in (self._phase_runs, self._phase_virtual, self._phase_wall):
+            family._data.pop(key, None)
+
+    def phase_rows(self) -> list[tuple]:
+        """(phase, runs, virtual_us, wall_us) rows for the report."""
+        rows = []
+        for (name,), runs in sorted(self._phase_runs.items()):
+            rows.append(
+                (
+                    name,
+                    runs,
+                    self._phase_virtual.get((name,)),
+                    self._phase_wall.get((name,)),
+                )
+            )
+        return rows
+
+    # -- artefacts ------------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        return self.registry.snapshot()
+
+    def metrics_json(self) -> str:
+        return self.registry.snapshot_json()
+
+    # -- checkpoint plumbing ---------------------------------------------------
+
+    def state(self) -> dict:
+        """What the study journal persists for this telemetry."""
+        return {"metrics": self.registry.state()}
+
+    def adopt(self, state: Optional[dict]) -> None:
+        if not self.enabled or not state:
+            return
+        metrics = state.get("metrics")
+        if metrics is not None:
+            self.registry.adopt(metrics)
+
+
+#: Shared disabled instance, the default for components constructed
+#: outside a world/pipeline (unit tests, ad-hoc collectors).
+NULL_TELEMETRY = Telemetry.disabled()

@@ -1,0 +1,305 @@
+"""Span tracing with Chrome ``trace_event`` export.
+
+Spans record *both* clocks of the study:
+
+* wall time (``ts``/``dur``) — where the process actually spent its
+  seconds; rendered on pid 1 ("wall clock");
+* virtual time — where the *simulated crawl* spent its microseconds;
+  mirrored as a second event on pid 2 ("virtual time") and attached to
+  the wall event as ``args.virtual_ts_us`` / ``args.virtual_dur_us``.
+
+The export is the standard JSON-object trace format (``traceEvents`` +
+metadata), so ``trace.json`` loads directly in ``chrome://tracing`` or
+https://ui.perfetto.dev.  High-frequency categories (one span per XRPC
+call, one instant per firehose frame) are sampled 1-in-N per category
+and the whole buffer is bounded; drops are counted, never silent.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+PID_WALL = 1
+PID_VIRTUAL = 2
+
+#: Event count ceiling; a tiny study emits a few thousand sampled events,
+#: the ceiling guards CLI runs at larger scales.
+DEFAULT_MAX_EVENTS = 300_000
+
+
+class _NullContext:
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class _Span:
+    """Context manager for one wall+virtual span."""
+
+    __slots__ = ("tracer", "name", "cat", "args", "_wall0", "_virtual0")
+
+    def __init__(self, tracer: "SpanTracer", name: str, cat: str, args: Optional[dict]):
+        self.tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+
+    def __enter__(self):
+        self._wall0 = self.tracer.wall_us()
+        self._virtual0 = self.tracer.virtual_us()
+        return self
+
+    def __exit__(self, *exc):
+        tracer = self.tracer
+        virtual_dur = tracer.virtual_us() - self._virtual0
+        tracer.complete(
+            self.name,
+            self.cat,
+            self._wall0,
+            args=self.args,
+            virtual_ts_us=self._virtual0,
+            virtual_dur_us=max(0, virtual_dur),
+        )
+        return False
+
+
+class SpanTracer:
+    """Bounded, sampling trace-event recorder."""
+
+    def __init__(
+        self,
+        now_virtual=None,
+        sample_every: int = 16,
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ):
+        self.enabled = True
+        self.sample_every = max(1, int(sample_every))
+        self.max_events = max_events
+        self.events: list[dict] = []
+        self.dropped = 0
+        self._now_virtual = now_virtual
+        self._wall0 = time.perf_counter()
+        self._sample_counts: dict[str, int] = {}
+
+    def bind_now_virtual(self, fn) -> None:
+        self._now_virtual = fn
+
+    # -- clocks ---------------------------------------------------------------
+
+    def wall_us(self) -> float:
+        return (time.perf_counter() - self._wall0) * 1e6
+
+    def virtual_us(self) -> int:
+        fn = self._now_virtual
+        return fn() if fn is not None else 0
+
+    # -- sampling -------------------------------------------------------------
+
+    def sampled(self, cat: str) -> bool:
+        """True for the first of every ``sample_every`` events in ``cat``."""
+        count = self._sample_counts.get(cat, 0)
+        self._sample_counts[cat] = count + 1
+        return count % self.sample_every == 0
+
+    # -- recording ------------------------------------------------------------
+
+    def span(self, name: str, cat: str = "study", args: Optional[dict] = None, sample: bool = False):
+        if not self.enabled or (sample and not self.sampled(cat)):
+            return _NULL_CONTEXT
+        return _Span(self, name, cat, args)
+
+    def complete(
+        self,
+        name: str,
+        cat: str,
+        wall_start_us: float,
+        args: Optional[dict] = None,
+        virtual_ts_us: Optional[int] = None,
+        virtual_dur_us: int = 0,
+    ) -> None:
+        """Record one finished span (``ph: X``) starting at ``wall_start_us``."""
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        wall_dur = max(0.0, self.wall_us() - wall_start_us)
+        event_args = dict(args) if args else {}
+        if virtual_ts_us is not None:
+            event_args["virtual_ts_us"] = virtual_ts_us
+            event_args["virtual_dur_us"] = virtual_dur_us
+        self.events.append(
+            {
+                "name": name,
+                "cat": cat,
+                "ph": "X",
+                "pid": PID_WALL,
+                "tid": 1,
+                "ts": round(wall_start_us, 3),
+                "dur": round(wall_dur, 3),
+                "args": event_args,
+            }
+        )
+        if virtual_ts_us is not None and len(self.events) < self.max_events:
+            # Raw virtual timestamps; export() rebases the whole pid-2
+            # track to the earliest one (spans can complete out of start
+            # order, so the origin is only known at export time).
+            self.events.append(
+                {
+                    "name": name,
+                    "cat": cat,
+                    "ph": "X",
+                    "pid": PID_VIRTUAL,
+                    "tid": 1,
+                    "ts": virtual_ts_us,
+                    "dur": virtual_dur_us,
+                    "args": {},
+                }
+            )
+
+    def instant(self, name: str, cat: str, args: Optional[dict] = None, sample: bool = True) -> None:
+        if not self.enabled or (sample and not self.sampled(cat)):
+            return
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(
+            {
+                "name": name,
+                "cat": cat,
+                "ph": "i",
+                "s": "t",
+                "pid": PID_WALL,
+                "tid": 1,
+                "ts": round(self.wall_us(), 3),
+                "args": dict(args) if args else {},
+            }
+        )
+
+    # -- export ---------------------------------------------------------------
+
+    def export(self) -> dict:
+        """The Chrome trace_event JSON-object document."""
+        metadata = [
+            _process_name(PID_WALL, "wall clock"),
+            _process_name(PID_VIRTUAL, "virtual time (simulation)"),
+        ]
+        virtual_origin = min(
+            (e["ts"] for e in self.events if e["pid"] == PID_VIRTUAL), default=0
+        )
+        events = [
+            {**e, "ts": e["ts"] - virtual_origin} if e["pid"] == PID_VIRTUAL else e
+            for e in self.events
+        ]
+        return {
+            "traceEvents": metadata + events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "generator": "repro.obs.trace",
+                "sample_every": self.sample_every,
+                "events_recorded": len(self.events),
+                "events_dropped": self.dropped,
+            },
+        }
+
+    def stats(self) -> dict:
+        return {
+            "events": len(self.events),
+            "dropped": self.dropped,
+            "sample_every": self.sample_every,
+        }
+
+
+class NullTracer:
+    """Tracing off: every call is a cheap no-op."""
+
+    enabled = False
+    sample_every = 0
+    events: list = []
+    dropped = 0
+
+    def bind_now_virtual(self, fn) -> None:
+        pass
+
+    def wall_us(self) -> float:
+        return 0.0
+
+    def virtual_us(self) -> int:
+        return 0
+
+    def sampled(self, cat: str) -> bool:
+        return False
+
+    def span(self, name, cat="study", args=None, sample=False):
+        return _NULL_CONTEXT
+
+    def complete(self, name, cat, wall_start_us, args=None, virtual_ts_us=None, virtual_dur_us=0):
+        pass
+
+    def instant(self, name, cat, args=None, sample=True):
+        pass
+
+    def export(self) -> dict:
+        return {"traceEvents": [], "otherData": {"generator": "repro.obs.trace"}}
+
+    def stats(self) -> dict:
+        return {"events": 0, "dropped": 0, "sample_every": 0}
+
+
+def _process_name(pid: int, name: str) -> dict:
+    return {
+        "name": "process_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": 1,
+        "args": {"name": name},
+    }
+
+
+#: Phases every ``X`` / ``i`` / ``M`` event must carry to load in Chrome.
+_REQUIRED_KEYS = {
+    "X": ("name", "cat", "ph", "pid", "tid", "ts", "dur"),
+    "i": ("name", "cat", "ph", "pid", "tid", "ts"),
+    "M": ("name", "ph", "pid"),
+}
+
+
+def validate_trace(document: dict) -> list[str]:
+    """Schema sanity-check of a trace_event document; returns problems.
+
+    Used by ``scripts/check_trace.py`` (``make trace``) and the test
+    suite so the artefact provably loads in chrome://tracing/Perfetto.
+    """
+    problems: list[str] = []
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append("event %d is not an object" % index)
+            continue
+        phase = event.get("ph")
+        required = _REQUIRED_KEYS.get(phase)
+        if required is None:
+            problems.append("event %d has unsupported ph %r" % (index, phase))
+            continue
+        for key in required:
+            if key not in event:
+                problems.append("event %d (%s) missing %r" % (index, phase, key))
+        if phase == "X":
+            if not isinstance(event.get("ts"), (int, float)) or event["ts"] < 0:
+                problems.append("event %d has bad ts %r" % (index, event.get("ts")))
+            if not isinstance(event.get("dur"), (int, float)) or event["dur"] < 0:
+                problems.append("event %d has bad dur %r" % (index, event.get("dur")))
+    pids = {e.get("pid") for e in events if isinstance(e, dict)}
+    if events and PID_WALL not in pids:
+        problems.append("no wall-clock (pid %d) events" % PID_WALL)
+    return problems

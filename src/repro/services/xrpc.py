@@ -12,6 +12,16 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.obs.telemetry import Telemetry
+
+#: Connection-error taxonomy carried on :class:`XrpcError.reason` so
+#: telemetry and the health report can attribute status-0 failures.
+REASON_UNKNOWN_HOST = "unknown-host"
+REASON_HOST_DOWN = "host-down"
+REASON_INJECTED_OUTAGE = "injected-outage"
+REASON_INJECTED_TIMEOUT = "injected-timeout"
+REASON_INJECTED_FLAKY = "injected-flaky"
+
 
 class XrpcError(Exception):
     """A failed XRPC call (unknown host, unknown method, upstream error).
@@ -20,12 +30,26 @@ class XrpcError(Exception):
     than the service itself — transient by construction, so best-effort
     callers (:meth:`ServiceDirectory.try_call`) may treat them like
     connection failures instead of semantic errors.
+
+    ``reason`` distinguishes the connection-error flavours that all share
+    status 0 on the wire (unknown host vs host marked down vs injected
+    outage); ``latency_us`` is virtual time the failed attempt still
+    consumed (an injected timeout burns its full budget before failing).
     """
 
-    def __init__(self, status: int, message: str, injected: bool = False):
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        injected: bool = False,
+        reason: Optional[str] = None,
+        latency_us: int = 0,
+    ):
         super().__init__("XRPC %d: %s" % (status, message))
         self.status = status
         self.injected = injected
+        self.reason = reason
+        self.latency_us = latency_us
 
 
 class XrpcService:
@@ -48,22 +72,49 @@ class ServiceDirectory:
     the same way a real crawler does (as connection errors).
 
     ``fault_injector`` (a :class:`repro.netsim.faults.FaultInjector`) is
-    consulted before every dispatch: it may raise transient or permanent
-    :class:`XrpcError`\\ s and may charge latency, which callers that track
-    virtual time read back from ``last_call_latency_us``.  ``now_us`` is
-    the directory's notion of current virtual time; callers making timed
-    calls set it so time-windowed faults (outages) apply correctly.
+    consulted before every dispatch to a *reachable* host: it may raise
+    transient or permanent :class:`XrpcError`\\ s and may charge latency,
+    which callers that track virtual time read back from
+    ``last_call_latency_us``.  Unreachable hosts (down or unregistered)
+    fail before the fault gate — a connection that never opens cannot be
+    slow.  ``now_us`` is the directory's notion of current virtual time;
+    callers making timed calls set it so time-windowed faults (outages)
+    apply correctly.
+
+    Every dispatch attempt counts into the telemetry registry labelled by
+    host, method NSID, and outcome; injected latency feeds a per-host
+    histogram.  ``call_count`` and ``injected_latency_us`` remain as
+    deprecated read-only aliases over those series.
     """
 
-    def __init__(self):
+    def __init__(self, telemetry: Optional[Telemetry] = None):
         self._services: dict[str, XrpcService] = {}
         self._down: set[str] = set()
-        self.call_count = 0
         self.fault_injector = None
         self.adversary = None
         self.now_us = 0
         self.last_call_latency_us = 0
-        self.injected_latency_us = 0
+        self.set_telemetry(telemetry if telemetry is not None else Telemetry())
+
+    def set_telemetry(self, telemetry: Telemetry) -> None:
+        """(Re)bind the registry families this directory counts into."""
+        self.telemetry = telemetry
+        registry = telemetry.registry
+        self._m_calls = registry.counter("xrpc_calls_total", ("host", "method", "outcome"))
+        self._m_latency = registry.histogram("xrpc_latency_us", ("host",))
+        self._m_injected = registry.counter("xrpc_injected_latency_us_total")
+
+    # -- deprecated aliases (pre-registry attribute API) ----------------------
+
+    @property
+    def call_count(self) -> int:
+        """Deprecated: total dispatch attempts; read ``xrpc_calls_total``."""
+        return self._m_calls.total()
+
+    @property
+    def injected_latency_us(self) -> int:
+        """Deprecated: total injected latency; read the registry series."""
+        return self._m_injected.total()
 
     def register(self, url: str, service: XrpcService) -> None:
         self._services[self._norm(url)] = service
@@ -92,25 +143,52 @@ class ServiceDirectory:
 
     def call(self, url: str, method: str, **params: Any) -> Any:
         """Dispatch an XRPC call to the service behind ``url``."""
-        self.call_count += 1
         normalized = self._norm(url)
         self.last_call_latency_us = 0
-        if self.fault_injector is not None:
-            latency = self.fault_injector.before_call(normalized, method, self.now_us)
-            self.last_call_latency_us = latency
-            self.injected_latency_us += latency
-        if normalized in self._down:
-            raise XrpcError(0, "connection to %s failed" % url)
-        service = self._services.get(normalized)
-        if service is None:
-            raise XrpcError(0, "unknown host %s" % url)
-        result = service.xrpc_call(method, **params)
-        if self.adversary is not None:
-            # Byzantine hosts answer, but may answer with tampered bytes;
-            # the adversary rewrites responses in flight, after the honest
-            # service produced them.
-            result = self.adversary.after_call(normalized, method, params, result)
-        return result
+        tracer = self.telemetry.tracer
+        trace_this = tracer.enabled and tracer.sampled("xrpc")
+        wall0 = tracer.wall_us() if trace_this else 0.0
+        outcome = "ok"
+        try:
+            if normalized in self._down:
+                raise XrpcError(
+                    0, "connection to %s failed" % url, reason=REASON_HOST_DOWN
+                )
+            service = self._services.get(normalized)
+            if service is None:
+                raise XrpcError(0, "unknown host %s" % url, reason=REASON_UNKNOWN_HOST)
+            if self.fault_injector is not None:
+                latency = self.fault_injector.before_call(normalized, method, self.now_us)
+                if latency:
+                    self.last_call_latency_us = latency
+                    self._m_injected.inc((), latency)
+            result = service.xrpc_call(method, **params)
+            if self.adversary is not None:
+                # Byzantine hosts answer, but may answer with tampered bytes;
+                # the adversary rewrites responses in flight, after the honest
+                # service produced them.
+                result = self.adversary.after_call(normalized, method, params, result)
+            return result
+        except XrpcError as exc:
+            if exc.latency_us:
+                # A failed attempt can still consume virtual time (an
+                # injected timeout burns its full budget before erroring).
+                self.last_call_latency_us = exc.latency_us
+                self._m_injected.inc((), exc.latency_us)
+            outcome = exc.reason or ("error-%d" % exc.status)
+            raise
+        finally:
+            self._m_calls.inc((normalized, method, outcome))
+            self._m_latency.observe((normalized,), self.last_call_latency_us)
+            if trace_this:
+                tracer.complete(
+                    method,
+                    "xrpc",
+                    wall0,
+                    args={"host": normalized, "outcome": outcome},
+                    virtual_ts_us=self.now_us,
+                    virtual_dur_us=self.last_call_latency_us,
+                )
 
     def try_call(self, url: str, method: str, **params: Any) -> Any:
         """Like :meth:`call` but returns None on transport failure.

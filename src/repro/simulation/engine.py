@@ -162,6 +162,10 @@ class Engine:
         # invalidated via the world's tombstone epoch.
         self._live_impersonators: Optional[list[UserState]] = None
         self._impersonator_epoch = -1
+        registry = world.telemetry.registry
+        self._m_days = registry.counter("sim_days_total")
+        self._m_signups = registry.counter("sim_signups_total")
+        self._m_commits = registry.counter("sim_commits_total")
 
     # ---------------------------------------------------------------- run --
 
@@ -179,9 +183,19 @@ class Engine:
         signup_i = feed_i = labeler_i = handle_i = tomb_i = sched_i = 0
         rate_adj = config.activity_scale
 
+        # The engine replays the whole world deterministically on every
+        # run (including after a resume), so its families are recounted
+        # from zero rather than checkpointed — clearing keeps a resumed
+        # run's totals equal to an uninterrupted run's.
+        tracer = self.world.telemetry.tracer
+        for family in (self._m_days, self._m_signups, self._m_commits):
+            family.clear()
+
         for day_us in day_range(config.start_us, config.end_us):
             day_end = day_us + US_PER_DAY
             self._commits_today = 0
+            day_traced = tracer.enabled and tracer.sampled("sim-day")
+            day_wall0 = tracer.wall_us() if day_traced else 0.0
             # Keep the service directory's clock roughly current so
             # time-windowed faults apply to calls made outside the
             # retry helper (which sets it precisely per attempt).
@@ -230,6 +244,17 @@ class Engine:
             while sched_i < len(scheduled) and scheduled[sched_i][0] < day_end:
                 scheduled[sched_i][1](day_end - 1)
                 sched_i += 1
+            self._m_days.inc()
+            self._m_commits.inc((), self._commits_today)
+            if day_traced:
+                tracer.complete(
+                    "sim-day %s" % iso_timestamp(day_us)[:10],
+                    "sim",
+                    day_wall0,
+                    args={"commits": self._commits_today},
+                    virtual_ts_us=day_us,
+                    virtual_dur_us=US_PER_DAY,
+                )
             if progress is not None and day_us % (30 * US_PER_DAY) < US_PER_DAY:
                 progress("simulated through %s" % iso_timestamp(day_us)[:10])
 
@@ -246,6 +271,7 @@ class Engine:
     def _do_signup(self, user: UserState) -> None:
         now_us = user.spec.signup_us
         self.world.signup(user, now_us)
+        self._m_signups.inc()
         self._active_sampler.append(user, user.spec.engagement)
         multiplicity = 1 + min(50, int(user.spec.attractiveness))
         self._follow_pool.extend([user.did] * multiplicity)

@@ -91,6 +91,7 @@ class World:
         self.dns = DnsResolver(self.dns_zone)
         self.web = WebHostRegistry()
         self.services = ServiceDirectory()
+        self.set_telemetry(self.services.telemetry)
         self.registrars = RegistrarDatabase()
         for registrar in long_tail_registrars(242):
             self.registrars.add(registrar)
@@ -151,6 +152,14 @@ class World:
         self._ran = False
 
     # -- wiring helpers ------------------------------------------------------------
+
+    def set_telemetry(self, telemetry) -> None:
+        """Install the study telemetry: bind its virtual clock to the
+        service directory's ``now_us`` and point the directory's metric
+        families at its registry."""
+        telemetry.bind_now_virtual(lambda: self.services.now_us)
+        self.telemetry = telemetry
+        self.services.set_telemetry(telemetry)
 
     def _register_domains(self) -> None:
         """Register every custom handle domain in WHOIS (+ Tranco filler)."""

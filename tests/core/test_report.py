@@ -70,5 +70,5 @@ def test_full_report_contains_all_sections(study_datasets):
     text = report.full_report(study_datasets)
     for marker in ("Table 1", "Figure 1", "Figure 12", "Table 5", "Table 6"):
         assert marker in text
-    assert text.count("=" * 72) == 19  # 20 sections, 19 separators
+    assert text.count("=" * 72) == 20  # 21 sections, 20 separators
     assert "Collection health" in text

@@ -1,0 +1,164 @@
+"""End-to-end telemetry: determinism, resume-exactness, CLI artefacts.
+
+The acceptance criteria from the issue:
+
+* two same-seed runs — including a faulted + adversarial run — write
+  byte-identical ``metrics.json`` snapshots;
+* a crash/resume chain's final metrics equal the uninterrupted run's for
+  every virtual-time series;
+* ``--trace-out`` produces a trace_event document that provably loads in
+  chrome://tracing, and ``--metrics-out`` a valid snapshot;
+* the ``telemetry`` report section renders, and ``--no-telemetry``
+  degrades every surface to a cheap no-op.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.__main__ import main
+from repro.core import report
+from repro.core.export import export_artefacts
+from repro.core.pipeline import run_study
+from repro.netsim.faults import FaultPlan
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import validate_trace
+from repro.simulation.config import (
+    FIREHOSE_COLLECT_END_US,
+    FIREHOSE_COLLECT_START_US,
+    SimulationConfig,
+)
+from tests.core.test_checkpoint_resume import run_crash_chain
+from tests.core.test_integrity import adversarial_plan
+
+FAULT_SEED = 11
+
+
+def faulted_study():
+    plan = FaultPlan.recoverable(
+        FAULT_SEED, FIREHOSE_COLLECT_START_US, FIREHOSE_COLLECT_END_US
+    )
+    return run_study(
+        SimulationConfig.tiny(), fault_plan=plan, adversarial_plan=adversarial_plan()
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_runs_byte_identical_metrics(self, study_datasets):
+        _, datasets = run_study(SimulationConfig.tiny())
+        assert datasets.telemetry.metrics_json() == study_datasets.telemetry.metrics_json()
+
+    @pytest.mark.slow
+    def test_faulted_adversarial_runs_byte_identical_metrics(self):
+        _, first = faulted_study()
+        _, second = faulted_study()
+        snapshot = first.telemetry.metrics_json()
+        assert snapshot == second.telemetry.metrics_json()
+        # The faults actually registered in the snapshot.
+        counters = json.loads(snapshot)["counters"]
+        assert any(k.startswith("faults_injected") for k in json.loads(snapshot)["gauges"])
+        assert any("outcome=injected-" in key for key in counters)
+
+    def test_snapshot_reflects_study_series(self, study_datasets):
+        snapshot = json.loads(study_datasets.telemetry.metrics_json())
+        counters = snapshot["counters"]
+        assert counters["sim_days_total"] > 0
+        assert counters["sim_commits_total"] > 0
+        assert any(key.startswith("firehose_events_total") for key in counters)
+        assert any(key.startswith("xrpc_calls_total") for key in counters)
+        assert any(key.startswith("phase_runs_total") for key in counters)
+        # Wall-clock families never leak into the deterministic snapshot.
+        assert not any(key.startswith("phase_wall_us_total") for key in counters)
+
+
+@pytest.mark.slow
+class TestResumeExactness:
+    def test_resumed_metrics_equal_uninterrupted(
+        self, study_datasets, tmp_path_factory
+    ):
+        checkpoint_dir = str(tmp_path_factory.mktemp("ckpt-telemetry"))
+        _, resumed = run_crash_chain(checkpoint_dir)
+        assert (
+            resumed.telemetry.metrics_json()
+            == study_datasets.telemetry.metrics_json()
+        )
+
+
+class TestPhaseProfile:
+    def test_phase_rows_cover_the_pipeline(self, study_datasets):
+        rows = {name: (runs, virtual, wall)
+                for name, runs, virtual, wall in study_datasets.telemetry.phase_rows()}
+        assert "simulation" in rows
+        assert "post:active-probes" in rows
+        assert rows["simulation"][0] == 1  # reset_phase: replay counted once
+        for _name, (runs, _virtual, wall) in rows.items():
+            assert runs >= 1
+            assert wall >= 0
+
+    def test_report_section_renders(self, study_datasets):
+        section = report.render_telemetry(study_datasets)
+        assert "phase" in section
+        assert "simulation" in section
+        assert "top hosts" in section
+        assert "call outcomes" in section
+
+    def test_health_section_names_failure_causes(self, study_datasets):
+        section = report.render_collection_health(study_datasets)
+        assert "failed calls by cause" in section
+
+
+class TestExportArtefacts:
+    def test_export_writes_metrics_snapshot(self, study_datasets, tmp_path):
+        paths = export_artefacts(study_datasets, str(tmp_path))
+        names = [os.path.basename(p) for p in paths]
+        assert "metrics.json" in names
+        assert "trace.json" not in names  # tracing was off for this study
+        with open(tmp_path / "metrics.json") as fh:
+            assert json.load(fh)["schema"] == "repro-metrics-v1"
+
+
+class TestCli:
+    def test_trace_and_metrics_flags(self, tmp_path, capsys):
+        metrics_path = str(tmp_path / "metrics.json")
+        trace_path = str(tmp_path / "trace.json")
+        exit_code = main(
+            ["telemetry", "--scale", "60000", "--feed-scale", "1200", "--quiet",
+             "--metrics-out", metrics_path, "--trace-out", trace_path]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Telemetry" in out and "phase" in out
+        with open(metrics_path) as fh:
+            assert json.load(fh)["schema"] == "repro-metrics-v1"
+        with open(trace_path) as fh:
+            document = json.load(fh)
+        assert validate_trace(document) == []
+        assert len(document["traceEvents"]) > 2
+
+    def test_no_telemetry_conflicts_with_outputs(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--no-telemetry", "--metrics-out", str(tmp_path / "m.json")])
+
+
+class TestDisabledTelemetry:
+    @pytest.fixture(scope="class")
+    def disabled_run(self):
+        return run_study(
+            SimulationConfig.tiny(), telemetry=Telemetry.disabled()
+        )
+
+    def test_pipeline_runs_and_datasets_match(self, disabled_run, study_datasets):
+        _, datasets = disabled_run
+        assert not datasets.telemetry.enabled
+        # Telemetry off never changes the study itself.
+        assert dict(datasets.firehose.event_counts) == dict(
+            study_datasets.firehose.event_counts
+        )
+
+    def test_report_and_export_degrade_cleanly(self, disabled_run, tmp_path):
+        _, datasets = disabled_run
+        section = report.render_telemetry(datasets)
+        assert "disabled" in section
+        paths = export_artefacts(datasets, str(tmp_path))
+        assert "metrics.json" not in [os.path.basename(p) for p in paths]

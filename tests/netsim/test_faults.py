@@ -118,6 +118,39 @@ class TestSlowHost:
         assert excinfo.value.status == 408
         assert echo.calls == 0
 
+    def test_timeout_charges_its_wait(self):
+        # A timed-out call still burned the timeout window: the error
+        # carries that latency and the directory charges it.
+        plan = FaultPlan(
+            slow_hosts=(
+                SlowHost(RELAY, base_latency_us=100, timeout_probability=1.0,
+                         timeout_us=30 * US),
+            )
+        )
+        services, _ = wired(plan)
+        with pytest.raises(XrpcError) as excinfo:
+            services.call(RELAY, "x.ping")
+        assert excinfo.value.latency_us == 30 * US
+        assert services.last_call_latency_us == 30 * US
+
+    def test_unreachable_host_charges_no_fault_latency(self):
+        # Reachability is decided before the fault gate: a connection
+        # that never opens cannot be slow, and the injector never sees
+        # the dispatch.
+        plan = FaultPlan(slow_hosts=(SlowHost(RELAY, base_latency_us=250_000),))
+        services, _ = wired(plan)
+        services.set_down(RELAY)
+        with pytest.raises(XrpcError) as excinfo:
+            services.call(RELAY, "x.ping")
+        assert excinfo.value.latency_us == 0
+        assert services.last_call_latency_us == 0
+        assert services.injected_latency_us == 0
+        assert services.fault_injector.stats.calls_seen == 0
+        with pytest.raises(XrpcError):
+            services.call("https://nowhere.test", "x.ping")
+        assert services.last_call_latency_us == 0
+        assert services.fault_injector.stats.calls_seen == 0
+
 
 class TestDisconnectWindows:
     def test_plan_reports_disconnected(self):

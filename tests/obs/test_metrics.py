@@ -1,0 +1,169 @@
+"""Tests for the metrics registry (counters, gauges, histograms)."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_US,
+    MetricsRegistry,
+    NullRegistry,
+    series_key,
+)
+
+
+class TestSeriesKey:
+    def test_bare_name(self):
+        assert series_key("calls_total", (), ()) == "calls_total"
+
+    def test_labels_render_in_declared_order(self):
+        key = series_key("calls_total", ("host", "outcome"), ("a.test", "ok"))
+        assert key == "calls_total{host=a.test,outcome=ok}"
+
+
+class TestCounters:
+    def test_inc_and_total(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events_total", ("kind",))
+        counter.inc(("commit",))
+        counter.inc(("commit",), 2)
+        counter.inc(("identity",))
+        assert counter.get(("commit",)) == 3
+        assert counter.total() == 4
+
+    def test_unlabeled_counter(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ticks_total")
+        counter.inc()
+        counter.inc((), 5)
+        assert counter.total() == 6
+
+    def test_sum_by_projects_one_label(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("calls_total", ("host", "outcome"))
+        counter.inc(("a.test", "ok"), 3)
+        counter.inc(("a.test", "error"), 1)
+        counter.inc(("b.test", "ok"), 2)
+        assert counter.sum_by(0) == {"a.test": 4, "b.test": 2}
+        assert counter.sum_by(1) == {"ok": 5, "error": 1}
+
+    def test_idempotent_declaration_same_object(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total", ("a",))
+        again = registry.counter("x_total", ("a",))
+        assert first is again
+
+    def test_conflicting_declaration_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", ("a",))
+        with pytest.raises(ValueError):
+            registry.counter("x_total", ("b",))
+        with pytest.raises(ValueError):
+            registry.gauge("x_total", ("a",))
+
+
+class TestHistograms:
+    def test_observations_land_in_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency_us", ("host",))
+        hist.observe(("h",), 500)            # <= 1ms bucket
+        hist.observe(("h",), 40_000)         # <= 50ms bucket
+        hist.observe(("h",), 10**9)          # overflow bucket
+        counts, total, count = hist.get(("h",))
+        assert count == 3
+        assert total == 500 + 40_000 + 10**9
+        assert sum(counts) == 3
+        assert counts[-1] == 1  # the +Inf bucket
+
+    def test_percentile_reports_bucket_upper_bound(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency_us")
+        for _ in range(99):
+            hist.observe((), 500)
+        hist.observe((), 40_000)
+        assert hist.percentile((), 0.50) == LATENCY_BUCKETS_US[0]
+        assert hist.percentile((), 0.99) == LATENCY_BUCKETS_US[0]
+        assert hist.percentile((), 1.0) == 50_000
+
+    def test_percentile_empty_is_none(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency_us")
+        assert hist.percentile((), 0.5) is None
+
+
+class TestSnapshot:
+    def build(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total", ("k",)).inc(("z",))
+        registry.counter("b_total", ("k",)).inc(("a",), 2)
+        registry.counter("a_total").inc()
+        registry.gauge("depth", ("host",)).set(("h",), 7)
+        registry.histogram("lat_us").observe((), 3_000)
+        registry.counter("wall_us_total", volatile=True).inc((), 123)
+        return registry
+
+    def test_snapshot_sorted_and_volatile_excluded(self):
+        snapshot = self.build().snapshot()
+        assert snapshot["schema"] == "repro-metrics-v1"
+        keys = list(snapshot["counters"])
+        assert keys == sorted(keys)
+        assert "wall_us_total" not in snapshot["counters"]
+        assert snapshot["gauges"]["depth{host=h}"] == 7
+        hist = snapshot["histograms"]["lat_us"]
+        assert hist["count"] == 1 and hist["le"][-1] == "+Inf"
+
+    def test_snapshot_json_deterministic(self):
+        a = self.build().snapshot_json()
+        b = self.build().snapshot_json()
+        assert a == b
+        assert a.endswith("\n")
+        json.loads(a)  # round-trips
+
+    def test_include_volatile_opt_in(self):
+        snapshot = self.build().snapshot(include_volatile=True)
+        assert snapshot["counters"]["wall_us_total"] == 123
+
+
+class TestStateAdopt:
+    def test_round_trip_preserves_series_and_identity(self):
+        registry = self.populated()
+        counter = registry.family("calls_total")
+        state = registry.state()
+
+        fresh = MetricsRegistry()
+        fresh_counter = fresh.counter("calls_total", ("host",))
+        fresh_counter.inc(("stale.test",), 99)  # must be cleared by adopt
+        fresh.histogram("lat_us")
+        fresh.adopt(state)
+        assert fresh.snapshot_json() == registry.snapshot_json()
+        # adopt() keeps family objects alive: bound references still work.
+        assert fresh.family("calls_total") is fresh_counter
+        fresh_counter.inc(("a.test",))
+        assert fresh_counter.get(("a.test",)) == counter.get(("a.test",)) + 1
+
+    def test_volatile_families_not_in_state(self):
+        registry = self.populated()
+        registry.counter("wall_us_total", volatile=True).inc((), 5)
+        assert "wall_us_total" not in registry.state()
+
+    @staticmethod
+    def populated():
+        registry = MetricsRegistry()
+        registry.counter("calls_total", ("host",)).inc(("a.test",), 4)
+        registry.histogram("lat_us").observe((), 2_000)
+        registry.gauge("depth").set((), 3)
+        return registry
+
+
+class TestNullRegistry:
+    def test_every_surface_is_a_noop(self):
+        registry = NullRegistry()
+        counter = registry.counter("x_total", ("a",))
+        counter.inc(("v",))
+        assert counter.total() == 0
+        assert counter.get(("v",)) == 0
+        registry.histogram("h").observe((), 5)
+        assert registry.histogram("h").percentile((), 0.5) is None
+        registry.gauge("g").set((), 1)
+        assert registry.state() == {}
+        assert registry.snapshot()["counters"] == {}

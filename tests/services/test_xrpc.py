@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.services.xrpc import ServiceDirectory, XrpcError, XrpcService
+from repro.services.xrpc import (
+    REASON_HOST_DOWN,
+    REASON_UNKNOWN_HOST,
+    ServiceDirectory,
+    XrpcError,
+    XrpcService,
+)
 
 
 class EchoService(XrpcService):
@@ -67,3 +73,42 @@ class TestDirectory:
         directory.call("https://svc.test", "com.example.echo", value=1)
         directory.try_call("https://other.test", "com.example.echo")
         assert directory.call_count == 2
+
+    def test_unreachable_reasons_are_distinct(self):
+        directory = ServiceDirectory()
+        directory.register("https://svc.test", EchoService())
+        directory.set_down("https://svc.test")
+        with pytest.raises(XrpcError) as down:
+            directory.call("https://svc.test", "com.example.echo", value=1)
+        with pytest.raises(XrpcError) as unknown:
+            directory.call("https://nowhere.test", "com.example.echo")
+        assert down.value.reason == REASON_HOST_DOWN
+        assert unknown.value.reason == REASON_UNKNOWN_HOST
+        assert down.value.reason != unknown.value.reason
+        assert not down.value.injected
+        assert not unknown.value.injected
+
+    def test_per_host_outcome_metrics(self):
+        directory = ServiceDirectory()
+        directory.register("https://svc.test", EchoService())
+        directory.call("https://svc.test", "com.example.echo", value=1)
+        directory.call("https://svc.test", "com.example.echo", value=2)
+        with pytest.raises(XrpcError):
+            directory.call("https://svc.test", "com.example.fail")
+        directory.try_call("https://gone.test", "com.example.echo")
+        calls = directory.telemetry.registry.family("xrpc_calls_total")
+        assert calls.get(("https://svc.test", "com.example.echo", "ok")) == 2
+        assert calls.get(("https://svc.test", "com.example.fail", "error-500")) == 1
+        assert calls.get(
+            ("https://gone.test", "com.example.echo", REASON_UNKNOWN_HOST)
+        ) == 1
+        latency = directory.telemetry.registry.family("xrpc_latency_us")
+        assert latency.get(("https://svc.test",))[2] == 3  # observation count
+
+    def test_deprecated_aliases_track_registry(self):
+        directory = ServiceDirectory()
+        directory.register("https://svc.test", EchoService())
+        assert directory.call_count == 0
+        assert directory.injected_latency_us == 0
+        directory.call("https://svc.test", "com.example.echo", value=1)
+        assert directory.call_count == 1

@@ -19,8 +19,8 @@ class TestCli:
         assert "Skyfeed" in out
 
     def test_artefact_registry_complete(self):
-        # 19 dynamic artefacts + table5 handled separately.
-        assert len(ARTEFACTS) == 19
+        # 20 dynamic artefacts + table5 handled separately.
+        assert len(ARTEFACTS) == 20
         assert "fig12" in ARTEFACTS and "table6" in ARTEFACTS
         assert "health" in ARTEFACTS
         assert "integrity" in ARTEFACTS
