@@ -7,7 +7,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test test-fast test-faults test-integrity test-telemetry bench bench-perf lint report trace check
+.PHONY: test test-fast test-faults test-integrity test-telemetry test-shard bench bench-perf lint report trace check
 
 test:  ## tier-1 suite (must stay green)
 	$(PYTHON) -m pytest -x -q
@@ -23,6 +23,9 @@ test-integrity:  ## Byzantine-data hardening + checkpoint/resume suite only
 
 test-telemetry:  ## metrics registry + tracer + telemetry determinism suite only
 	$(PYTHON) -m pytest -x -q tests/obs tests/core/test_telemetry.py
+
+test-shard:  ## sharded-engine determinism suite (workers 1/2/4 byte-identity)
+	$(PYTHON) -m pytest -x -q tests/simulation/test_sharding.py
 
 bench:  ## run the perf harness, write BENCH_perf.json
 	$(PYTHON) -m repro bench
@@ -45,4 +48,4 @@ trace:  ## small traced study; validate the trace + metrics artefacts
 		--fault-seed 7 --trace-out trace.json --metrics-out metrics.json
 	$(PYTHON) scripts/check_trace.py trace.json metrics.json
 
-check: test test-faults test-integrity test-telemetry lint  ## what CI would run
+check: test test-faults test-integrity test-telemetry test-shard lint  ## what CI would run

@@ -71,6 +71,16 @@ def main(argv=None) -> int:
     parser.add_argument("--feed-scale", type=float, default=800, metavar="DENOM")
     parser.add_argument("--seed", type=int, default=2024)
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the simulation engine (default 1 = "
+        "in-process); the population is partitioned into fixed logical "
+        "shards merged deterministically at the relay, so every artefact "
+        "is byte-identical at any worker count",
+    )
+    parser.add_argument(
         "--fault-seed",
         type=int,
         default=None,
@@ -213,6 +223,7 @@ def main(argv=None) -> int:
             resume=args.resume,
             crash_plan=crash_plan,
             telemetry=telemetry,
+            workers=args.workers,
         )
     except Exception as exc:
         from repro.netsim.faults import StudyCrashed

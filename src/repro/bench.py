@@ -33,6 +33,16 @@ BASELINE = {
     "pipeline_tiny_wall_s": 6.189338619000068,
     "pipeline_tiny_firehose_events": 2888,
     "pipeline_tiny_events_per_s": 466.608821681593,
+    # The sharded-engine family is referenced against the same seed-commit
+    # single-process wall time: each row answers "how does the tiny
+    # pipeline at N workers compare to the unsharded seed engine".  The
+    # honest workers-vs-workers scaling number lives in
+    # ``pipeline_tiny_workers4_speedup_vs_workers1`` (next to
+    # ``cpu_count``: on a single-core container it cannot exceed ~1x and
+    # the determinism guardrail is the enforceable property).
+    "pipeline_tiny_workers1_wall_s": 6.189338619000068,
+    "pipeline_tiny_workers2_wall_s": 6.189338619000068,
+    "pipeline_tiny_workers4_wall_s": 6.189338619000068,
 }
 
 # A representative post record (matches what the engine writes).
@@ -143,6 +153,52 @@ def bench_pipeline(repeats: int = 2) -> dict:
     }
 
 
+def bench_sharded_pipeline(repeats: int = 1) -> dict:
+    """Tiny pipeline at 1/2/4 worker processes + determinism guardrail.
+
+    Times the end-to-end tiny study at each worker count and — the part
+    that is enforced rather than merely reported — asserts that every
+    worker count produces the same artefact fingerprint (Table 1,
+    metrics.json, firehose counters, and the wire-frame stream digest)
+    as the single-process run.  ``cpu_count`` is recorded alongside the
+    wall times so the scaling numbers can be read honestly: on a
+    single-core container the 4-worker run cannot beat the 1-worker run.
+    """
+    import os
+
+    from repro.core.export import firehose_frame_observer, study_fingerprint
+    from repro.core.pipeline import MeasurementPipeline
+    from repro.simulation.config import SimulationConfig
+    from repro.simulation.world import World
+
+    results: dict = {"cpu_count": os.cpu_count() or 1}
+    fingerprints: dict[int, str] = {}
+    for workers in (1, 2, 4):
+        wall = None
+        for _ in range(repeats):
+            world = World(SimulationConfig.tiny())
+            frame_digest = firehose_frame_observer(world)
+            pipeline = MeasurementPipeline(world, workers=workers)
+            t0 = time.perf_counter()
+            datasets = pipeline.run()
+            elapsed = time.perf_counter() - t0
+            wall = elapsed if wall is None else min(wall, elapsed)
+            fingerprints[workers] = study_fingerprint(datasets, frame_digest)
+        results["pipeline_tiny_workers%d_wall_s" % workers] = wall
+    if len(set(fingerprints.values())) != 1:
+        raise AssertionError(
+            "sharded determinism guardrail violated: artefact fingerprints "
+            "diverge across worker counts: %r" % fingerprints
+        )
+    results["sharded_artefacts_identical"] = True
+    results["pipeline_tiny_workers4_speedup_vs_workers1"] = round(
+        results["pipeline_tiny_workers1_wall_s"]
+        / results["pipeline_tiny_workers4_wall_s"],
+        3,
+    )
+    return results
+
+
 def bench_telemetry_overhead(repeats: int = 2) -> dict:
     """End-to-end cost of the always-on telemetry (guardrail: <5%).
 
@@ -168,7 +224,7 @@ def run_benchmarks(include_pipeline: bool = True, progress=None) -> dict:
     results: dict = {}
     stages = [bench_cbor, bench_mst, bench_commit, bench_sampling]
     if include_pipeline:
-        stages.extend([bench_pipeline, bench_telemetry_overhead])
+        stages.extend([bench_pipeline, bench_sharded_pipeline, bench_telemetry_overhead])
     for stage in stages:
         if progress is not None:
             progress("running %s..." % stage.__name__)
@@ -247,4 +303,13 @@ def main(out_path: str = "BENCH_perf.json", quiet: bool = False) -> int:
     overhead = measured.get("telemetry_overhead_pct")
     if overhead is not None and not quiet:
         print("telemetry overhead: %.2f%% (instrumented vs --no-telemetry)" % overhead)
+    if measured.get("sharded_artefacts_identical") and not quiet:
+        print(
+            "sharded determinism guardrail: artefacts identical at workers "
+            "1/2/4 (cpu_count=%d, workers4 vs workers1 wall: %.2fx)"
+            % (
+                measured.get("cpu_count", 1),
+                measured.get("pipeline_tiny_workers4_speedup_vs_workers1", 0.0),
+            )
+        )
     return 0

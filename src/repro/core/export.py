@@ -237,3 +237,64 @@ def export_artefacts(datasets: StudyDatasets, directory: str) -> list[str]:
             atomic_write_json(out("trace.json"), telemetry.tracer.export())
 
     return written
+
+
+# ---------------------------------------------------------------------------
+# Artefact fingerprinting (sharded-determinism guardrail)
+# ---------------------------------------------------------------------------
+
+
+def firehose_frame_observer(world):
+    """Attach a wire-frame digest subscriber to ``world``'s firehose.
+
+    Must be called BEFORE the world runs.  Returns a zero-argument
+    closure yielding the running sha256 hex digest over every frame
+    published so far — the byte-level half of the identity check the
+    sharding tests and the bench guardrail share (the retention window
+    prunes old events, so hashing frames as they are published is the
+    only way to cover the whole stream).
+    """
+    import hashlib
+
+    hasher = hashlib.sha256()
+    world.relay.firehose.subscribe(lambda event: hasher.update(event.wire_frame()))
+    return hasher.hexdigest
+
+
+def study_fingerprint(datasets: StudyDatasets, frame_digest=None) -> str:
+    """One hash over the run's externally visible artefacts.
+
+    Folds Table 1, the metrics registry snapshot, and the firehose
+    dataset's counters — plus an optional wire-frame digest captured by
+    :func:`firehose_frame_observer` — into a single sha256 hex digest.
+    Two runs of the same seed must fingerprint identically regardless of
+    ``--workers`` count and regardless of crash/resume interruptions;
+    the sharded engine's deterministic relay merge is what makes that
+    hold, and ``make test-shard`` plus the bench guardrail enforce it.
+    """
+    import hashlib
+
+    from repro.core import report
+
+    hasher = hashlib.sha256()
+    hasher.update(report.render_table1(datasets).encode())
+    telemetry = datasets.telemetry
+    if telemetry is not None and telemetry.enabled:
+        hasher.update(telemetry.metrics_json().encode())
+    fh = datasets.firehose
+    hasher.update(
+        repr(
+            (
+                sorted(fh.event_counts.items()),
+                sorted(fh.op_counts.items()),
+                fh.handle_updates,
+                fh.tombstoned_dids,
+                fh.bytes_received,
+                fh.dropped_events,
+            )
+        ).encode()
+    )
+    if frame_digest is not None:
+        digest = frame_digest() if callable(frame_digest) else frame_digest
+        hasher.update(digest.encode())
+    return hasher.hexdigest()

@@ -120,8 +120,17 @@ class MeasurementPipeline:
         resume: bool = False,
         crash_plan: Optional[CrashPlan] = None,
         telemetry: Optional[Telemetry] = None,
+        workers: int = 1,
     ):
         self.world = world
+        # Worker processes for the sharded simulation engine; artefacts
+        # are byte-identical at any value (deterministic relay merge).
+        self.workers = max(1, int(workers))
+        # Per-shard digest segment restored from a checkpoint, verified
+        # against the re-simulated world after ``world.run`` (the
+        # simulation replays from scratch on resume; the digests prove
+        # the replay matches the run the journal was written by).
+        self._expected_shard_segment: Optional[dict] = None
         if telemetry is None:
             telemetry = world.telemetry
         else:
@@ -247,11 +256,29 @@ class MeasurementPipeline:
             "integrity_members": self.integrity.members_state(),
             "adversary": self.adversary.stats if self.adversary else None,
             "telemetry": self.telemetry.state(),
+            # Per-shard checkpoint segment: the latest per-shard running
+            # digests the engine has produced.  Enough to prove a resumed
+            # re-simulation is byte-identical without journaling world
+            # state itself.
+            "sim_shards": self.world.config.sim_shards,
+            "shards": self._shard_segment(),
         }
+
+    def _shard_segment(self) -> Optional[dict]:
+        log = self.world.shard_digest_log
+        if not log:
+            return None
+        day_us = max(log)
+        return {"day_us": day_us, "digests": log[day_us]}
 
     def _restore(self, state: dict) -> None:
         state_guard(state, "seed", self.world.config.seed)
         state_guard(state, "scale", self.world.config.scale)
+        # Soft guard: checkpoints written before sharding landed carry no
+        # shard keys and stay restorable (CHECKPOINT_VERSION unchanged).
+        if "sim_shards" in state:
+            state_guard(state, "sim_shards", self.world.config.sim_shards)
+        self._expected_shard_segment = state.get("shards")
         self.identifier_collector.dataset = state["identifiers"]
         self.diddoc_collector.dataset = state["diddocs"]
         self.repo_collector.dataset = state["repos"]
@@ -366,7 +393,8 @@ class MeasurementPipeline:
         # recounted, not accumulated across the checkpoint.
         self.telemetry.reset_phase("simulation")
         with self.telemetry.phase("simulation"):
-            self.world.run(progress=progress)
+            self.world.run(progress=progress, workers=self.workers)
+        self._verify_shard_segment()
         # Close out any firehose disconnect window still open at the end
         # of the collection period: no further live frame will trigger the
         # resume path, so catch up explicitly before reading the dataset.
@@ -389,6 +417,29 @@ class MeasurementPipeline:
         # every action and step marked done and just re-exports.
         self.checkpointer.save()
         return self.datasets()
+
+    def _verify_shard_segment(self) -> None:
+        """Check the resumed re-simulation against the journal's per-shard
+        digest segment; a mismatch means the resumed run is NOT the run
+        the checkpoint came from (changed code, seed drift, corruption)
+        and its artefacts must not be stitched onto the journal's."""
+        expected = self._expected_shard_segment
+        if expected is None:
+            return
+        from repro.core.checkpoint import CheckpointError
+
+        actual = self.world.shard_digest_log.get(expected["day_us"])
+        if actual is None:
+            raise CheckpointError(
+                "resumed simulation never reached checkpointed day %d"
+                % expected["day_us"]
+            )
+        if tuple(actual) != tuple(expected["digests"]):
+            raise CheckpointError(
+                "per-shard digests diverged on resume at day %d: "
+                "the re-simulated world does not match the checkpointed run"
+                % expected["day_us"]
+            )
 
     def _final_labeler_pull(self) -> None:
         self.labeler_collector.discover(self.firehose_collector.dataset.labeler_service_dids)
@@ -430,6 +481,7 @@ def run_study(
     resume: bool = False,
     crash_plan: Optional[CrashPlan] = None,
     telemetry: Optional[Telemetry] = None,
+    workers: int = 1,
 ) -> tuple[World, StudyDatasets]:
     """Convenience: build a world, run the full pipeline, return both.
 
@@ -450,6 +502,7 @@ def run_study(
         resume=resume,
         crash_plan=crash_plan,
         telemetry=telemetry,
+        workers=workers,
     )
     datasets = pipeline.run(progress=progress)
     return world, datasets

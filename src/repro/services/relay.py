@@ -132,21 +132,56 @@ class Relay(XrpcService):
         self._pdses: list[Pds] = []
         self._repo_locations: dict[str, Pds] = {}  # did -> hosting PDS
         self._tombstoned: set[str] = set()
+        # did -> (head CID string, rev), maintained on every published
+        # commit.  In sharded mode the relay's local PDS replicas hold no
+        # records, so the sync surface answers from this map instead of
+        # the cached Repo objects.
+        self._heads: dict[str, tuple[str, str]] = {}
+        # Optional CAR fetcher (did -> bytes | None) installed by the
+        # sharded engine: repos live in worker processes, and getRepo
+        # fetches them through this hook instead of the local cache.
+        self.repo_reader: Optional[Callable[[str], Optional[bytes]]] = None
 
     # -- crawling / federation -------------------------------------------------
 
     def crawl_pds(self, pds: Pds) -> None:
-        """Start consuming a PDS (the `requestCrawl` handshake)."""
+        """Start consuming a PDS (the `requestCrawl` handshake).
+
+        The legacy push path: the PDS notifies the relay of every commit.
+        The sharded engine uses :meth:`register_pds` + explicit
+        :meth:`publish_commit` calls instead, so event ordering is decided
+        by the deterministic merge, not by callback timing.
+        """
         if pds in self._pdses:
             return
         self._pdses.append(pds)
         for did in pds.dids():
             self._repo_locations[did] = pds
-        pds.on_commit(lambda did, meta, pds=pds: self._on_commit(pds, did, meta))
-        pds.on_tombstone(self._on_tombstone)
+        pds.on_commit(lambda did, meta, pds=pds: self.publish_commit(pds, did, meta))
+        pds.on_tombstone(self.publish_tombstone)
 
-    def _on_commit(self, pds: Pds, did: str, meta: CommitMeta) -> None:
+    def register_pds(self, pds: Pds) -> None:
+        """Track a PDS's repos without subscribing to its commit stream.
+
+        Used by the sharded engine, which publishes commits explicitly in
+        merged order; behaviourally identical to :meth:`crawl_pds` for
+        location bookkeeping (locations update on the first published
+        commit either way).
+        """
+        if pds in self._pdses:
+            return
+        self._pdses.append(pds)
+        for did in pds.dids():
+            self._repo_locations[did] = pds
+
+    def publish_commit(self, pds: Pds, did: str, meta: CommitMeta) -> None:
+        """Ingest one commit: update cache bookkeeping, emit ``#commit``."""
         self._repo_locations[did] = pds
+        self._heads[did] = (str(meta.commit_cid), meta.rev)
+        if self.repo_reader is not None:
+            # Sharded mode: the hosting PDS replica never saw the write;
+            # keep its own sync surface (listRepos) consistent.
+            pds.note_remote_head(did, str(meta.commit_cid), meta.rev)
         records = meta.records if meta.records else (None,) * len(meta.ops)
         ops = tuple(
             CommitOp(action, path, cid, record)
@@ -163,9 +198,13 @@ class Relay(XrpcService):
             )
         )
 
-    def _on_tombstone(self, did: str, now_us: int) -> None:
+    def publish_tombstone(self, did: str, now_us: int) -> None:
+        """Ingest an account removal: drop the cache entry, emit ``#tombstone``."""
         self._tombstoned.add(did)
-        self._repo_locations.pop(did, None)
+        pds = self._repo_locations.pop(did, None)
+        if pds is not None:
+            pds.drop_remote_head(did)
+        self._heads.pop(did, None)
         self.firehose.publish(
             lambda seq: TombstoneEvent(seq=seq, did=did, time_us=now_us)
         )
@@ -210,15 +249,28 @@ class Relay(XrpcService):
         start = bisect_right(dids, cursor) if cursor is not None else 0
         page = dids[start : start + limit]
         repos = []
-        for did in page:
-            repo = self.cached_repo(did)
-            if repo is not None and repo.head is not None:
-                repos.append({"did": did, "head": str(repo.head), "rev": repo.rev})
+        if self.repo_reader is not None:
+            # Sharded mode: local replicas are empty; the head map carries
+            # exactly what publish_commit saw, in merged order.
+            for did in page:
+                head = self._heads.get(did)
+                if head is not None:
+                    repos.append({"did": did, "head": head[0], "rev": head[1]})
+        else:
+            for did in page:
+                repo = self.cached_repo(did)
+                if repo is not None and repo.head is not None:
+                    repos.append({"did": did, "head": str(repo.head), "rev": repo.rev})
         next_cursor = page[-1] if len(page) == limit else None
         return {"repos": repos, "cursor": next_cursor}
 
     def xrpc_getRepo(self, did: str) -> bytes:
         """Serve a repo CAR from the relay's cache (not the origin PDS)."""
+        if self.repo_reader is not None:
+            car = self.repo_reader(did)
+            if car is None:
+                raise XrpcError(404, "repo %s not mirrored" % did)
+            return car
         repo = self.cached_repo(did)
         if repo is None or repo.head is None:
             raise XrpcError(404, "repo %s not mirrored" % did)
@@ -229,6 +281,11 @@ class Relay(XrpcService):
         return self.firehose.events_since(cursor, limit)
 
     def xrpc_getLatestCommit(self, did: str) -> dict:
+        if self.repo_reader is not None:
+            head = self._heads.get(did)
+            if head is None:
+                raise XrpcError(404, "repo %s not mirrored" % did)
+            return {"cid": head[0], "rev": head[1]}
         repo = self.cached_repo(did)
         if repo is None or repo.head is None:
             raise XrpcError(404, "repo %s not mirrored" % did)
@@ -241,6 +298,11 @@ class Relay(XrpcService):
         from repro.atproto.cbor import cbor_encode
         from repro.atproto.mst import prove_inclusion
 
+        if self.repo_reader is not None:
+            # Proof construction needs the live MST; worker repos only ship
+            # whole CARs.  Nothing in the measurement pipeline calls this —
+            # it exists for the verifiable-reads service surface.
+            raise XrpcError(501, "sync.getRecord is unavailable in sharded mode")
         repo = self.cached_repo(did)
         if repo is None or repo.head is None:
             raise XrpcError(404, "repo %s not mirrored" % did)

@@ -1,18 +1,46 @@
-"""The generative timeline engine.
+"""The generative timeline engine, sharded across logical partitions.
 
 Runs the world day by day from launch (November 2022) to the end of the
 measurement window (May 2024): signups, daily sessions (posts / likes /
 reposts / follows / blocks), feed creation, labeler startups and label
 emission, handle changes, tombstones, and identity-churn noise — all
 calibrated to the paper's published magnitudes (see config.py).
+
+Execution model (mirrors AT Protocol federation): the population is
+partitioned into ``config.sim_shards`` logical shards.  Each shard's day
+loop mutates only shard-local state — its users' repositories on their
+PDS — and queues everything with cross-shard visibility (firehose
+commits, recent-post pool entries, feed routing, label emissions,
+viewer-like updates) into a per-day :class:`~repro.simulation.sharding.DayBatch`.
+At the barrier between day ticks the coordinator merges all batches with
+the deterministic rule ``(virtual time, shard id, intra-shard order)``
+and applies them: the relay assigns firehose sequence numbers, the
+labeler services assign label sequence numbers, and the exchange pools
+advance — all in merged order, so the outcome is independent of how the
+shards were scheduled.
+
+Two ways to run the same algorithm:
+
+* ``workers=1`` (default, the in-process path): one :class:`SimProcess`
+  owns every shard and runs them serially inside the calling process.
+* ``workers=N``: shards are spread over N spawned worker processes (see
+  :mod:`repro.simulation.workers`).  Each worker builds a full replica
+  world from the picklable config, replays the global timeline (signups,
+  labeler/feed starts, tombstones) identically from replicated RNG
+  streams, and generates only its own shards' activity.
+
+Because every stream is derived per shard (or replicated globally), and
+the merge rule never looks at worker identity, both paths produce
+byte-identical artefacts for the same seed.
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
+import time
 from collections import deque
-from dataclasses import dataclass
 from typing import Optional
 
 from repro.atproto.lexicon import (
@@ -39,6 +67,21 @@ from repro.simulation.config import (
     SimulationConfig,
 )
 from repro.simulation.sampling import CumulativeSampler
+from repro.simulation.sharding import (
+    K_COMMIT,
+    K_LABEL,
+    K_POST,
+    K_VIEWER_LIKE,
+    POPULAR_POOL_MAXLEN,
+    RECENT_POOL_MAXLEN,
+    DayBatch,
+    RecentPost,
+    RecentPostPool,
+    derive_seed,
+    digest_batch,
+    merged_items,
+    shard_of,
+)
 from repro.simulation.labelers import (
     TRIGGER_AI,
     TRIGGER_FF14,
@@ -47,7 +90,6 @@ from repro.simulation.labelers import (
     TRIGGER_RANDOM,
     TRIGGER_SCREENSHOT,
     TRIGGER_TENOR,
-    LabelerRuntime,
 )
 from repro.simulation.world import UserState, World
 
@@ -90,6 +132,10 @@ DECLINE_END_US = date_us("2024-05-11")
 HANDLE_CHURN_START_US = date_us("2024-03-01")
 TOMBSTONE_WINDOW_START_US = date_us("2024-03-06")
 
+# All labeler accounts live on the first default PDS shard, so their
+# service-record commits belong to logical shard 0.
+LABELER_SHARD = 0
+
 
 def poisson(rng: random.Random, lam: float) -> int:
     """Knuth's method; fine for the small rates used here."""
@@ -122,295 +168,88 @@ def active_fraction(day_us: int) -> float:
     return max(0.08, 0.135 - 0.038 * ramp)
 
 
-@dataclass
-class _RecentPost:
-    uri: str
-    cid: str
-    author_did: str
-    time_us: int
+class _Streams:
+    """Every RNG stream the engine consumes, derived from the run seed.
+
+    * ``schedule`` — handle-change and tombstone schedules, computed once
+      at startup in every process.
+    * ``lifecycle`` — per-day jitter for labeler/feed starts, handle
+      changes, and tombstones; consumed identically in every process.
+    * ``signup`` — per-signup decisions (profile, initial follows, spam,
+      account labels); replayed identically in every process so the
+      replicated global state (follow pool, samplers) stays in lockstep.
+    * ``shards[s]`` — all activity generation for shard ``s``; consumed
+      only by the process that owns the shard.
+    * ``identity`` / ``finalize`` — coordinator-only phases.
+    """
+
+    def __init__(self, seed: int, n_shards: int):
+        self.schedule = random.Random(derive_seed(seed, "schedule"))
+        self.lifecycle = random.Random(derive_seed(seed, "lifecycle"))
+        self.signup = random.Random(derive_seed(seed, "signup"))
+        self.identity = random.Random(derive_seed(seed, "identity"))
+        self.finalize = random.Random(derive_seed(seed, "finalize"))
+        self.shards = [
+            random.Random(derive_seed(seed, "shard", s)) for s in range(n_shards)
+        ]
 
 
-class Engine:
-    """Executes a world's timeline."""
+class ShardEngine:
+    """Generates one shard's activity; mutates only shard-local state.
 
-    def __init__(self, world: World):
-        self.world = world
-        self.config: SimulationConfig = world.config
-        self.rng = random.Random(world.config.seed ^ 0xE17)
-        # Engagement-weighted pool of joined users.  The sampler keeps its
-        # cumulative-weight table warm across draws (rng.choices would
-        # rebuild it for every day's activity draw); its RNG stream is
-        # bit-identical to rng.choices(weights=...).  ``_joined`` aliases
-        # the sampler's item list for the uniform-access paths.
-        self._active_sampler: CumulativeSampler[UserState] = CumulativeSampler()
-        self._joined: list[UserState] = self._active_sampler.items
-        self._follow_pool: list[str] = []  # DIDs, multiplicity ∝ attractiveness
-        self._recent_posts: deque[_RecentPost] = deque(maxlen=4000)
-        self._popular_posts: deque[_RecentPost] = deque(maxlen=500)
-        self._commits_today = 0
-        self._spam_accounts: list[str] = []
-        self._impersonators: list[UserState] = []
-        self._official_did: Optional[str] = None
-        self._newspaper_dids: list[str] = []
-        # Per-viewer recent likes feeding personalized feeds.
-        self.world.recent_likes_by_viewer = {}
-        # Like-target pools, maintained incrementally as feeds are announced
-        # and labelers come online (previously rebuilt per like).
-        self._feed_sampler: CumulativeSampler = CumulativeSampler()
-        self._labeler_like_sampler: CumulativeSampler[str] = CumulativeSampler()
-        # Lazily cached [u for u in _impersonators if not u.tombstoned],
-        # invalidated via the world's tombstone epoch.
-        self._live_impersonators: Optional[list[UserState]] = None
-        self._impersonator_epoch = -1
-        registry = world.telemetry.registry
-        self._m_days = registry.counter("sim_days_total")
-        self._m_signups = registry.counter("sim_signups_total")
-        self._m_commits = registry.counter("sim_commits_total")
+    All writes go to the shard's own users' repositories (commits on the
+    actor's repo are intrinsically shard-local in AT Protocol); anything
+    with cross-shard visibility is queued into the current day batch and
+    applied by the coordinator at the barrier.
+    """
 
-    # ---------------------------------------------------------------- run --
+    def __init__(self, sim: "SimProcess", shard_id: int, rng: random.Random):
+        self.sim = sim
+        self.world = sim.world
+        self.shard_id = shard_id
+        self.rng = rng
+        # Engagement-weighted sampler over this shard's joined users; its
+        # RNG stream is bit-identical to rng.choices(weights=...).
+        self.active_sampler: CumulativeSampler[UserState] = CumulativeSampler()
+        self.items: list = []
+        # Same-day own posts: visible to this shard immediately, to other
+        # shards only after the next barrier (see RecentPostPool docs).
+        self._overlay_recent: list[RecentPost] = []
+        self._overlay_popular: list[RecentPost] = []
 
-    def run(self, progress=None) -> None:
-        config = self.config
-        signups = sorted(
-            (u for u in self.world.users), key=lambda u: u.spec.signup_us
-        )
-        feed_starts = sorted(self.world.feeds, key=lambda f: f.spec.created_us)
-        labeler_starts = sorted(self.world.labelers, key=lambda l: l.spec.start_us)
-        handle_changes = self._schedule_handle_changes()
-        tombstones = self._schedule_tombstones()
+    # -- batch plumbing ------------------------------------------------------
 
-        scheduled = sorted(self.world.scheduled_actions, key=lambda item: item[0])
-        signup_i = feed_i = labeler_i = handle_i = tomb_i = sched_i = 0
-        rate_adj = config.activity_scale
+    def begin_day(self) -> None:
+        self.items = []
+        self._overlay_recent = []
+        self._overlay_popular = []
 
-        # The engine replays the whole world deterministically on every
-        # run (including after a resume), so its families are recounted
-        # from zero rather than checkpointed — clearing keeps a resumed
-        # run's totals equal to an uninterrupted run's.
-        tracer = self.world.telemetry.tracer
-        for family in (self._m_days, self._m_signups, self._m_commits):
-            family.clear()
+    def take_batch(self, gen_wall_us: float = 0.0) -> DayBatch:
+        batch = DayBatch(self.shard_id, self.items, gen_wall_us)
+        self.items = []
+        return batch
 
-        for day_us in day_range(config.start_us, config.end_us):
-            day_end = day_us + US_PER_DAY
-            self._commits_today = 0
-            day_traced = tracer.enabled and tracer.sampled("sim-day")
-            day_wall0 = tracer.wall_us() if day_traced else 0.0
-            # Keep the service directory's clock roughly current so
-            # time-windowed faults apply to calls made outside the
-            # retry helper (which sets it precisely per attempt).
-            self.world.services.now_us = day_us
+    def queue_commit(self, time_us: int, meta, counts_for_noise: bool) -> None:
+        self.items.append((time_us, K_COMMIT, (meta.did, meta, counts_for_noise)))
 
-            while signup_i < len(signups) and signups[signup_i].spec.signup_us < day_end:
-                self._do_signup(signups[signup_i])
-                signup_i += 1
-            while (
-                labeler_i < len(labeler_starts)
-                and labeler_starts[labeler_i].spec.start_us < day_end
-            ):
-                runtime = labeler_starts[labeler_i]
-                self.world.start_labeler(runtime, day_us + self.rng.randrange(US_PER_DAY))
-                if runtime.spec.expected_likes:
-                    self._labeler_like_sampler.append(
-                        "at://%s/app.bsky.labeler.service/self" % runtime.did,
-                        float(runtime.spec.expected_likes),
-                    )
-                labeler_i += 1
-            while feed_i < len(feed_starts) and feed_starts[feed_i].spec.created_us < day_end:
-                runtime = feed_starts[feed_i]
-                self.world.create_feed(runtime, day_us + self.rng.randrange(US_PER_DAY))
-                if runtime.announced:
-                    # Popular creators draw more likes to their feeds (the
-                    # paper's r=0.533 between feed likes and followers).
-                    creator = self.world.users[runtime.spec.creator_index]
-                    boost = math.sqrt(max(1.0, creator.spec.attractiveness))
-                    self._feed_sampler.append(runtime, runtime.spec.like_weight * boost)
-                feed_i += 1
+    # -- daily activity ------------------------------------------------------
 
-            self._run_day_activity(day_us, rate_adj)
-
-            while handle_i < len(handle_changes) and handle_changes[handle_i][0] < day_end:
-                _, user, new_handle = handle_changes[handle_i]
-                if user.joined and not user.tombstoned:
-                    self.world.change_handle(user, new_handle, day_us + self.rng.randrange(US_PER_DAY))
-                handle_i += 1
-            while tomb_i < len(tombstones) and tombstones[tomb_i][0] < day_end:
-                _, user = tombstones[tomb_i]
-                if user.joined and not user.tombstoned:
-                    self.world.tombstone_user(user, day_us + self.rng.randrange(US_PER_DAY))
-                tomb_i += 1
-
-            self._identity_noise(day_us)
-            while sched_i < len(scheduled) and scheduled[sched_i][0] < day_end:
-                scheduled[sched_i][1](day_end - 1)
-                sched_i += 1
-            self._m_days.inc()
-            self._m_commits.inc((), self._commits_today)
-            if day_traced:
-                tracer.complete(
-                    "sim-day %s" % iso_timestamp(day_us)[:10],
-                    "sim",
-                    day_wall0,
-                    args={"commits": self._commits_today},
-                    virtual_ts_us=day_us,
-                    virtual_dur_us=US_PER_DAY,
-                )
-            if progress is not None and day_us % (30 * US_PER_DAY) < US_PER_DAY:
-                progress("simulated through %s" % iso_timestamp(day_us)[:10])
-
-        # Fire any actions scheduled at/after the end of the timeline.
-        while sched_i < len(scheduled):
-            scheduled[sched_i][1](config.end_us - 1)
-            sched_i += 1
-
-        self._finalize_labels()
-        self.world.appview.sync_labels()
-
-    # ---------------------------------------------------------- lifecycle --
-
-    def _do_signup(self, user: UserState) -> None:
-        now_us = user.spec.signup_us
-        self.world.signup(user, now_us)
-        self._m_signups.inc()
-        self._active_sampler.append(user, user.spec.engagement)
-        multiplicity = 1 + min(50, int(user.spec.attractiveness))
-        self._follow_pool.extend([user.did] * multiplicity)
-        if user.spec.is_official:
-            self._official_did = user.did
-        elif user.spec.is_newspaper:
-            self._newspaper_dids.append(user.did)
-        if user.spec.is_impersonator:
-            self._impersonators.append(user)
-            self._live_impersonators = None  # pool changed; recompute lazily
-        if user.spec.is_official or self.rng.random() < 0.6:
-            self._set_profile(user, now_us)
-        self._initial_follows(user, now_us)
-        if self.rng.random() < 0.002:
-            self._spam_accounts.append(user.did)
-        self._maybe_label_account(user, now_us)
-
-    def _set_profile(self, user: UserState, now_us: int) -> None:
-        record = {
-            "$type": PROFILE,
-            "displayName": user.spec.username,
-            "description": user.spec.profile_description
-            or vocab.make_post_text(self.rng, user.spec.lang)[:60],
-            "createdAt": iso_timestamp(now_us),
-        }
-        user.pds.create_record(user.did, PROFILE, record, now_us, rkey="self")
-        self._commits_today += 1
-        # NSFW-heavy accounts attract official labels on their avatar/banner.
-        if user.spec.nsfw_rate > 0.3:
-            official = self.world.official_labeler()
-            if official.service is not None and self.rng.random() < 0.5:
-                uri = "at://%s/app.bsky.actor.profile/self" % user.did
-                value = official.spec.profile_values[
-                    self.rng.randrange(len(official.spec.profile_values))
-                ]
-                delay = official.spec.reaction.sample_us(self.rng) * 50
-                official.service.emit(uri, value, now_us + delay)
-
-    def _pick_follow_target(self, user: UserState) -> Optional[str]:
-        """Preferential attachment with explicit celebrity bias: the
-        official Bluesky account accrues ~14% of all follows (775K of
-        5.5M users), newspapers a few percent each (Section 4)."""
-        rng = self.rng
-        roll = rng.random()
-        if roll < 0.13:
-            if self._official_did and self._official_did != user.did:
-                return self._official_did
-        elif roll < 0.21 and self._newspaper_dids:
-            target = self._newspaper_dids[rng.randrange(len(self._newspaper_dids))]
-            if target != user.did:
-                return target
-        if not self._follow_pool:
-            return None
-        target = self._follow_pool[rng.randrange(len(self._follow_pool))]
-        return None if target == user.did else target
-
-    def _initial_follows(self, user: UserState, now_us: int) -> None:
-        count = min(user.spec.follow_initial, max(1, len(self._follow_pool) // 2))
-        t = now_us
-        for _ in range(count):
-            target = self._pick_follow_target(user)
-            if target is None:
-                continue
-            t += self.rng.randrange(1, 30 * US_PER_SECOND)
-            record = {"$type": FOLLOW, "subject": target, "createdAt": iso_timestamp(t)}
-            user.pds.create_record(user.did, FOLLOW, record, t)
-            self._commits_today += 1
-
-    def _maybe_label_account(self, user: UserState, now_us: int) -> None:
-        official = self.world.official_labeler()
-        if official.service is None:
+    def run_day_activity(self, day_us: int, rate_adj: float) -> None:
+        joined = self.active_sampler.items
+        if not joined:
             return
-        for value, rate in ACCOUNT_LABEL_RATES:
-            if self.rng.random() < rate:
-                delay_us = int(self.rng.uniform(1, 20) * US_PER_DAY)
-                official.service.emit(user.did, value, now_us + delay_us)
-        if user.spec.is_impersonator:
-            delay_us = int(self.rng.uniform(1, 10) * US_PER_DAY)
-            official.service.emit(user.did, "impersonation", now_us + delay_us)
-
-    def _schedule_handle_changes(self) -> list:
-        scheduled = []
-        # Handle churn concentrates in early 2024, when alternative
-        # subdomain providers appeared (Section 5, "User Handles Updates");
-        # the paper observes all 44K updates inside its firehose window.
-        churn_start = max(self.config.start_us, HANDLE_CHURN_START_US)
-        for user in self.world.users:
-            spec = user.spec
-            if not spec.will_change_handle:
-                continue
-            start = max(spec.signup_us, churn_start)
-            span = max(US_PER_DAY, (self.config.end_us - start) // (spec.handle_changes + 1))
-            t = start
-            for change in range(spec.handle_changes):
-                t += self.rng.randrange(1, span)
-                if t >= self.config.end_us:
-                    break
-                is_last = change == spec.handle_changes - 1
-                if is_last and not spec.final_handle_custom:
-                    new_handle = "%s.bsky.social" % spec.username
-                else:
-                    new_handle = "%s%d.handle.example" % (spec.username, change)
-                scheduled.append((t, user, new_handle))
-        scheduled.sort(key=lambda item: item[0])
-        return scheduled
-
-    def _schedule_tombstones(self) -> list:
-        scheduled = []
-        window_start = TOMBSTONE_WINDOW_START_US
-        for user in self.world.users:
-            if not user.spec.will_tombstone:
-                continue
-            if self.rng.random() < 0.6 and user.spec.signup_us < window_start:
-                # Most removals land in the measurement window (moderation
-                # wave), matching Table 1's tombstone share.
-                t = window_start + int(self.rng.random() * (self.config.end_us - window_start))
-            else:
-                t = user.spec.signup_us + int(self.rng.uniform(10, 200) * US_PER_DAY)
-            if t < self.config.end_us:
-                scheduled.append((t, user))
-        scheduled.sort(key=lambda item: item[0])
-        return scheduled
-
-    # ---------------------------------------------------------- daily loop --
-
-    def _run_day_activity(self, day_us: int, rate_adj: float) -> None:
-        if not self._joined:
-            return
-        target = int(active_fraction(day_us) * len(self._joined))
+        target = int(active_fraction(day_us) * len(joined))
         if target <= 0:
             return
-        actives = self._active_sampler.sample_k(self.rng, target)
+        rng = self.rng
+        actives = self.active_sampler.sample_k(rng, target)
         seen: set[int] = set()
         for user in actives:
             if user.spec.index in seen or user.tombstoned or not user.joined:
                 continue
             seen.add(user.spec.index)
             self._run_session(
-                user, day_us + self.rng.randrange(US_PER_DAY), day_us + US_PER_DAY, rate_adj
+                user, day_us + rng.randrange(US_PER_DAY), day_us + US_PER_DAY, rate_adj
             )
 
     def _run_session(
@@ -442,7 +281,7 @@ class Engine:
             t = min(cap, t + rng.randrange(1, 60 * US_PER_SECOND))
             self._create_whitewind_entry(user, t)
 
-    # ------------------------------------------------------------- content --
+    # -- content -------------------------------------------------------------
 
     def _create_post(self, user: UserState, now_us: int) -> None:
         rng = self.rng
@@ -485,13 +324,15 @@ class Engine:
             record["embed"] = {"external": {"uri": "https://media.tenor.com/clip.gif"}}
 
         meta = user.pds.create_record(user.did, POST, record, now_us)
-        self._commits_today += 1
+        self.queue_commit(now_us, meta, True)
         path = meta.ops[0][1]
         uri = "at://%s/%s" % (user.did, path)
-        recent = _RecentPost(uri, str(meta.ops[0][2]), user.did, now_us)
-        self._recent_posts.append(recent)
-        if spec.attractiveness > 8.0:
-            self._popular_posts.append(recent)
+        recent = RecentPost(
+            uri, str(meta.ops[0][2]), user.did, now_us, popular=spec.attractiveness > 8.0
+        )
+        self._overlay_recent.append(recent)
+        if recent.popular:
+            self._overlay_popular.append(recent)
 
         features = PostFeatures(
             uri=uri,
@@ -502,13 +343,14 @@ class Engine:
             tokens=frozenset(tokenize(text)),
             has_media=has_media or attrs["tenor"],
         )
-        self.world.feed_router.route(features)
+        self.items.append((now_us, K_POST, (recent, features)))
         self._apply_labels(uri, attrs, now_us)
 
-        if self.rng.random() < DELETE_POST_RATE:
+        if rng.random() < DELETE_POST_RATE:
             rkey = path.split("/", 1)[1]
-            user.pds.delete_record(user.did, POST, rkey, now_us + 60 * US_PER_SECOND)
-            self._commits_today += 1
+            delete_us = now_us + 60 * US_PER_SECOND
+            meta = user.pds.delete_record(user.did, POST, rkey, delete_us)
+            self.queue_commit(delete_us, meta, True)
 
     def _create_whitewind_entry(self, user: UserState, now_us: int) -> None:
         record = {
@@ -517,17 +359,18 @@ class Engine:
             "title": "blog entry",
             "createdAt": iso_timestamp(now_us),
         }
-        user.pds.create_record(user.did, WHTWND_ENTRY, record, now_us)
-        self._commits_today += 1
+        meta = user.pds.create_record(user.did, WHTWND_ENTRY, record, now_us)
+        self.queue_commit(now_us, meta, True)
 
     def _create_like(self, user: UserState, now_us: int) -> None:
         rng = self.rng
+        sim = self.sim
         roll = rng.random()
-        if roll < FEED_LIKE_SHARE and self._feed_sampler:
-            target = self._feed_sampler.sample(rng)
+        if roll < FEED_LIKE_SHARE and sim.feed_sampler:
+            target = sim.feed_sampler.sample(rng)
             subject_uri, subject_cid = target.uri, "feedgen"
-        elif roll < FEED_LIKE_SHARE + LABELER_LIKE_SHARE and self._labeler_like_sampler:
-            subject_uri = self._labeler_like_sampler.sample(rng)
+        elif roll < FEED_LIKE_SHARE + LABELER_LIKE_SHARE and sim.labeler_like_sampler:
+            subject_uri = sim.labeler_like_sampler.sample(rng)
             subject_cid = "labeler"
         else:
             post = self._pick_post()
@@ -540,13 +383,13 @@ class Engine:
             "createdAt": iso_timestamp(now_us),
         }
         meta = user.pds.create_record(user.did, LIKE, record, now_us)
-        self._commits_today += 1
-        likes = self.world.recent_likes_by_viewer.setdefault(user.did, deque(maxlen=20))
-        likes.append((subject_uri, now_us))
+        self.queue_commit(now_us, meta, True)
+        self.items.append((now_us, K_VIEWER_LIKE, (user.did, subject_uri, now_us)))
         if rng.random() < DELETE_LIKE_RATE:
             rkey = meta.ops[0][1].split("/", 1)[1]
-            user.pds.delete_record(user.did, LIKE, rkey, now_us + 120 * US_PER_SECOND)
-            self._commits_today += 1
+            delete_us = now_us + 120 * US_PER_SECOND
+            meta = user.pds.delete_record(user.did, LIKE, rkey, delete_us)
+            self.queue_commit(delete_us, meta, True)
 
     def _create_repost(self, user: UserState, now_us: int) -> None:
         post = self._pick_post()
@@ -557,56 +400,62 @@ class Engine:
             "subject": {"uri": post.uri, "cid": post.cid},
             "createdAt": iso_timestamp(now_us),
         }
-        user.pds.create_record(user.did, REPOST, record, now_us)
-        self._commits_today += 1
+        meta = user.pds.create_record(user.did, REPOST, record, now_us)
+        self.queue_commit(now_us, meta, True)
 
     def _create_follow(self, user: UserState, now_us: int) -> None:
-        target = self._pick_follow_target(user)
+        target = self.sim.pick_follow_target(self.rng, user)
         if target is None:
             return
         record = {"$type": FOLLOW, "subject": target, "createdAt": iso_timestamp(now_us)}
-        user.pds.create_record(user.did, FOLLOW, record, now_us)
-        self._commits_today += 1
-
-    def _live_impersonator_pool(self) -> list[UserState]:
-        """The non-tombstoned impersonators, rebuilt only when an account
-        joins the pool or any account is tombstoned (epoch check)."""
-        epoch = self.world.tombstone_epoch
-        cached = self._live_impersonators
-        if cached is None or epoch != self._impersonator_epoch:
-            cached = [u for u in self._impersonators if not u.tombstoned]
-            self._live_impersonators = cached
-            self._impersonator_epoch = epoch
-        return cached
+        meta = user.pds.create_record(user.did, FOLLOW, record, now_us)
+        self.queue_commit(now_us, meta, True)
 
     def _create_block(self, user: UserState, now_us: int) -> None:
         rng = self.rng
-        impersonators = self._live_impersonator_pool()
+        sim = self.sim
+        impersonators = sim.live_impersonator_pool()
         if impersonators and rng.random() < 0.7:
             target = rng.choice(impersonators).did
-        elif self._follow_pool:
-            target = self._follow_pool[rng.randrange(len(self._follow_pool))]
+        elif sim.follow_pool:
+            target = sim.follow_pool[rng.randrange(len(sim.follow_pool))]
         else:
             return
         if target == user.did:
             return
         record = {"$type": BLOCK, "subject": target, "createdAt": iso_timestamp(now_us)}
-        user.pds.create_record(user.did, BLOCK, record, now_us)
-        self._commits_today += 1
+        meta = user.pds.create_record(user.did, BLOCK, record, now_us)
+        self.queue_commit(now_us, meta, True)
 
-    def _pick_post(self) -> Optional[_RecentPost]:
+    def _pick_post(self) -> Optional[RecentPost]:
+        """Uniform draw over the barrier-synced pool plus the shard's own
+        same-day overlay; cross-shard same-day posts become visible at the
+        next barrier (the documented exchange-step semantics)."""
         rng = self.rng
-        if self._popular_posts and rng.random() < 0.35:
-            return self._popular_posts[rng.randrange(len(self._popular_posts))]
-        if self._recent_posts:
-            return self._recent_posts[rng.randrange(len(self._recent_posts))]
+        sim = self.sim
+        popular_n = len(sim.popular_posts) + len(self._overlay_popular)
+        if popular_n and rng.random() < 0.35:
+            index = rng.randrange(popular_n)
+            if index < len(sim.popular_posts):
+                return sim.popular_posts[index]
+            return self._overlay_popular[index - len(sim.popular_posts)]
+        recent_n = len(sim.recent_posts) + len(self._overlay_recent)
+        if recent_n:
+            index = rng.randrange(recent_n)
+            if index < len(sim.recent_posts):
+                return sim.recent_posts[index]
+            return self._overlay_recent[index - len(sim.recent_posts)]
         return None
 
-    # ------------------------------------------------------------- labeling --
+    # -- labeling ------------------------------------------------------------
 
     def _apply_labels(self, uri: str, attrs: dict, now_us: int) -> None:
+        """Roll label triggers for one post; emissions are queued and
+        applied by the coordinator in merged order (label sequence numbers
+        are assigned at application, like relay sequence numbers)."""
         rng = self.rng
-        for runtime in self.world.labelers:
+        items = self.items
+        for labeler_index, runtime in enumerate(self.world.labelers):
             spec = runtime.spec
             if runtime.service is None or now_us < spec.start_us:
                 continue
@@ -645,28 +494,573 @@ class Engine:
             if triggered_value is None:
                 continue
             delay_us = spec.reaction.sample_us(rng)
-            label = runtime.service.emit(uri, triggered_value, now_us + delay_us)
-            runtime.values_emitted.add(triggered_value)
+            items.append(
+                (now_us, K_LABEL, (labeler_index, uri, triggered_value, now_us + delay_us, False))
+            )
             if rng.random() < spec.rescind_rate:
-                runtime.service.rescind(
-                    uri, triggered_value, now_us + delay_us + rng.randrange(1, 48 * 3600) * US_PER_SECOND
+                rescind_cts = now_us + delay_us + rng.randrange(1, 48 * 3600) * US_PER_SECOND
+                items.append(
+                    (now_us, K_LABEL, (labeler_index, uri, triggered_value, rescind_cts, True))
                 )
         # The official labeler also runs slow, manual review queues.
-        official = self.world.official_labeler()
-        if official.service is not None and rng.random() < OFFICIAL_MANUAL_RATE * 40:
-            if rng.random() < 0.025:
+        sim = self.sim
+        official = sim.official_runtime
+        if official is not None and official.service is not None:
+            if rng.random() < OFFICIAL_MANUAL_RATE * 40 and rng.random() < 0.025:
                 value = OFFICIAL_MANUAL_VALUES[rng.randrange(len(OFFICIAL_MANUAL_VALUES))]
                 delay_us = int(
-                    OFFICIAL_MANUAL_MEDIAN_S
-                    * math.exp(rng.gauss(0.0, 1.8))
-                    * US_PER_SECOND
+                    OFFICIAL_MANUAL_MEDIAN_S * math.exp(rng.gauss(0.0, 1.8)) * US_PER_SECOND
                 )
-                official.service.emit(uri, value, now_us + delay_us)
+                items.append(
+                    (now_us, K_LABEL, (sim.official_index, uri, value, now_us + delay_us, False))
+                )
+
+
+class SimProcess:
+    """Deterministic global replay plus generation for a set of shards.
+
+    Every participating process — the coordinator and each spawned
+    worker — builds one of these over its own copy of the world and
+    replays the global timeline (signups, labeler/feed starts, handle
+    changes, tombstones) identically from replicated RNG streams.  Only
+    the *owned* shards write records and queue day-batch items; in the
+    single-process path the coordinator owns every shard.
+    """
+
+    def __init__(self, world: World, owned_shards) -> None:
+        self.world = world
+        self.config: SimulationConfig = world.config
+        self.n_shards = self.config.sim_shards
+        self.streams = _Streams(self.config.seed, self.n_shards)
+        self.owned = tuple(sorted(owned_shards))
+        self.shard_engines = {
+            s: ShardEngine(self, s, self.streams.shards[s]) for s in self.owned
+        }
+
+        # Replicated global state (identical in every process).
+        self.joined: list[UserState] = []
+        self.follow_pool: list[str] = []  # DIDs, multiplicity ∝ attractiveness
+        self.spam_accounts: list[str] = []
+        self.impersonators: list[UserState] = []
+        self.official_did: Optional[str] = None
+        self.newspaper_dids: list[str] = []
+        self.recent_posts = RecentPostPool(RECENT_POOL_MAXLEN)
+        self.popular_posts = RecentPostPool(POPULAR_POOL_MAXLEN)
+        self.feed_sampler: CumulativeSampler = CumulativeSampler()
+        self.labeler_like_sampler: CumulativeSampler[str] = CumulativeSampler()
+        self.pds_by_did: dict[str, object] = {}
+        # Lazily cached [u for u in impersonators if not u.tombstoned],
+        # invalidated via the world's tombstone epoch.
+        self._live_impersonators: Optional[list[UserState]] = None
+        self._impersonator_epoch = -1
+        # Per-viewer recent likes feeding personalized feeds.
+        self.world.recent_likes_by_viewer = {}
+
+        self.official_index = -1
+        self.official_runtime = None
+        for index, runtime in enumerate(world.labelers):
+            if runtime.spec.is_official:
+                self.official_index = index
+                self.official_runtime = runtime
+                break
+
+        # Global schedules, identical in every process.
+        self.signups = sorted(world.users, key=lambda u: u.spec.signup_us)
+        self.feed_starts = sorted(world.feeds, key=lambda f: f.spec.created_us)
+        self.labeler_starts = sorted(world.labelers, key=lambda l: l.spec.start_us)
+        self.handle_changes = self._schedule_handle_changes()
+        self.tombstones = self._schedule_tombstones()
+        self._signup_i = self._labeler_i = self._feed_i = 0
+        self._handle_i = self._tomb_i = 0
+
+    def owns(self, shard_id: int) -> bool:
+        return shard_id in self.shard_engines
+
+    def engine_for_user(self, user: UserState) -> Optional[ShardEngine]:
+        return self.shard_engines.get(shard_of(user.spec.index, self.n_shards))
+
+    # -- schedules -----------------------------------------------------------
+
+    def _schedule_handle_changes(self) -> list:
+        rng = self.streams.schedule
+        scheduled = []
+        # Handle churn concentrates in early 2024, when alternative
+        # subdomain providers appeared (Section 5, "User Handles Updates");
+        # the paper observes all 44K updates inside its firehose window.
+        churn_start = max(self.config.start_us, HANDLE_CHURN_START_US)
+        for user in self.world.users:
+            spec = user.spec
+            if not spec.will_change_handle:
+                continue
+            start = max(spec.signup_us, churn_start)
+            span = max(US_PER_DAY, (self.config.end_us - start) // (spec.handle_changes + 1))
+            t = start
+            for change in range(spec.handle_changes):
+                t += rng.randrange(1, span)
+                if t >= self.config.end_us:
+                    break
+                is_last = change == spec.handle_changes - 1
+                if is_last and not spec.final_handle_custom:
+                    new_handle = "%s.bsky.social" % spec.username
+                else:
+                    new_handle = "%s%d.handle.example" % (spec.username, change)
+                scheduled.append((t, user, new_handle))
+        scheduled.sort(key=lambda item: item[0])
+        return scheduled
+
+    def _schedule_tombstones(self) -> list:
+        rng = self.streams.schedule
+        scheduled = []
+        window_start = TOMBSTONE_WINDOW_START_US
+        for user in self.world.users:
+            if not user.spec.will_tombstone:
+                continue
+            if rng.random() < 0.6 and user.spec.signup_us < window_start:
+                # Most removals land in the measurement window (moderation
+                # wave), matching Table 1's tombstone share.
+                t = window_start + int(rng.random() * (self.config.end_us - window_start))
+            else:
+                t = user.spec.signup_us + int(rng.uniform(10, 200) * US_PER_DAY)
+            if t < self.config.end_us:
+                scheduled.append((t, user))
+        scheduled.sort(key=lambda item: item[0])
+        return scheduled
+
+    # -- day phases ----------------------------------------------------------
+
+    def begin_day(self, day_us: int) -> None:
+        """Phase A: replay the day's signups and labeler/feed starts.
+
+        Runs in every process; the owned shards additionally perform the
+        associated repo writes and queue their commit events."""
+        day_end = day_us + US_PER_DAY
+        for engine in self.shard_engines.values():
+            engine.begin_day()
+        signups = self.signups
+        while self._signup_i < len(signups) and signups[self._signup_i].spec.signup_us < day_end:
+            self._do_signup(signups[self._signup_i])
+            self._signup_i += 1
+        lifecycle = self.streams.lifecycle
+        starts = self.labeler_starts
+        while self._labeler_i < len(starts) and starts[self._labeler_i].spec.start_us < day_end:
+            runtime = starts[self._labeler_i]
+            t = day_us + lifecycle.randrange(US_PER_DAY)
+            engine = self.shard_engines.get(LABELER_SHARD)
+            meta = self.world.start_labeler(runtime, t, write_record=engine is not None)
+            self.pds_by_did[runtime.did] = self.world.pds_shards[0]
+            if engine is not None and meta is not None:
+                engine.queue_commit(t, meta, False)
+            if runtime.spec.expected_likes:
+                self.labeler_like_sampler.append(
+                    "at://%s/app.bsky.labeler.service/self" % runtime.did,
+                    float(runtime.spec.expected_likes),
+                )
+            self._labeler_i += 1
+        feeds = self.feed_starts
+        while self._feed_i < len(feeds) and feeds[self._feed_i].spec.created_us < day_end:
+            runtime = feeds[self._feed_i]
+            t = day_us + lifecycle.randrange(US_PER_DAY)
+            creator = self.world.users[runtime.spec.creator_index]
+            engine = self.engine_for_user(creator)
+            meta = self.world.create_feed(runtime, t, write_record=engine is not None)
+            if engine is not None and meta is not None:
+                engine.queue_commit(t, meta, False)
+            if runtime.announced:
+                # Popular creators draw more likes to their feeds (the
+                # paper's r=0.533 between feed likes and followers).
+                boost = math.sqrt(max(1.0, creator.spec.attractiveness))
+                self.feed_sampler.append(runtime, runtime.spec.like_weight * boost)
+            self._feed_i += 1
+
+    def generate_owned(self, day_us: int) -> list[DayBatch]:
+        """Phase B: run the owned shards' day activity, one batch each."""
+        rate_adj = self.config.activity_scale
+        batches = []
+        for shard_id in self.owned:
+            engine = self.shard_engines[shard_id]
+            wall0 = time.perf_counter()
+            engine.run_day_activity(day_us, rate_adj)
+            gen_wall_us = (time.perf_counter() - wall0) * 1e6
+            batches.append(engine.take_batch(gen_wall_us))
+        return batches
+
+    def apply_cross_shard_update(self, update: list[RecentPost]) -> None:
+        """Apply the previous day's merged pool entries (the exchange
+        step's input on the worker side; the coordinator applies the same
+        entries during its merge)."""
+        for post in update:
+            self.recent_posts.append(post)
+            if post.popular:
+                self.popular_posts.append(post)
+
+    def apply_handles(self, day_us: int, publish: bool) -> None:
+        """Phase D: handle changes scheduled for this day.
+
+        Runs in every process (the lifecycle stream must advance in
+        lockstep); only the coordinator publishes firehose events."""
+        day_end = day_us + US_PER_DAY
+        changes = self.handle_changes
+        lifecycle = self.streams.lifecycle
+        while self._handle_i < len(changes) and changes[self._handle_i][0] < day_end:
+            _, user, new_handle = changes[self._handle_i]
+            if user.joined and not user.tombstoned:
+                t = day_us + lifecycle.randrange(US_PER_DAY)
+                self.world.change_handle(user, new_handle, t, publish=publish)
+            self._handle_i += 1
+
+    def apply_tombstones(self, day_us: int, publish: bool) -> None:
+        day_end = day_us + US_PER_DAY
+        tombstones = self.tombstones
+        lifecycle = self.streams.lifecycle
+        while self._tomb_i < len(tombstones) and tombstones[self._tomb_i][0] < day_end:
+            _, user = tombstones[self._tomb_i]
+            if user.joined and not user.tombstoned:
+                t = day_us + lifecycle.randrange(US_PER_DAY)
+                self.world.tombstone_user(user, t)
+                if publish:
+                    self.world.relay.publish_tombstone(user.did, t)
+            self._tomb_i += 1
+
+    def replica_end_day(self, day_us: int) -> None:
+        """Worker-side phase D: same state transitions, no events."""
+        self.apply_handles(day_us, publish=False)
+        self.apply_tombstones(day_us, publish=False)
+
+    # -- signup --------------------------------------------------------------
+
+    def _do_signup(self, user: UserState) -> None:
+        now_us = user.spec.signup_us
+        self.world.signup(user, now_us)
+        self.joined.append(user)
+        self.pds_by_did[user.did] = user.pds
+        engine = self.engine_for_user(user)
+        if engine is not None:
+            engine.active_sampler.append(user, user.spec.engagement)
+        multiplicity = 1 + min(50, int(user.spec.attractiveness))
+        self.follow_pool.extend([user.did] * multiplicity)
+        if user.spec.is_official:
+            self.official_did = user.did
+        elif user.spec.is_newspaper:
+            self.newspaper_dids.append(user.did)
+        if user.spec.is_impersonator:
+            self.impersonators.append(user)
+            self._live_impersonators = None  # pool changed; recompute lazily
+        rng = self.streams.signup
+        if user.spec.is_official or rng.random() < 0.6:
+            self._set_profile(user, now_us, engine)
+        self._initial_follows(user, now_us, engine)
+        if rng.random() < 0.002:
+            self.spam_accounts.append(user.did)
+        self._maybe_label_account(user, now_us)
+
+    def _set_profile(
+        self, user: UserState, now_us: int, engine: Optional[ShardEngine]
+    ) -> None:
+        """Profile record + (possibly) an official label on it.  The
+        decision draws come from the replicated signup stream so every
+        process agrees; only the owning shard performs the write."""
+        rng = self.streams.signup
+        record = {
+            "$type": PROFILE,
+            "displayName": user.spec.username,
+            "description": user.spec.profile_description
+            or vocab.make_post_text(rng, user.spec.lang)[:60],
+            "createdAt": iso_timestamp(now_us),
+        }
+        if engine is not None:
+            meta = user.pds.create_record(user.did, PROFILE, record, now_us, rkey="self")
+            engine.queue_commit(now_us, meta, True)
+        # NSFW-heavy accounts attract official labels on their avatar/banner.
+        if user.spec.nsfw_rate > 0.3:
+            official = self.official_runtime
+            if official is not None and official.service is not None and rng.random() < 0.5:
+                uri = "at://%s/app.bsky.actor.profile/self" % user.did
+                value = official.spec.profile_values[
+                    rng.randrange(len(official.spec.profile_values))
+                ]
+                delay = official.spec.reaction.sample_us(rng) * 50
+                official.service.emit(uri, value, now_us + delay)
+
+    def pick_follow_target(self, rng: random.Random, user: UserState) -> Optional[str]:
+        """Preferential attachment with explicit celebrity bias: the
+        official Bluesky account accrues ~14% of all follows (775K of
+        5.5M users), newspapers a few percent each (Section 4)."""
+        roll = rng.random()
+        if roll < 0.13:
+            if self.official_did and self.official_did != user.did:
+                return self.official_did
+        elif roll < 0.21 and self.newspaper_dids:
+            target = self.newspaper_dids[rng.randrange(len(self.newspaper_dids))]
+            if target != user.did:
+                return target
+        if not self.follow_pool:
+            return None
+        target = self.follow_pool[rng.randrange(len(self.follow_pool))]
+        return None if target == user.did else target
+
+    def _initial_follows(
+        self, user: UserState, now_us: int, engine: Optional[ShardEngine]
+    ) -> None:
+        rng = self.streams.signup
+        count = min(user.spec.follow_initial, max(1, len(self.follow_pool) // 2))
+        t = now_us
+        for _ in range(count):
+            target = self.pick_follow_target(rng, user)
+            if target is None:
+                continue
+            t += rng.randrange(1, 30 * US_PER_SECOND)
+            if engine is not None:
+                record = {"$type": FOLLOW, "subject": target, "createdAt": iso_timestamp(t)}
+                meta = user.pds.create_record(user.did, FOLLOW, record, t)
+                engine.queue_commit(t, meta, True)
+
+    def _maybe_label_account(self, user: UserState, now_us: int) -> None:
+        official = self.official_runtime
+        if official is None or official.service is None:
+            return
+        rng = self.streams.signup
+        for value, rate in ACCOUNT_LABEL_RATES:
+            if rng.random() < rate:
+                delay_us = int(rng.uniform(1, 20) * US_PER_DAY)
+                official.service.emit(user.did, value, now_us + delay_us)
+        if user.spec.is_impersonator:
+            delay_us = int(rng.uniform(1, 10) * US_PER_DAY)
+            official.service.emit(user.did, "impersonation", now_us + delay_us)
+
+    def live_impersonator_pool(self) -> list[UserState]:
+        """The non-tombstoned impersonators, rebuilt only when an account
+        joins the pool or any account is tombstoned (epoch check)."""
+        epoch = self.world.tombstone_epoch
+        cached = self._live_impersonators
+        if cached is None or epoch != self._impersonator_epoch:
+            cached = [u for u in self.impersonators if not u.tombstoned]
+            self._live_impersonators = cached
+            self._impersonator_epoch = epoch
+        return cached
+
+    def export_repo_car(self, did: str):
+        """A repo CAR for an owned (or labeler) account, None if unknown."""
+        pds = self.pds_by_did.get(did)
+        if pds is None or not pds.has_account(did):
+            return None
+        repo = pds.repo(did)
+        if repo.head is None:
+            return None
+        return repo.export_car()
+
+
+class Engine:
+    """Coordinator: executes a world's timeline over 1..N processes."""
+
+    def __init__(self, world: World, workers: int = 1):
+        self.world = world
+        self.config: SimulationConfig = world.config
+        n_shards = self.config.sim_shards
+        self.workers = max(1, min(int(workers), n_shards))
+        owned = range(n_shards) if self.workers == 1 else ()
+        self.sim = SimProcess(world, owned)
+        registry = world.telemetry.registry
+        self._m_days = registry.counter("sim_days_total")
+        self._m_signups = registry.counter("sim_signups_total")
+        self._m_commits = registry.counter("sim_commits_total")
+        # Per-shard commit totals, merged into the one coordinator
+        # registry (worker registries are replicas and are discarded).
+        self._m_shard_commits = registry.counter(
+            "sim_shard_commits_total", label_names=("shard",)
+        )
+        # Per-shard running digests: day_us -> (hex digest per shard).
+        # The checkpoint journal embeds the latest entry; a resumed run
+        # re-derives the log and verifies the journal's segment matches.
+        self.digest_log: dict[int, tuple] = {}
+        self._shard_hashers = [
+            hashlib.sha256(b"shard-segment:%d" % s) for s in range(n_shards)
+        ]
+        self._pool = None
+
+    # ---------------------------------------------------------------- run --
+
+    def run(self, progress=None) -> None:
+        config = self.config
+        world = self.world
+        sim = self.sim
+        world.shard_digest_log = self.digest_log
+        scheduled = sorted(world.scheduled_actions, key=lambda item: item[0])
+        sched_i = 0
+
+        # The engine replays the whole world deterministically on every
+        # run (including after a resume), so its families are recounted
+        # from zero rather than checkpointed — clearing keeps a resumed
+        # run's totals equal to an uninterrupted run's.
+        tracer = world.telemetry.tracer
+        for family in (self._m_days, self._m_signups, self._m_commits, self._m_shard_commits):
+            family.clear()
+
+        pool = None
+        if self.workers > 1:
+            from repro.simulation.workers import WorkerPool
+
+            pool = WorkerPool(config, self.workers)
+            world.relay.repo_reader = pool.repo_reader()
+        self._pool = pool
+        try:
+            pending_update: list[RecentPost] = []
+            for day_us in day_range(config.start_us, config.end_us):
+                day_end = day_us + US_PER_DAY
+                day_traced = tracer.enabled and tracer.sampled("sim-day")
+                day_wall0 = tracer.wall_us() if day_traced else 0.0
+                # Keep the service directory's clock roughly current so
+                # time-windowed faults apply to calls made outside the
+                # retry helper (which sets it precisely per attempt).
+                world.services.now_us = day_us
+
+                if pool is not None:
+                    # Ship the day tick (plus the previous barrier's pool
+                    # update) before replaying our own lifecycle, so the
+                    # workers generate while the coordinator replays.
+                    pool.send_day(day_us, pending_update)
+                joined_before = len(sim.joined)
+                sim.begin_day(day_us)
+                self._m_signups.inc((), len(sim.joined) - joined_before)
+                if pool is not None:
+                    batches = pool.collect_batches()
+                else:
+                    batches = sim.generate_owned(day_us)
+
+                if day_traced:
+                    # shard.day spans: in worker mode the coordinator can
+                    # only anchor them at collection time, so each span ends
+                    # "now" and extends back by the worker-measured
+                    # generation wall time (spans overlap when workers did).
+                    now_us = tracer.wall_us()
+                    for batch in batches:
+                        tracer.complete(
+                            "shard.day s%02d" % batch.shard_id,
+                            "shard",
+                            now_us - batch.gen_wall_us,
+                            args={"shard": batch.shard_id, "items": len(batch.items)},
+                            virtual_ts_us=day_us,
+                            virtual_dur_us=US_PER_DAY,
+                        )
+                merge_wall0 = tracer.wall_us() if day_traced else 0.0
+                pending_update, commits_today = self._merge_day(day_us, batches)
+                if day_traced:
+                    tracer.complete(
+                        "relay.merge",
+                        "shard",
+                        merge_wall0,
+                        args={"batches": len(batches), "workers": self.workers},
+                        virtual_ts_us=day_us,
+                        virtual_dur_us=US_PER_DAY,
+                    )
+                    # The exchange step proper: the merged pool update that
+                    # crosses the barrier into the next day tick.
+                    tracer.complete(
+                        "shard.exchange",
+                        "shard",
+                        tracer.wall_us(),
+                        args={"posts": len(pending_update)},
+                        virtual_ts_us=day_us + US_PER_DAY - 1,
+                        virtual_dur_us=0,
+                    )
+
+                sim.apply_handles(day_us, publish=True)
+                sim.apply_tombstones(day_us, publish=True)
+                self._identity_noise(day_us, commits_today)
+                while sched_i < len(scheduled) and scheduled[sched_i][0] < day_end:
+                    scheduled[sched_i][1](day_end - 1)
+                    sched_i += 1
+                self._m_days.inc()
+                self._m_commits.inc((), commits_today)
+                if day_traced:
+                    tracer.complete(
+                        "sim-day %s" % iso_timestamp(day_us)[:10],
+                        "sim",
+                        day_wall0,
+                        args={"commits": commits_today, "workers": self.workers},
+                        virtual_ts_us=day_us,
+                        virtual_dur_us=US_PER_DAY,
+                    )
+                if progress is not None and day_us % (30 * US_PER_DAY) < US_PER_DAY:
+                    progress("simulated through %s" % iso_timestamp(day_us)[:10])
+
+            # Fire any actions scheduled at/after the end of the timeline.
+            while sched_i < len(scheduled):
+                scheduled[sched_i][1](config.end_us - 1)
+                sched_i += 1
+
+            self._finalize_labels()
+            world.appview.sync_labels()
+        finally:
+            if pool is not None:
+                world.relay.repo_reader = pool.close_reader()
+                pool.shutdown()
+
+    # --------------------------------------------------------------- merge --
+
+    def _merge_day(self, day_us: int, batches: list[DayBatch]):
+        """Apply one day's batches in merged order (the barrier step).
+
+        Relay sequence numbers, label sequence numbers, pool contents,
+        feed-routing order, and viewer-like order are all decided here,
+        in ``(time_us, shard id, intra-shard seq)`` order — never by
+        worker scheduling."""
+        sim = self.sim
+        world = self.world
+        relay = world.relay
+        pool = self._pool
+        pds_by_did = sim.pds_by_did
+        recent_likes = world.recent_likes_by_viewer
+        labelers = world.labelers
+        update: list[RecentPost] = []
+        commits_today = 0
+        shard_commits = dict.fromkeys(range(sim.n_shards), 0)
+        for time_us, shard_id, _index, item in merged_items(batches):
+            kind = item[1]
+            if kind == K_COMMIT:
+                did, meta, counts = item[2]
+                relay.publish_commit(pds_by_did[did], did, meta)
+                if pool is not None:
+                    pool.note_repo_home(did, shard_id)
+                shard_commits[shard_id] += 1
+                if counts:
+                    commits_today += 1
+            elif kind == K_POST:
+                post, features = item[2]
+                sim.recent_posts.append(post)
+                if post.popular:
+                    sim.popular_posts.append(post)
+                update.append(post)
+                world.feed_router.route(features)
+            elif kind == K_LABEL:
+                labeler_index, uri, value, cts_us, neg = item[2]
+                runtime = labelers[labeler_index]
+                if neg:
+                    runtime.service.rescind(uri, value, cts_us)
+                else:
+                    runtime.service.emit(uri, value, cts_us)
+                    runtime.values_emitted.add(value)
+            elif kind == K_VIEWER_LIKE:
+                did, uri, like_us = item[2]
+                likes = recent_likes.get(did)
+                if likes is None:
+                    likes = recent_likes[did] = deque(maxlen=20)
+                likes.append((uri, like_us))
+        for batch in batches:
+            digest_batch(self._shard_hashers[batch.shard_id], batch)
+        self.digest_log[day_us] = tuple(h.hexdigest() for h in self._shard_hashers)
+        for shard_id, count in shard_commits.items():
+            if count:
+                self._m_shard_commits.inc(("s%02d" % shard_id,), count)
+        return update, commits_today
+
+    # ------------------------------------------------------------ labeling --
 
     def _finalize_labels(self) -> None:
         """Guarantee every by-construction-active labeler issued a label
         *visible by the label-dataset cutoff* (labels whose cts lies beyond
         2024-05-01 do not exist yet when the study closes)."""
+        rng = self.sim.streams.finalize
+        recent = self.sim.recent_posts
         for runtime in self.world.labelers:
             if runtime.service is None:
                 continue
@@ -676,17 +1070,19 @@ class Engine:
                 label.cts <= LABEL_SNAPSHOT_US
                 for label in runtime.service.xrpc_subscribeLabels(cursor=0)
             )
-            if should_be_active and not visible and self._recent_posts:
+            if should_be_active and not visible and recent:
                 # Pick a post old enough that the (slow, manual) reaction
                 # time survives the clamp to the dataset cutoff: a forced
                 # label must not look like a sub-second automated one.
                 margin = 5 * US_PER_DAY
                 eligible = [
-                    p for p in self._recent_posts if p.time_us <= LABEL_SNAPSHOT_US - margin
+                    recent[i]
+                    for i in range(len(recent))
+                    if recent[i].time_us <= LABEL_SNAPSHOT_US - margin
                 ]
-                pool = eligible if eligible else list(self._recent_posts)
-                post = pool[self.rng.randrange(len(pool))]
-                delay_us = runtime.spec.reaction.sample_us(self.rng)
+                pool = eligible if eligible else recent.snapshot()
+                post = pool[rng.randrange(len(pool))]
+                delay_us = runtime.spec.reaction.sample_us(rng)
                 # Emission happens while the labeler is live (possibly a
                 # retroactive label on an old post) and before the cutoff.
                 cts = min(
@@ -697,15 +1093,17 @@ class Engine:
 
     # ------------------------------------------------------------ identity --
 
-    def _identity_noise(self, day_us: int) -> None:
+    def _identity_noise(self, day_us: int, commits_today: int) -> None:
         """Background #identity events (cache invalidations, key rotations)."""
-        expected = self._commits_today * IDENTITY_NOISE_RATE
-        for _ in range(poisson(self.rng, expected)):
-            if not self._joined:
+        rng = self.sim.streams.identity
+        joined = self.sim.joined
+        expected = commits_today * IDENTITY_NOISE_RATE
+        for _ in range(poisson(rng, expected)):
+            if not joined:
                 return
-            user = self._joined[self.rng.randrange(len(self._joined))]
+            user = joined[rng.randrange(len(joined))]
             if user.tombstoned:
                 continue
             self.world.relay.publish_identity_event(
-                user.did, day_us + self.rng.randrange(US_PER_DAY)
+                user.did, day_us + rng.randrange(US_PER_DAY)
             )

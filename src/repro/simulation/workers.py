@@ -1,0 +1,208 @@
+"""Spawn-safe worker processes for the sharded simulation engine.
+
+Each worker receives only the (picklable, scalar) :class:`SimulationConfig`
+plus the set of logical shards it owns, builds a full **replica world**
+from that config, and replays the global timeline exactly like the
+coordinator (same replicated RNG streams — see ``engine._Streams``).  The
+replica performs repository writes only for its owned shards and ships
+each day's :class:`~repro.simulation.sharding.DayBatch` back over a pipe;
+the coordinator merges batches with the deterministic sequencing rule, so
+nothing about OS scheduling, pipe timing, or worker count can reach the
+artefacts.
+
+The protocol is a strict request/response lockstep per day tick:
+
+``("day", day_us, update)``
+    Apply the previous barrier's merged pool ``update``, replay the day
+    (signups / labeler / feed starts), generate the owned shards'
+    activity, apply handle changes and tombstones (state only), and
+    reply ``("batches", [DayBatch, ...])``.
+``("repos", [did, ...])``
+    Export CAR files for owned repos (the relay's ``repo_reader`` path,
+    used by the coordinator's repo-snapshot collectors).  Replies
+    ``("repos", {did: car_bytes_or_None})``.
+``("stop",)``
+    Clean shutdown.
+
+Worker-side exceptions are shipped back as ``("error", traceback_text)``
+and re-raised in the coordinator as :class:`WorkerError` — a silent hang
+would otherwise be indistinguishable from a slow day.
+
+Spawn (not fork) is used deliberately: it is the only start method that
+is safe on every platform, and it proves the replica state is genuinely
+reconstructed from the config rather than inherited from a forked heap.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from typing import Optional
+
+from repro.simulation.config import SimulationConfig
+
+
+class WorkerError(RuntimeError):
+    """A worker process raised; carries the remote traceback text."""
+
+
+def _worker_main(conn, config: SimulationConfig, owned_shards: tuple) -> None:
+    """Entry point of a spawned worker (module-level: must be picklable)."""
+    try:
+        # Imports happen here, in the child, after spawn.
+        from repro.obs.telemetry import Telemetry
+        from repro.simulation.engine import SimProcess
+        from repro.simulation.world import World
+
+        world = World(config, telemetry=Telemetry.disabled())
+        sim = SimProcess(world, owned_shards)
+        while True:
+            message = conn.recv()
+            op = message[0]
+            if op == "day":
+                _, day_us, update = message
+                sim.apply_cross_shard_update(update)
+                sim.begin_day(day_us)
+                wall0 = time.perf_counter()
+                batches = sim.generate_owned(day_us)
+                gen_wall_us = (time.perf_counter() - wall0) * 1e6
+                sim.replica_end_day(day_us)
+                for batch in batches:
+                    batch.gen_wall_us = gen_wall_us / max(1, len(batches))
+                conn.send(("batches", batches))
+            elif op == "repos":
+                _, dids = message
+                conn.send(("repos", {did: sim.export_repo_car(did) for did in dids}))
+            elif op == "stop":
+                break
+            else:  # pragma: no cover - protocol misuse
+                raise RuntimeError("unknown worker op %r" % (op,))
+    except EOFError:  # coordinator went away; exit quietly
+        pass
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+    finally:
+        conn.close()
+
+
+class WorkerPool:
+    """The coordinator's handle on the spawned shard workers.
+
+    Shard ``s`` is owned by worker ``s % workers``, so every worker holds
+    a contiguous-stride set of shards and the mapping is a pure function
+    of the configuration.
+    """
+
+    def __init__(self, config: SimulationConfig, workers: int):
+        n_shards = config.sim_shards
+        self.workers = max(1, min(workers, n_shards))
+        ctx = multiprocessing.get_context("spawn")
+        self._conns = []
+        self._procs = []
+        self._owned = [
+            tuple(s for s in range(n_shards) if s % self.workers == w)
+            for w in range(self.workers)
+        ]
+        # did -> worker index, for routing repo-reader fetches.
+        self._repo_home: dict[str, int] = {}
+        for w in range(self.workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, config, self._owned[w]),
+                daemon=True,
+                name="repro-shard-w%d" % w,
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+    # -- protocol ------------------------------------------------------------
+
+    def _recv(self, worker: int):
+        try:
+            reply = self._conns[worker].recv()
+        except EOFError:
+            raise WorkerError(
+                "shard worker %d exited unexpectedly (exitcode=%s)"
+                % (worker, self._procs[worker].exitcode)
+            )
+        if reply[0] == "error":
+            raise WorkerError("shard worker %d failed:\n%s" % (worker, reply[1]))
+        return reply
+
+    def send_day(self, day_us: int, update: list) -> None:
+        for conn in self._conns:
+            conn.send(("day", day_us, update))
+
+    def collect_batches(self) -> list:
+        """Collect every worker's day batches, ordered by shard id."""
+        batches = []
+        for w in range(self.workers):
+            _, worker_batches = self._recv(w)
+            batches.extend(worker_batches)
+        batches.sort(key=lambda batch: batch.shard_id)
+        return batches
+
+    # -- repo reading --------------------------------------------------------
+
+    def fetch_repo_cars(self, dids) -> dict:
+        """CAR bytes for the given DIDs, fanned out to the owning workers."""
+        from repro.simulation.sharding import shard_of
+
+        by_worker: dict[int, list] = {}
+        unrouted = []
+        for did in dids:
+            worker = self._repo_home.get(did)
+            if worker is None:
+                unrouted.append(did)
+            else:
+                by_worker.setdefault(worker, []).append(did)
+        result: dict = {}
+        for did in unrouted:
+            result[did] = None
+        sent = []
+        for worker, worker_dids in by_worker.items():
+            self._conns[worker].send(("repos", worker_dids))
+            sent.append(worker)
+        for worker in sent:
+            _, cars = self._recv(worker)
+            result.update(cars)
+        return result
+
+    def note_repo_home(self, did: str, shard_id: int) -> None:
+        """Record which worker owns a repo (called once per first commit)."""
+        self._repo_home[did] = shard_id % self.workers
+
+    def repo_reader(self):
+        """The callable installed as ``relay.repo_reader``: did -> CAR."""
+
+        def read(did: str) -> Optional[bytes]:
+            return self.fetch_repo_cars([did]).get(did)
+
+        return read
+
+    def close_reader(self):
+        """The reader to leave installed after shutdown (nothing)."""
+        return None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def shutdown(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self._conns:
+            conn.close()

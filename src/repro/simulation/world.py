@@ -81,7 +81,7 @@ class FeedRuntime:
 class World:
     """The full simulated Bluesky deployment."""
 
-    def __init__(self, config: SimulationConfig):
+    def __init__(self, config: SimulationConfig, telemetry=None):
         self.config = config
         self.rng = random.Random(config.seed ^ 0x5EED)
         self.clock = SimClock(config.start_us)
@@ -91,7 +91,9 @@ class World:
         self.dns = DnsResolver(self.dns_zone)
         self.web = WebHostRegistry()
         self.services = ServiceDirectory()
-        self.set_telemetry(self.services.telemetry)
+        # Worker processes pass Telemetry.disabled(): replica worlds must
+        # not trace or count — only the coordinator's registry survives.
+        self.set_telemetry(telemetry if telemetry is not None else self.services.telemetry)
         self.registrars = RegistrarDatabase()
         for registrar in long_tail_registrars(242):
             self.registrars.add(registrar)
@@ -113,7 +115,9 @@ class World:
         self.self_hosted_pdses: list[Pds] = []
         self.relay = Relay("https://bsky.network")
         for shard in self.pds_shards:
-            self.relay.crawl_pds(shard)
+            # Registered, not crawled: the engine publishes every commit
+            # explicitly in deterministic merged order (see engine.py).
+            self.relay.register_pds(shard)
             self.services.register(shard.url, shard)
         self.services.register(self.relay.url, self.relay)
         self.appview = AppView(
@@ -149,6 +153,9 @@ class World:
         # Bumped on every tombstone so cached live-user views (e.g. the
         # engine's impersonator pool) can invalidate in O(1).
         self.tombstone_epoch = 0
+        # day_us -> (per-shard running digest, ...); filled by the engine,
+        # embedded in checkpoints and verified on resume (see pipeline.py).
+        self.shard_digest_log: dict[int, tuple] = {}
         self._ran = False
 
     # -- wiring helpers ------------------------------------------------------------
@@ -223,7 +230,7 @@ class World:
         if self.rng.random() < SELF_HOST_PDS_RATE and spec.custom_domain:
             pds = Pds("https://pds.%s" % spec.custom_domain)
             self.self_hosted_pdses.append(pds)
-            self.relay.crawl_pds(pds)
+            self.relay.register_pds(pds)
             self.services.register(pds.url, pds)
         else:
             pds = self.pds_shards[spec.index % len(self.pds_shards)]
@@ -256,14 +263,20 @@ class World:
         else:
             publish_well_known_proof(self.web, spec.handle, did)
 
-    def change_handle(self, user: UserState, new_handle: str, now_us: int) -> None:
+    def change_handle(
+        self, user: UserState, new_handle: str, now_us: int, publish: bool = True
+    ) -> None:
+        """Rotate a handle.  ``publish=False`` applies the identity-side
+        state only — worker replicas replay handle changes in lockstep but
+        must not emit events on their (discarded) replica firehose."""
         if user.spec.identity_method == "web":
             return  # did:web identifiers cannot change their domain
         self.plc.update(user.did, user.keypair, handle=new_handle)
         user.current_handle = new_handle
         publish_dns_proof(self.dns_zone, new_handle, user.did)
-        self.relay.publish_handle_event(user.did, new_handle, now_us)
-        self.relay.publish_identity_event(user.did, now_us, handle=new_handle)
+        if publish:
+            self.relay.publish_handle_event(user.did, new_handle, now_us)
+            self.relay.publish_identity_event(user.did, now_us, handle=new_handle)
 
     def tombstone_user(self, user: UserState, now_us: int) -> None:
         if user.spec.identity_method != "web":
@@ -274,8 +287,15 @@ class World:
 
     # -- labeler / feed instantiation (used by the engine) ------------------------------
 
-    def start_labeler(self, runtime: LabelerRuntime, now_us: int) -> None:
-        """Bring a labeler online: account, service record, endpoint."""
+    def start_labeler(self, runtime: LabelerRuntime, now_us: int, write_record: bool = True):
+        """Bring a labeler online: account, service record, endpoint.
+
+        Returns the service-record ``CommitMeta`` (or None).  In sharded
+        runs every process replays the start so replica state stays in
+        lockstep, but only the owner of the labeler's shard passes
+        ``write_record=True`` and queues the returned commit for the
+        deterministic merge.
+        """
         spec = runtime.spec
         keypair = make_keypair(b"labeler:" + spec.key.encode(), fast=self.config.fast_keys)
         handle = "%s.bsky.social" % spec.key.replace("-", "")
@@ -308,13 +328,15 @@ class World:
         # Announce: service record in the repo + endpoint in the DID doc.
         from repro.simulation.clock import iso_timestamp
 
-        pds.create_record(
-            did,
-            "app.bsky.labeler.service",
-            service.service_record(iso_timestamp(now_us)),
-            now_us,
-            rkey="self",
-        )
+        meta = None
+        if write_record:
+            meta = pds.create_record(
+                did,
+                "app.bsky.labeler.service",
+                service.service_record(iso_timestamp(now_us)),
+                now_us,
+                rkey="self",
+            )
         self.plc.update(did, keypair, labeler_endpoint=endpoint)
         self.relay.publish_identity_event(did, now_us)
         if spec.functional:
@@ -328,9 +350,14 @@ class World:
             self.dns_zone.add(host, DnsRecordType.A, address.ip)
             self.appview.add_labeler(service)
         # Non-functional labelers announce but never expose an endpoint.
+        return meta
 
-    def create_feed(self, runtime: FeedRuntime, now_us: int) -> None:
-        """Instantiate a feed on its platform and announce it."""
+    def create_feed(self, runtime: FeedRuntime, now_us: int, write_record: bool = True):
+        """Instantiate a feed on its platform and announce it.
+
+        Returns the generator-record ``CommitMeta`` (or None); the same
+        replay-everywhere / write-on-owner split as :meth:`start_labeler`.
+        """
         from repro.services.feedgen import (
             CuratedFeed,
             FeedRule,
@@ -343,7 +370,7 @@ class World:
         spec = runtime.spec
         creator = self.users[spec.creator_index]
         if not creator.joined or creator.tombstoned:
-            return  # creator must exist; engine retries are not needed
+            return None  # creator must exist; engine retries are not needed
         uri = "at://%s/app.bsky.feed.generator/%s" % (creator.did, spec.rkey)
         runtime.uri = uri
 
@@ -353,18 +380,20 @@ class World:
             host_fqdn = "feed-%05d.dead.example" % spec.index
             runtime.endpoint = "https://" + host_fqdn
             runtime.service_did = "did:web:" + host_fqdn
-            record = {
-                "$type": "app.bsky.feed.generator",
-                "did": runtime.service_did,
-                "displayName": spec.display_name,
-                "description": spec.description,
-                "createdAt": iso_timestamp(now_us),
-            }
-            creator.pds.create_record(
-                creator.did, "app.bsky.feed.generator", record, now_us, rkey=spec.rkey
-            )
+            meta = None
+            if write_record:
+                record = {
+                    "$type": "app.bsky.feed.generator",
+                    "did": runtime.service_did,
+                    "displayName": spec.display_name,
+                    "description": spec.description,
+                    "createdAt": iso_timestamp(now_us),
+                }
+                meta = creator.pds.create_record(
+                    creator.did, "app.bsky.feed.generator", record, now_us, rkey=spec.rkey
+                )
             runtime.announced = True
-            return
+            return meta
 
         if spec.platform == feeds_mod.SELF_HOSTED:
             host_fqdn = "feed-%05d.self.example" % spec.index
@@ -400,17 +429,20 @@ class World:
             self.feed_router.register(feed_obj)
         runtime.feed_obj = feed_obj
 
-        record = {
-            "$type": "app.bsky.feed.generator",
-            "did": service_did,
-            "displayName": spec.display_name,
-            "description": spec.description,
-            "createdAt": iso_timestamp(now_us),
-        }
-        creator.pds.create_record(
-            creator.did, "app.bsky.feed.generator", record, now_us, rkey=spec.rkey
-        )
+        meta = None
+        if write_record:
+            record = {
+                "$type": "app.bsky.feed.generator",
+                "did": service_did,
+                "displayName": spec.display_name,
+                "description": spec.description,
+                "createdAt": iso_timestamp(now_us),
+            }
+            meta = creator.pds.create_record(
+                creator.did, "app.bsky.feed.generator", record, now_us, rkey=spec.rkey
+            )
         runtime.announced = True
+        return meta
 
     def _rule_for(self, spec, creator: UserState):
         from repro.services.feedgen import FeedRule
@@ -446,13 +478,20 @@ class World:
 
     # -- running ---------------------------------------------------------------------------
 
-    def run(self, progress: Optional[Callable[[str], None]] = None) -> "World":
-        """Execute the timeline; idempotent."""
+    def run(
+        self, progress: Optional[Callable[[str], None]] = None, workers: int = 1
+    ) -> "World":
+        """Execute the timeline; idempotent.
+
+        ``workers > 1`` spreads the logical shards over that many spawned
+        worker processes; every artefact is byte-identical to ``workers=1``
+        for the same seed (the deterministic-merge guarantee).
+        """
         if self._ran:
             return self
         from repro.simulation.engine import Engine
 
-        Engine(self).run(progress=progress)
+        Engine(self, workers=workers).run(progress=progress)
         self._ran = True
         return self
 

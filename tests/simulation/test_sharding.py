@@ -1,0 +1,254 @@
+"""Sharded-engine determinism: the tentpole acceptance tests.
+
+The criterion from the issue: partitioning the population into logical
+shards and running them across worker processes must leave every artefact
+byte-identical to the single-process run of the same seed — firehose
+frames, Table 1, metrics.json — including under fault injection and
+through a crash/resume cycle.  The deterministic relay merge
+``(time_us, shard id, intra-shard seq)`` is what makes this hold.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.core import report
+from repro.core.checkpoint import CheckpointError
+from repro.core.export import firehose_frame_observer, study_fingerprint
+from repro.core.pipeline import MeasurementPipeline, run_study
+from repro.netsim.faults import CrashPlan, FaultPlan, StudyCrashed
+from repro.simulation.config import (
+    FIREHOSE_COLLECT_END_US,
+    FIREHOSE_COLLECT_START_US,
+    SimulationConfig,
+)
+from repro.simulation.sharding import (
+    DayBatch,
+    RecentPost,
+    RecentPostPool,
+    derive_seed,
+    digest_batch,
+    merged_items,
+    shard_of,
+)
+from repro.simulation.world import World
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _post(i: int, time_us: int = 0) -> RecentPost:
+    return RecentPost(
+        uri="at://did:plc:u%d/app.bsky.feed.post/3k%d" % (i, i),
+        cid="cid%d" % i,
+        author_did="did:plc:u%d" % i,
+        time_us=time_us or i,
+    )
+
+
+class TestSeedDerivation:
+    def test_deterministic(self):
+        assert derive_seed(2024, "shard", 3) == derive_seed(2024, "shard", 3)
+
+    def test_streams_independent(self):
+        seeds = {
+            derive_seed(2024, "schedule"),
+            derive_seed(2024, "lifecycle"),
+            derive_seed(2024, "signup"),
+            derive_seed(2024, "shard", 0),
+            derive_seed(2024, "shard", 1),
+            derive_seed(2025, "shard", 0),
+        }
+        assert len(seeds) == 6
+
+    def test_64_bit_range(self):
+        for shard in range(16):
+            assert 0 <= derive_seed(7, "shard", shard) < 2**64
+
+    def test_shard_assignment_rule(self):
+        # Same rule as the default PDS layout: index modulo shard count.
+        assert [shard_of(i, 4) for i in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+class TestRecentPostPool:
+    def test_bounded(self):
+        pool = RecentPostPool(maxlen=3)
+        pool.extend(_post(i) for i in range(10))
+        assert len(pool) == 3
+
+    def test_fifo_eviction_oldest_first(self):
+        pool = RecentPostPool(maxlen=3)
+        pool.extend(_post(i) for i in range(5))
+        # Entries 0 and 1 were evicted; index 0 is the oldest survivor.
+        assert [p.cid for p in pool.snapshot()] == ["cid2", "cid3", "cid4"]
+        assert pool[0].cid == "cid2"
+        assert pool[2].cid == "cid4"
+
+    def test_indexing_stable_before_full(self):
+        pool = RecentPostPool(maxlen=10)
+        pool.extend(_post(i) for i in range(4))
+        assert [pool[i].cid for i in range(4)] == ["cid0", "cid1", "cid2", "cid3"]
+
+    def test_out_of_range_raises(self):
+        pool = RecentPostPool(maxlen=2)
+        pool.extend(_post(i) for i in range(3))
+        with pytest.raises(IndexError):
+            pool[2]
+
+    def test_rejects_nonpositive_maxlen(self):
+        with pytest.raises(ValueError):
+            RecentPostPool(maxlen=0)
+
+
+class TestMergeRule:
+    def test_orders_by_time_then_shard_then_seq(self):
+        batch0 = DayBatch(shard_id=0, items=[(200, 1, "a0"), (100, 1, "a1")])
+        batch1 = DayBatch(shard_id=1, items=[(100, 1, "b0"), (100, 1, "b1")])
+        merged = [item[3][2] for item in merged_items([batch0, batch1])]
+        # time 100: shard 0 first, then shard 1 in intra-shard order.
+        assert merged == ["a1", "b0", "b1", "a0"]
+
+    def test_merge_independent_of_batch_arrival_order(self):
+        batch0 = DayBatch(shard_id=0, items=[(5, 1, "x")])
+        batch1 = DayBatch(shard_id=1, items=[(5, 1, "y")])
+        forward = merged_items([batch0, batch1])
+        reversed_ = merged_items([batch1, batch0])
+        assert forward == reversed_
+
+    def test_digest_excludes_wall_time(self):
+        items = [(10, 1, (_post(1), frozenset()))]
+        a, b = hashlib.sha256(), hashlib.sha256()
+        digest_batch(a, DayBatch(shard_id=0, items=list(items), gen_wall_us=1.0))
+        digest_batch(b, DayBatch(shard_id=0, items=list(items), gen_wall_us=99.0))
+        assert a.hexdigest() == b.hexdigest()
+
+
+def _run_with_fingerprint(workers: int, **kwargs):
+    """One tiny study at ``workers`` processes, with the frame observer
+    attached before the world runs; returns everything the byte-identity
+    assertions compare."""
+    world = World(SimulationConfig.tiny())
+    frame_digest = firehose_frame_observer(world)
+    datasets = MeasurementPipeline(world, workers=workers, **kwargs).run()
+    return {
+        "frames": frame_digest(),
+        "table1": report.render_table1(datasets),
+        "metrics": datasets.telemetry.metrics_json(),
+        "fingerprint": study_fingerprint(datasets, frame_digest),
+        "shard_digests": dict(world.shard_digest_log),
+        "next_seq": world.relay.firehose.next_seq(),
+    }
+
+
+@pytest.mark.slow
+class TestWorkerByteIdentity:
+    """Same seed, workers 1/2/4: every artefact byte-identical."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        return {w: _run_with_fingerprint(w) for w in WORKER_COUNTS}
+
+    def test_firehose_frames_identical(self, runs):
+        assert runs[2]["frames"] == runs[1]["frames"]
+        assert runs[4]["frames"] == runs[1]["frames"]
+
+    def test_table1_identical(self, runs):
+        assert runs[2]["table1"] == runs[1]["table1"]
+        assert runs[4]["table1"] == runs[1]["table1"]
+
+    def test_metrics_json_identical(self, runs):
+        assert runs[2]["metrics"] == runs[1]["metrics"]
+        assert runs[4]["metrics"] == runs[1]["metrics"]
+
+    def test_relay_seq_numbers_identical(self, runs):
+        assert runs[1]["next_seq"] > 1
+        assert runs[2]["next_seq"] == runs[1]["next_seq"]
+        assert runs[4]["next_seq"] == runs[1]["next_seq"]
+
+    def test_shard_digest_log_identical(self, runs):
+        base = runs[1]["shard_digests"]
+        assert base, "coordinator must record per-shard digests"
+        n_shards = SimulationConfig.tiny().sim_shards
+        assert all(len(digests) == n_shards for digests in base.values())
+        assert runs[2]["shard_digests"] == base
+        assert runs[4]["shard_digests"] == base
+
+    def test_study_fingerprint_identical(self, runs):
+        assert runs[2]["fingerprint"] == runs[1]["fingerprint"]
+        assert runs[4]["fingerprint"] == runs[1]["fingerprint"]
+
+
+@pytest.mark.slow
+class TestWorkerIdentityUnderFaults:
+    """Sharding composes with deterministic fault injection."""
+
+    def test_fault_seed_run_identical_across_workers(self):
+        def plan():
+            return FaultPlan.recoverable(
+                11, FIREHOSE_COLLECT_START_US, FIREHOSE_COLLECT_END_US
+            )
+
+        single = _run_with_fingerprint(1, fault_plan=plan())
+        sharded = _run_with_fingerprint(2, fault_plan=plan())
+        assert sharded["fingerprint"] == single["fingerprint"]
+        assert sharded["frames"] == single["frames"]
+
+
+@pytest.mark.slow
+class TestWorkerIdentityAcrossCrashResume:
+    """A workers=2 study killed mid-run and resumed matches an
+    uninterrupted workers=1 run byte for byte — and the resume passes the
+    per-shard checkpoint-segment verification."""
+
+    def test_crash_resume_workers2_matches_uninterrupted_workers1(
+        self, tmp_path_factory
+    ):
+        checkpoint_dir = str(tmp_path_factory.mktemp("ckpt-shard"))
+        with pytest.raises(StudyCrashed):
+            MeasurementPipeline(
+                World(SimulationConfig.tiny()),
+                checkpoint_dir=checkpoint_dir,
+                crash_plan=CrashPlan(points=(900,)),
+                workers=2,
+            ).run()
+        resumed = _run_with_fingerprint(
+            2, checkpoint_dir=checkpoint_dir, resume=True
+        )
+        baseline = _run_with_fingerprint(1)
+        assert resumed["fingerprint"] == baseline["fingerprint"]
+        assert resumed["frames"] == baseline["frames"]
+        assert resumed["shard_digests"] == baseline["shard_digests"]
+
+
+class TestShardSegmentVerification:
+    def test_divergent_digests_rejected(self):
+        pipeline = MeasurementPipeline(World(SimulationConfig.tiny()))
+        pipeline.world.shard_digest_log = {123: ("aa", "bb", "cc", "dd")}
+        pipeline._expected_shard_segment = {
+            "day_us": 123,
+            "digests": ("aa", "bb", "cc", "ee"),
+        }
+        with pytest.raises(CheckpointError):
+            pipeline._verify_shard_segment()
+
+    def test_missing_day_rejected(self):
+        pipeline = MeasurementPipeline(World(SimulationConfig.tiny()))
+        pipeline.world.shard_digest_log = {}
+        pipeline._expected_shard_segment = {"day_us": 123, "digests": ("aa",)}
+        with pytest.raises(CheckpointError):
+            pipeline._verify_shard_segment()
+
+    def test_matching_segment_accepted(self):
+        pipeline = MeasurementPipeline(World(SimulationConfig.tiny()))
+        pipeline.world.shard_digest_log = {123: ("aa", "bb")}
+        pipeline._expected_shard_segment = {"day_us": 123, "digests": ("aa", "bb")}
+        pipeline._verify_shard_segment()  # must not raise
+
+
+@pytest.mark.slow
+class TestWorkersCli:
+    def test_workers_flag_threads_through_run_study(self):
+        # Smoke test for the --workers plumbing: a sharded run_study call
+        # completes and produces a non-trivial world.
+        world, datasets = run_study(SimulationConfig.tiny(), workers=2)
+        assert datasets.firehose.total_events() > 0
+        assert world.shard_digest_log
