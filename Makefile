@@ -7,7 +7,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test test-fast test-faults test-integrity test-telemetry test-shard bench bench-perf lint report trace check
+.PHONY: test test-fast test-faults test-integrity test-telemetry test-shard bench bench-perf lint lint-determinism report trace check
 
 test:  ## tier-1 suite (must stay green)
 	$(PYTHON) -m pytest -x -q
@@ -33,6 +33,9 @@ bench:  ## run the perf harness, write BENCH_perf.json
 bench-perf:  ## perf benchmarks via pytest-benchmark (also writes BENCH_perf.json)
 	$(PYTHON) -m pytest benchmarks/test_perf_pipeline.py --benchmark-only -q
 
+lint-determinism:  ## determinism & shard-safety static analyzer (stdlib-only; fails on any unsuppressed finding)
+	$(PYTHON) -m repro lint src tests benchmarks scripts examples --json-out lint-determinism.json
+
 lint:  ## ruff, when available (not part of the baked toolchain)
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks; \
@@ -48,4 +51,4 @@ trace:  ## small traced study; validate the trace + metrics artefacts
 		--fault-seed 7 --trace-out trace.json --metrics-out metrics.json
 	$(PYTHON) scripts/check_trace.py trace.json metrics.json
 
-check: test test-faults test-integrity test-telemetry test-shard lint  ## what CI would run
+check: test test-faults test-integrity test-telemetry test-shard lint lint-determinism  ## what CI would run

@@ -43,9 +43,18 @@ def _shard_urls(count: int = 4) -> tuple[str, ...]:
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["lint"]:
+        # The analyzer has its own option surface; hand over before the
+        # study parser can reject its flags.
+        from repro.devtools.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce 'Looking AT the Blue Skies of Bluesky' (IMC 2024).",
+        epilog="'python -m repro lint' runs the determinism & shard-safety "
+        "static analyzer (see its own --help).",
     )
     parser.add_argument(
         "artefact",

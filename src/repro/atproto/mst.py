@@ -547,7 +547,9 @@ def mst_diff(old: Mst, new: Mst) -> dict[str, tuple[Optional[Cid], Optional[Cid]
     old_items = dict(old.items())
     new_items = dict(new.items())
     out: dict[str, tuple[Optional[Cid], Optional[Cid]]] = {}
-    for key in old_items.keys() | new_items.keys():
+    # Sorted so the result dict's insertion order (and anything derived
+    # from iterating it) is independent of PYTHONHASHSEED.
+    for key in sorted(old_items.keys() | new_items.keys()):
         before = old_items.get(key)
         after = new_items.get(key)
         if before != after:

@@ -1,0 +1,49 @@
+"""Determinism & shard-safety static analyzer (stdlib-only, ``ast``-based).
+
+Run it as ``python -m repro lint`` or ``make lint-determinism``.  The
+rules, their ids, the suppression pragma, and the module allowlist are
+documented in the "Determinism contract" section of EXPERIMENTS.md.
+
+Public API: :func:`lint_source` / :func:`lint_file` / :func:`lint_paths`
+return :class:`Finding` lists; importing :mod:`repro.devtools.lint.rules`
+(done here) registers the built-in rules.
+"""
+
+from repro.devtools.lint.framework import (  # noqa: F401
+    DEFAULT_CONFIG,
+    DEFAULT_REGISTRY,
+    Finding,
+    LintConfig,
+    ModuleContext,
+    Rule,
+    RuleRegistry,
+    lint_file,
+    lint_paths,
+    lint_source,
+    module_name_for_path,
+)
+from repro.devtools.lint import rules  # noqa: F401  (registers built-ins)
+from repro.devtools.lint.reporters import (  # noqa: F401
+    exit_code,
+    render_json,
+    render_text,
+    unsuppressed,
+)
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "DEFAULT_REGISTRY",
+    "Finding",
+    "LintConfig",
+    "ModuleContext",
+    "Rule",
+    "RuleRegistry",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "module_name_for_path",
+    "exit_code",
+    "render_json",
+    "render_text",
+    "unsuppressed",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.devtools.lint`` — same CLI as ``python -m repro lint``."""
+
+import sys
+
+from repro.devtools.lint.cli import main
+
+sys.exit(main())

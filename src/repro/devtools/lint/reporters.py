@@ -1,0 +1,72 @@
+"""Text and JSON reporters with CI-friendly exit semantics.
+
+Text output is one ``path:line:col: rule-id message`` per finding (the
+format editors and CI log scanners already understand).  JSON output is
+deterministic (sorted findings, sorted keys) so it can be diffed and
+uploaded as a CI artefact.  The exit code contract:
+
+* 0 — no unsuppressed findings (suppressed ones are reported but pass)
+* 1 — at least one unsuppressed finding
+* 2 — usage or internal error (bad path, unknown rule id, ...)
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.devtools.lint.framework import Finding
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+def unsuppressed(findings: Sequence[Finding]) -> List[Finding]:
+    return [finding for finding in findings if not finding.suppressed]
+
+
+def exit_code(findings: Sequence[Finding]) -> int:
+    return EXIT_FINDINGS if unsuppressed(findings) else EXIT_CLEAN
+
+
+def render_text(findings: Sequence[Finding], verbose: bool = False) -> str:
+    """Human/CI-log report; suppressed findings only shown with -v."""
+    shown = list(findings) if verbose else unsuppressed(findings)
+    lines = [finding.render() for finding in shown]
+    active = len(unsuppressed(findings))
+    muted = len(findings) - active
+    summary = "%d finding%s" % (active, "" if active == 1 else "s")
+    if muted:
+        summary += " (+%d suppressed by pragma)" % muted
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report: stable ordering, stable key order."""
+    by_rule: Dict[str, int] = {}
+    for finding in findings:
+        if not finding.suppressed:
+            by_rule[finding.rule_id] = by_rule.get(finding.rule_id, 0) + 1
+    payload = {
+        "findings": [
+            {
+                "rule": finding.rule_id,
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "message": finding.message,
+                "suppressed": finding.suppressed,
+                "suppression_reason": finding.suppression_reason,
+            }
+            for finding in sorted(findings, key=Finding.sort_key)
+        ],
+        "summary": {
+            "total": len(findings),
+            "unsuppressed": len(unsuppressed(findings)),
+            "suppressed": len(findings) - len(unsuppressed(findings)),
+            "by_rule": dict(sorted(by_rule.items())),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

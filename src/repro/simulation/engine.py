@@ -678,9 +678,9 @@ class SimProcess:
         batches = []
         for shard_id in self.owned:
             engine = self.shard_engines[shard_id]
-            wall0 = time.perf_counter()
+            wall0 = time.perf_counter()  # repro: allow(wallclock) -- per-shard timing telemetry; excluded from batch digests
             engine.run_day_activity(day_us, rate_adj)
-            gen_wall_us = (time.perf_counter() - wall0) * 1e6
+            gen_wall_us = (time.perf_counter() - wall0) * 1e6  # repro: allow(wallclock) -- per-shard timing telemetry; excluded from batch digests
             batches.append(engine.take_batch(gen_wall_us))
         return batches
 

@@ -64,9 +64,9 @@ def _worker_main(conn, config: SimulationConfig, owned_shards: tuple) -> None:
                 _, day_us, update = message
                 sim.apply_cross_shard_update(update)
                 sim.begin_day(day_us)
-                wall0 = time.perf_counter()
+                wall0 = time.perf_counter()  # repro: allow(wallclock) -- worker timing telemetry; excluded from batch digests
                 batches = sim.generate_owned(day_us)
-                gen_wall_us = (time.perf_counter() - wall0) * 1e6
+                gen_wall_us = (time.perf_counter() - wall0) * 1e6  # repro: allow(wallclock) -- worker timing telemetry; excluded from batch digests
                 sim.replica_end_day(day_us)
                 for batch in batches:
                     batch.gen_wall_us = gen_wall_us / max(1, len(batches))

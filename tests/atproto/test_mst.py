@@ -217,6 +217,20 @@ class TestDiff:
         tree.set("coll/a", cid_of("1"))
         assert mst_diff(tree, tree) == {}
 
+    def test_diff_insertion_order_is_sorted(self):
+        # Regression: mst_diff used to iterate `old.keys() | new.keys()`
+        # directly, so the returned dict's insertion order (and anything
+        # serialized from it) varied with PYTHONHASHSEED.
+        old = Mst()
+        new = Mst()
+        for i in range(60):
+            old.set(key(i), cid_of(str(i)))
+            if i % 2:
+                new.set(key(i), cid_of(str(i) + "x"))
+        diff = mst_diff(old, new)
+        assert len(diff) == 60
+        assert list(diff) == sorted(diff)
+
 
 _keys = st.integers(min_value=0, max_value=5000).map(key)
 

@@ -28,3 +28,11 @@ class TestCli:
     def test_unknown_artefact_rejected(self):
         with pytest.raises(SystemExit):
             main(["table99"])
+
+    def test_lint_subcommand_dispatches(self, capsys):
+        # `lint` hands over to the determinism analyzer before the study
+        # parser (which would reject its flags) sees the argv.
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "unsorted-set-iter" in out
+        assert "repro: allow(" in out
