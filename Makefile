@@ -27,8 +27,9 @@ test-telemetry:  ## metrics registry + tracer + telemetry determinism suite only
 test-shard:  ## sharded-engine determinism suite (workers 1/2/4 byte-identity)
 	$(PYTHON) -m pytest -x -q tests/simulation/test_sharding.py
 
-bench:  ## run the perf harness, write BENCH_perf.json
+bench:  ## run the perf harness, write + guard BENCH_perf.json
 	$(PYTHON) -m repro bench
+	$(PYTHON) scripts/check_bench.py BENCH_perf.json
 
 bench-perf:  ## perf benchmarks via pytest-benchmark (also writes BENCH_perf.json)
 	$(PYTHON) -m pytest benchmarks/test_perf_pipeline.py --benchmark-only -q

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Guard the read-path microbenchmarks in BENCH_perf.json (``make bench``).
+
+Usage: python scripts/check_bench.py BENCH_perf.json
+
+Fails (exit 1) if:
+  * any of the read-path throughput metrics is missing, or
+  * the cached variant is less than MIN_CACHE_SPEEDUP x the uncached
+    variant measured in the same run, or
+  * the deterministic read-cache hit/miss counters disappeared from the
+    benchmark output.
+
+The cached/uncached comparison is within-run, so it is robust to the
+absolute speed of the machine running CI.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+READ_METRICS = ("timeline_ops_per_s", "getfeed_ops_per_s", "search_ops_per_s")
+MIN_CACHE_SPEEDUP = 5.0
+
+
+def check(document: dict) -> list[str]:
+    problems = []
+    optimized = document.get("optimized")
+    if not isinstance(optimized, dict):
+        return ["no 'optimized' section in bench file"]
+    for name in READ_METRICS:
+        cached = optimized.get(name)
+        uncached = optimized.get(name.replace("_ops_per_s", "_uncached_ops_per_s"))
+        if not isinstance(cached, (int, float)):
+            problems.append("missing read metric %r" % name)
+            continue
+        if not isinstance(uncached, (int, float)) or uncached <= 0:
+            problems.append("missing uncached reference for %r" % name)
+            continue
+        ratio = cached / uncached
+        if ratio < MIN_CACHE_SPEEDUP:
+            problems.append(
+                "%s cached/uncached ratio %.2fx < %.1fx"
+                % (name, ratio, MIN_CACHE_SPEEDUP)
+            )
+    counters = optimized.get("read_cache_counters")
+    if not isinstance(counters, dict) or not counters:
+        problems.append("read_cache_counters missing or empty")
+    else:
+        if not any(key.startswith("read_cache_hits_total") for key in counters):
+            problems.append("no read_cache_hits_total series in counters")
+        if not any(key.startswith("read_cache_misses_total") for key in counters):
+            problems.append("no read_cache_misses_total series in counters")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[0]) as handle:
+        document = json.load(handle)
+    problems = check(document)
+    if problems:
+        for problem in problems:
+            print("FAIL: %s" % problem, file=sys.stderr)
+        return 1
+    ratios = []
+    optimized = document["optimized"]
+    for name in READ_METRICS:
+        uncached = optimized[name.replace("_ops_per_s", "_uncached_ops_per_s")]
+        ratios.append("%s %.1fx" % (name.split("_")[0], optimized[name] / uncached))
+    print("ok: %s (%s)" % (argv[0], ", ".join(ratios)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -43,6 +43,13 @@ BASELINE = {
     "pipeline_tiny_workers1_wall_s": 6.189338619000068,
     "pipeline_tiny_workers2_wall_s": 6.189338619000068,
     "pipeline_tiny_workers4_wall_s": 6.189338619000068,
+    # Read-path reference: the uncached scan paths (seed-commit read
+    # semantics, caches off) measured by bench_read_path on the same
+    # container class.  The cached columns in BENCH_perf.json read
+    # against these, so the index/cache win is always visible.
+    "timeline_ops_per_s": 2085.0,
+    "getfeed_ops_per_s": 4658.0,
+    "search_ops_per_s": 4773.0,
 }
 
 # A representative post record (matches what the engine writes).
@@ -199,6 +206,169 @@ def bench_sharded_pipeline(repeats: int = 1) -> dict:
     return results
 
 
+def _build_read_appview(cached: bool):
+    """An AppView + whole-network feed host over a synthetic population.
+
+    Returns ``(appview, feed_uri, actor_dids, now_us, registry)``.  The
+    same event stream feeds both the ``cached=True`` build (timeline
+    index, hydrated-view caches, skeleton cache) and the ``cached=False``
+    build (the reference scan paths), so the two sides of every read
+    microbenchmark answer byte-identical responses.
+    """
+    from repro.atproto.events import CommitEvent, CommitOp
+    from repro.identity.plc import PlcDirectory
+    from repro.identity.resolver import DidResolver
+    from repro.netsim.web import WebHostRegistry
+    from repro.services.appview import AppView
+    from repro.services.feedgen import (
+        CuratedFeed,
+        FeedGeneratorHost,
+        FeedRule,
+        PostFeatures,
+        tokenize,
+    )
+    from repro.services.labeler import Label
+    from repro.services.xrpc import ServiceDirectory
+
+    n_users, follows_per_user, posts_per_user = 32, 12, 150
+
+    services = ServiceDirectory()
+    resolver = DidResolver(PlcDirectory(), WebHostRegistry())
+    appview = AppView(
+        "https://api.bsky.app",
+        resolver,
+        services,
+        index_search=True,
+        index_timelines=cached,
+        cache_views=cached,
+        telemetry=services.telemetry,
+    )
+    services.register(appview.url, appview)
+
+    class UncachedFeed(CuratedFeed):
+        def _cache_token(self, viewer):
+            return None  # force a full entries() rebuild per skeleton call
+
+    host = FeedGeneratorHost(
+        "did:web:feeds.bench.example",
+        "https://feeds.bench.example",
+        telemetry=services.telemetry,
+    )
+    services.register(host.endpoint, host)
+    dids = ["did:plc:bench%04d" % index for index in range(n_users)]
+    feed_uri = "at://%s/app.bsky.feed.generator/bench" % dids[0]
+    feed_cls = CuratedFeed if cached else UncachedFeed
+    feed = feed_cls(feed_uri, FeedRule(whole_network=True))
+    host.add_feed(feed)
+
+    seq = 0
+    now_us = 1_700_000_000_000_000
+
+    def emit(did, collection, rkey, record):
+        nonlocal seq, now_us
+        seq += 1
+        now_us += 1_000
+        op = CommitOp("create", "%s/%s" % (collection, rkey), None, record)
+        appview.consume_event(CommitEvent(seq=seq, did=did, time_us=now_us, ops=(op,)))
+        return now_us
+
+    emit(
+        dids[0],
+        "app.bsky.feed.generator",
+        "bench",
+        {"did": host.service_did, "displayName": "bench", "createdAt": "2024-03-06"},
+    )
+    for index, did in enumerate(dids):
+        for offset in range(1, follows_per_user + 1):
+            emit(
+                did,
+                "app.bsky.graph.follow",
+                "f%04d" % offset,
+                {"subject": dids[(index + offset) % n_users]},
+            )
+    label_seq = 0
+    for round_no in range(posts_per_user):
+        for index, did in enumerate(dids):
+            text = "post %d by user %d lorem ipsum dolor sit amet" % (round_no, index)
+            if (round_no * n_users + index) % 16 == 0:
+                text += " benchtoken"
+            time_us = emit(
+                did,
+                "app.bsky.feed.post",
+                "3k%03d%03d" % (round_no, index),
+                {"text": text, "createdAt": "2024-03-06", "langs": ["en"]},
+            )
+            uri = "at://%s/app.bsky.feed.post/3k%03d%03d" % (did, round_no, index)
+            feed.ingest(
+                PostFeatures(
+                    uri=uri,
+                    author=did,
+                    time_us=time_us,
+                    text=text,
+                    langs=("en",),
+                    tokens=frozenset(tokenize(text)),
+                )
+            )
+            # A few labels per post make hydration realistically label-
+            # heavy (the cost the hydrated-view cache amortises).
+            for val in ("spam", "rude", "nudity", "gore", "misleading", "graphic-media", "sexual", "intolerant"):
+                label_seq += 1
+                appview._ingest_label(
+                    Label(
+                        seq=label_seq,
+                        src="did:plc:benchlabeler",
+                        uri=uri,
+                        val=val,
+                        neg=False,
+                        cts=time_us,
+                    )
+                )
+    return appview, feed_uri, dids, now_us, services.telemetry.registry
+
+
+def bench_read_path(repeats: int = 3) -> dict:
+    """Timeline / getFeed / searchPosts throughput, cached vs uncached.
+
+    The ``*_ops_per_s`` metrics exercise the index-backed + cached read
+    path; the ``*_uncached_ops_per_s`` twins run the reference scan paths
+    on an identically-populated AppView.  ``read_cache_counters`` records
+    the deterministic hit/miss totals of the cached run (the CI guardrail
+    asserts they are present and that cached ≥ 5x uncached).
+    """
+    from repro.obs.metrics import READ_CACHE_HITS, READ_CACHE_MISSES
+
+    results: dict = {}
+    registry = None
+    for suffix, cached in (("", True), ("_uncached", False)):
+        appview, feed_uri, dids, now_us, reg = _build_read_appview(cached)
+        if cached:
+            registry = reg
+        calls = 400
+
+        def run_timeline():
+            for index in range(calls):
+                appview.xrpc_getTimeline(dids[index % len(dids)], limit=50)
+
+        def run_getfeed():
+            for _ in range(calls):
+                appview.xrpc_getFeed(feed_uri, limit=50, now_us=now_us)
+
+        def run_search():
+            for _ in range(calls):
+                appview.xrpc_searchPosts("benchtoken", limit=25)
+
+        results["timeline%s_ops_per_s" % suffix] = calls / best_of(run_timeline, repeats)
+        results["getfeed%s_ops_per_s" % suffix] = calls / best_of(run_getfeed, repeats)
+        results["search%s_ops_per_s" % suffix] = calls / best_of(run_search, repeats)
+    counters = registry.snapshot()["counters"]
+    results["read_cache_counters"] = {
+        key: value
+        for key, value in counters.items()
+        if key.startswith((READ_CACHE_HITS, READ_CACHE_MISSES))
+    }
+    return results
+
+
 def bench_telemetry_overhead(repeats: int = 2) -> dict:
     """End-to-end cost of the always-on telemetry (guardrail: <5%).
 
@@ -222,7 +392,7 @@ def bench_telemetry_overhead(repeats: int = 2) -> dict:
 def run_benchmarks(include_pipeline: bool = True, progress=None) -> dict:
     """Run every bench; returns a flat {metric: value} dict."""
     results: dict = {}
-    stages = [bench_cbor, bench_mst, bench_commit, bench_sampling]
+    stages = [bench_cbor, bench_mst, bench_commit, bench_sampling, bench_read_path]
     if include_pipeline:
         stages.extend([bench_pipeline, bench_sharded_pipeline, bench_telemetry_overhead])
     for stage in stages:

@@ -307,7 +307,11 @@ class MeasurementPipeline:
             # Saves are deferred so the journal only captures action
             # boundaries (datasets + telemetry consistent); the phase
             # profiler records nothing if the action crashes mid-way.
+            # Read caches are flushed at the boundary so their hit/miss
+            # counters cannot depend on which earlier actions were
+            # replayed vs skipped after a crash/resume.
             with ckpt.deferred_saves(), self.telemetry.phase(name):
+                self.world.flush_read_caches()
                 fn(now_us)
             ckpt.mark_done(action_id)
             ckpt.save()
@@ -321,6 +325,7 @@ class MeasurementPipeline:
         if ckpt.is_done(name):
             return
         with ckpt.deferred_saves(), self.telemetry.phase(name):
+            self.world.flush_read_caches()
             fn()
         ckpt.mark_done(name)
         ckpt.save()

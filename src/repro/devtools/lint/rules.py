@@ -161,6 +161,17 @@ def _is_set_valued(node: ast.AST) -> Optional[str]:
             and node.func.attr in _SET_METHOD_CALLS
         ):
             return ".%s(...)" % node.func.attr
+        # ``mapping.get(key, set())``: a set-valued default is the tell
+        # that the mapping holds sets, so the lookup result iterates in
+        # hash order just like a bare set expression.
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and len(node.args) == 2
+            and not node.keywords
+            and _is_set_valued(node.args[1]) is not None
+        ):
+            return ".get(..., %s)" % _is_set_valued(node.args[1])
     if isinstance(node, ast.BinOp) and isinstance(
         node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
     ):

@@ -368,3 +368,27 @@ class NullRegistry(MetricsRegistry):
 
     def adopt(self, state: dict) -> None:
         pass
+
+
+# -- read-path cache families --------------------------------------------------
+
+#: Family names shared by every read-path cache (AppView hydrated views,
+#: relay CAR/block cache, feed-generator skeleton cache).  One label —
+#: the cache name — so ``metrics.json`` carries a deterministic hit/miss
+#: row per cache and a new cache never mints a new family.
+READ_CACHE_HITS = "read_cache_hits_total"
+READ_CACHE_MISSES = "read_cache_misses_total"
+
+
+def read_cache_counters(registry: MetricsRegistry) -> "tuple[CounterFamily, CounterFamily]":
+    """The (hits, misses) counter pair for read-path caches.
+
+    Counted only inside journaled pipeline actions (collector crawls), so
+    the totals survive crash/resume via the checkpoint's registry state;
+    cache *warmth* is flushed at every action boundary (see
+    ``MeasurementPipeline``) which keeps the counts resume-invariant.
+    """
+    return (
+        registry.counter(READ_CACHE_HITS, ("cache",)),
+        registry.counter(READ_CACHE_MISSES, ("cache",)),
+    )

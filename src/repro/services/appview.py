@@ -10,6 +10,7 @@ the Relay).
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Optional
@@ -26,6 +27,8 @@ from repro.atproto.lexicon import (
     REPOST,
 )
 from repro.identity.resolver import DidResolver
+from repro.obs.metrics import read_cache_counters
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.services.labeler import Label, LabelerService
 from repro.services.relay import Relay
 from repro.services.xrpc import ServiceDirectory, XrpcError, XrpcService
@@ -81,6 +84,11 @@ class _Indexes:
     non_bsky_records: int = 0
 
 
+def _uri_author(uri: str) -> str:
+    """The author did of an ``at://<did>/<collection>/<rkey>`` uri."""
+    return uri[5:].split("/", 1)[0]
+
+
 class AppView(XrpcService):
     """The single global AppView."""
 
@@ -92,6 +100,9 @@ class AppView(XrpcService):
         official_labeler_did: Optional[str] = None,
         index_posts: bool = True,
         index_search: bool = False,
+        index_timelines: bool = True,
+        cache_views: bool = True,
+        telemetry=None,
     ):
         self.url = url.rstrip("/")
         self.resolver = resolver
@@ -99,6 +110,13 @@ class AppView(XrpcService):
         self.official_labeler_did = official_labeler_did
         self.index_posts = index_posts
         self.index_search = index_search
+        # Read-path acceleration knobs.  ``index_timelines`` maintains a
+        # per-follower timeline index at ingest (fan-out-on-write) and
+        # ``cache_views`` keeps hydrated post/profile views between reads;
+        # both are semantics-preserving: responses are byte-identical with
+        # either switched off (the scan path stays as the reference).
+        self.index_timelines = index_timelines
+        self.cache_views = cache_views
         self.index = _Indexes()
         self._labelers: dict[str, LabelerService] = {}
         self._label_cursors: dict[str, int] = {}
@@ -106,6 +124,41 @@ class AppView(XrpcService):
         self._labels_by_subject: dict[str, list[Label]] = {}
         self._takedowns: set[str] = set()
         self.events_consumed = 0
+        # -- read-path state ---------------------------------------------------
+        # author did -> follower dids (insertion-ordered set; event order
+        # is deterministic, so iteration is too).
+        self._tl_followers: dict[str, dict[str, None]] = {}
+        # follower did -> [(time_us, uri)] sorted ascending; the timeline
+        # index getTimeline walks backwards instead of scanning authors.
+        self._timelines: dict[str, list] = {}
+        # uri -> hydrated post view; actor did -> profile view.  Explicitly
+        # invalidated on like/repost/label/takedown/delete (posts) and on
+        # profile/follow/handle/tombstone events (profiles).
+        self._post_views: dict[str, dict] = {}
+        self._profile_views: dict[str, dict] = {}
+        # (q, limit) -> full searchPosts response.  Valid only while no
+        # event or label arrives: any ingest clears it wholesale (reads
+        # happen between ingest batches, so a crawl sweep repeating a
+        # query hits; correctness never depends on finer invalidation).
+        self._search_pages: dict[tuple, dict] = {}
+        self.set_telemetry(telemetry if telemetry is not None else NULL_TELEMETRY)
+
+    def set_telemetry(self, telemetry) -> None:
+        """(Re)bind the read-cache counter families and the tracer."""
+        self.telemetry = telemetry
+        self._m_cache_hits, self._m_cache_misses = read_cache_counters(telemetry.registry)
+
+    def flush_read_caches(self) -> None:
+        """Drop hydrated-view cache contents.
+
+        Called by the pipeline at every journal boundary so cache warmth
+        never crosses an action: hit/miss totals after a crash/resume
+        equal an uninterrupted run's.  The timeline index is *not* a
+        cache (it is maintained at ingest, never repopulated at read
+        time) and survives the flush."""
+        self._post_views.clear()
+        self._profile_views.clear()
+        self._search_pages.clear()
 
     # -- firehose ingestion ---------------------------------------------------
 
@@ -115,11 +168,14 @@ class AppView(XrpcService):
 
     def consume_event(self, event: FirehoseEvent) -> None:
         self.events_consumed += 1
+        if self._search_pages:
+            self._search_pages.clear()
         if isinstance(event, CommitEvent):
             for op in event.ops:
                 self._consume_op(event.did, event.time_us, op)
         elif isinstance(event, HandleEvent):
             self.index.handles[event.did] = event.handle
+            self._profile_views.pop(event.did, None)
         elif isinstance(event, TombstoneEvent):
             self._remove_account(event.did)
 
@@ -144,6 +200,16 @@ class AppView(XrpcService):
                     reply_to=(record.get("reply") or {}).get("parent", {}).get("uri"),
                 )
                 self.index.posts_by_author.setdefault(did, []).append(uri)
+                if self.index_timelines:
+                    # Fan-out-on-write: deliver the post into every
+                    # follower's timeline index at ingest time.
+                    entry = (time_us, uri)
+                    for follower in self._tl_followers.get(did, ()):
+                        timeline = self._timelines.setdefault(follower, [])
+                        if not timeline or timeline[-1] <= entry:
+                            timeline.append(entry)  # common case: in order
+                        else:
+                            insort(timeline, entry)
                 if self.index_search:
                     from repro.services.feedgen import tokenize
 
@@ -154,10 +220,12 @@ class AppView(XrpcService):
             if subject:
                 self.index.like_counts[subject] += 1
                 self.index.like_subject_by_path[did + "|" + op.path] = subject
+                self._post_views.pop(subject, None)  # likeCount changed
         elif collection == REPOST:
             subject = (record.get("subject") or {}).get("uri")
             if subject:
                 self.index.repost_counts[subject] += 1
+                self._post_views.pop(subject, None)  # repostCount changed
         elif collection == FOLLOW:
             subject = record.get("subject")
             if subject:
@@ -165,12 +233,20 @@ class AppView(XrpcService):
                 self.index.following_counts[did] += 1
                 self.index.follow_subject_by_path[did + "|" + op.path] = subject
                 self.index.following.setdefault(did, set()).add(subject)
+                self._profile_views.pop(did, None)
+                self._profile_views.pop(subject, None)
+                followers = self._tl_followers.setdefault(subject, {})
+                if did not in followers:
+                    followers[did] = None
+                    if self.index_timelines:
+                        self._merge_author_timeline(did, subject)
         elif collection == BLOCK:
             subject = record.get("subject")
             if subject:
                 self.index.block_counts[subject] += 1
         elif collection == PROFILE:
             self.index.profiles[did] = record
+            self._profile_views.pop(did, None)
         elif collection == "app.bsky.graph.listitem":
             list_uri = record.get("list")
             member = record.get("subject")
@@ -195,17 +271,34 @@ class AppView(XrpcService):
 
     def _consume_delete(self, did: str, uri: str, collection: str, path: str) -> None:
         if collection == POST:
-            self.index.posts.pop(uri, None)
+            view = self.index.posts.pop(uri, None)
+            self._post_views.pop(uri, None)
+            if view is not None and self.index_timelines:
+                entry = (view.time_us, uri)
+                for follower in self._tl_followers.get(view.author, ()):
+                    timeline = self._timelines.get(follower)
+                    if timeline:
+                        position = bisect_left(timeline, entry)
+                        if position < len(timeline) and timeline[position] == entry:
+                            del timeline[position]
         elif collection == LIKE:
             subject = self.index.like_subject_by_path.pop(did + "|" + path, None)
             if subject:
                 self.index.like_counts[subject] -= 1
+                self._post_views.pop(subject, None)  # likeCount changed
         elif collection == FOLLOW:
             subject = self.index.follow_subject_by_path.pop(did + "|" + path, None)
             if subject:
                 self.index.follower_counts[subject] -= 1
                 self.index.following_counts[did] -= 1
                 self.index.following.get(did, set()).discard(subject)
+                self._profile_views.pop(did, None)
+                self._profile_views.pop(subject, None)
+                followers = self._tl_followers.get(subject)
+                if followers is not None:
+                    followers.pop(did, None)
+                if self.index_timelines:
+                    self._drop_author_timeline(did, subject)
         elif collection == FEED_GENERATOR:
             self.index.feed_generators.pop(uri, None)
         elif collection == LABELER_SERVICE:
@@ -215,6 +308,32 @@ class AppView(XrpcService):
         self.index.profiles.pop(did, None)
         self.index.handles.pop(did, None)
         self.index.labeler_services.pop(did, None)
+        self._profile_views.pop(did, None)
+
+    # -- timeline index maintenance ---------------------------------------------
+
+    def _merge_author_timeline(self, follower: str, author: str) -> None:
+        """A new follow: merge the author's existing live posts into the
+        follower's timeline index."""
+        posts = self.index.posts
+        entries = [
+            (posts[uri].time_us, uri)
+            for uri in self.index.posts_by_author.get(author, ())
+            if uri in posts  # posts_by_author keeps deleted uris; skip them
+        ]
+        if entries:
+            timeline = self._timelines.setdefault(follower, [])
+            timeline.extend(entries)
+            timeline.sort()
+
+    def _drop_author_timeline(self, follower: str, author: str) -> None:
+        """An unfollow: remove the author's posts from the follower's
+        timeline index."""
+        timeline = self._timelines.get(follower)
+        if timeline:
+            self._timelines[follower] = [
+                entry for entry in timeline if _uri_author(entry[1]) != author
+            ]
 
     # -- label aggregation ---------------------------------------------------------
 
@@ -240,6 +359,10 @@ class AppView(XrpcService):
     def _ingest_label(self, label: Label) -> None:
         self._labels.append(label)
         self._labels_by_subject.setdefault(label.uri, []).append(label)
+        # Labels (and takedowns, below) are part of the hydrated view.
+        self._post_views.pop(label.uri, None)
+        if self._search_pages:
+            self._search_pages.clear()
         if label.val == "!takedown" and label.src == self.official_labeler_did:
             if label.neg:
                 self._takedowns.discard(label.uri)
@@ -262,6 +385,43 @@ class AppView(XrpcService):
 
     def is_taken_down(self, uri: str) -> bool:
         return uri in self._takedowns
+
+    # -- hydration --------------------------------------------------------------
+
+    def _hydrate_post(self, uri: str) -> Optional[dict]:
+        """The full hydrated view of one post, or None if the post is
+        deleted, never indexed, or taken down.
+
+        Shared by getFeed / getTimeline / searchPosts; with ``cache_views``
+        the hydrated dict is cached until an event touching it (like,
+        repost, label, takedown, delete) invalidates the entry."""
+        if uri in self._takedowns:
+            return None
+        if self.cache_views:
+            cached = self._post_views.get(uri)
+            if cached is not None:
+                self._m_cache_hits.inc(("post_view",))
+                return cached
+        view = self.index.posts.get(uri)
+        if view is None:
+            return None
+        post = {
+            "uri": view.uri,
+            "author": view.author,
+            "record": {
+                "text": view.text,
+                "langs": list(view.langs),
+                "createdAt": view.created_at,
+            },
+            "likeCount": self.index.like_counts.get(uri, 0),
+            "repostCount": self.index.repost_counts.get(uri, 0),
+            "indexedAt": view.time_us,
+            "labels": [{"src": l.src, "val": l.val} for l in self.labels_for(uri)],
+        }
+        if self.cache_views:
+            self._m_cache_misses.inc(("post_view",))
+            self._post_views[uri] = post
+        return post
 
     # -- public API -------------------------------------------------------------
 
@@ -315,43 +475,32 @@ class AppView(XrpcService):
         endpoint = self._feedgen_endpoint(info)
         if endpoint is None:
             raise XrpcError(502, "feed generator has no endpoint")
-        skeleton = self.services.call(
-            endpoint,
-            "app.bsky.feed.getFeedSkeleton",
-            feed=feed,
-            limit=limit,
-            cursor=cursor,
-            viewer=viewer,
-            now_us=now_us,
-        )
-        hydrated = []
-        for item in skeleton["feed"]:
-            uri = item["post"]
-            if uri in self._takedowns:
-                continue
-            view = self.index.posts.get(uri)
-            if view is None:
-                continue  # post deleted or never indexed
-            hydrated.append(
-                {
-                    "post": {
-                        "uri": view.uri,
-                        "author": view.author,
-                        "record": {
-                            "text": view.text,
-                            "langs": list(view.langs),
-                            "createdAt": view.created_at,
-                        },
-                        "likeCount": self.index.like_counts.get(uri, 0),
-                        "repostCount": self.index.repost_counts.get(uri, 0),
-                        "indexedAt": view.time_us,
-                        "labels": [
-                            {"src": l.src, "val": l.val} for l in self.labels_for(uri)
-                        ],
-                    }
-                }
-            )
-        return {"feed": hydrated, "cursor": skeleton.get("cursor")}
+        with self.telemetry.tracer.span("read.getFeed", cat="read", sample=True):
+            # Refill: skeleton items can hydrate to nothing (deleted or
+            # taken-down posts), so keep paging the skeleton until the
+            # response holds ``limit`` posts or the skeleton runs dry —
+            # callers no longer see short pages in takedown-heavy feeds.
+            hydrated: list = []
+            page_cursor = cursor
+            while len(hydrated) < limit:
+                skeleton = self.services.call(
+                    endpoint,
+                    "app.bsky.feed.getFeedSkeleton",
+                    feed=feed,
+                    limit=limit - len(hydrated),
+                    cursor=page_cursor,
+                    viewer=viewer,
+                    now_us=now_us,
+                )
+                page = skeleton["feed"]
+                page_cursor = skeleton.get("cursor")
+                for item in page:
+                    post = self._hydrate_post(item["post"])
+                    if post is not None:
+                        hydrated.append({"post": post})
+                if page_cursor is None or not page:
+                    break
+            return {"feed": hydrated, "cursor": page_cursor}
 
     def xrpc_searchPosts(self, q: str, limit: int = 25) -> dict:
         """Token-based post search (``app.bsky.feed.searchPosts``).
@@ -363,31 +512,51 @@ class AppView(XrpcService):
             raise XrpcError(400, "search indexing is disabled on this AppView")
         from repro.services.feedgen import tokenize
 
-        tokens = sorted(tokenize(q))
-        if not tokens:
-            return {"posts": []}
-        candidate_lists = [self.index.search_index.get(token, []) for token in tokens]
-        if any(not uris for uris in candidate_lists):
-            return {"posts": []}
-        result_uris = set(candidate_lists[0])
-        for uris in candidate_lists[1:]:
-            result_uris &= set(uris)
-        posts = []
-        for uri in sorted(result_uris):
-            view = self.index.posts.get(uri)
-            if view is None or uri in self._takedowns:
-                continue
-            posts.append(
-                {
-                    "uri": view.uri,
-                    "author": view.author,
-                    "text": view.text,
-                    "likeCount": self.index.like_counts.get(uri, 0),
-                }
+        with self.telemetry.tracer.span("read.searchPosts", cat="read", sample=True):
+            if self.cache_views:
+                cached = self._search_pages.get((q, limit))
+                if cached is not None:
+                    self._m_cache_hits.inc(("search_page",))
+                    return cached
+            tokens = sorted(tokenize(q))
+            if not tokens:
+                return {"posts": []}
+            candidate_lists = [self.index.search_index.get(token, []) for token in tokens]
+            if any(not uris for uris in candidate_lists):
+                return {"posts": []}
+            result_uris = set(candidate_lists[0])
+            for uris in candidate_lists[1:]:
+                result_uris &= set(uris)
+            # Most recent matches first, ordered by (-time_us, uri).  The
+            # old code walked matches in uri order and cut at ``limit``
+            # before filtering, so takedown-heavy result sets truncated
+            # away live matches.
+            posts_index = self.index.posts
+            ordered = sorted(
+                (-posts_index[uri].time_us, uri)
+                for uri in result_uris
+                if uri in posts_index
             )
-            if len(posts) >= limit:
-                break
-        return {"posts": posts}
+            posts = []
+            for _neg_time_us, uri in ordered:
+                post = self._hydrate_post(uri)
+                if post is None:
+                    continue  # taken down
+                posts.append(
+                    {
+                        "uri": post["uri"],
+                        "author": post["author"],
+                        "text": post["record"]["text"],
+                        "likeCount": post["likeCount"],
+                    }
+                )
+                if len(posts) >= limit:
+                    break
+            response = {"posts": posts}
+            if self.cache_views:
+                self._m_cache_misses.inc(("search_page",))
+                self._search_pages[(q, limit)] = response
+            return response
 
     def xrpc_getList(self, list_uri: str) -> dict:
         """Members of a curation list (``app.bsky.graph.getList``)."""
@@ -397,46 +566,86 @@ class AppView(XrpcService):
         return {"uri": list_uri, "items": sorted(members)}
 
     def xrpc_getTimeline(self, actor: str, limit: int = 50) -> dict:
-        """The reverse-chronological home timeline: the latest posts of
-        everyone ``actor`` follows (the client's default view)."""
+        """The reverse-chronological home timeline: the ``limit`` most
+        recent live posts of everyone ``actor`` follows, ordered by
+        ``(-time_us, uri)`` (the client's default view).
+
+        Served from the per-follower timeline index maintained at ingest
+        when ``index_timelines`` is on; the author-scan fallback produces
+        byte-identical output and stays as the reference semantics."""
+        with self.telemetry.tracer.span("read.getTimeline", cat="read", sample=True):
+            if self.index_timelines:
+                self._m_cache_hits.inc(("timeline_index",))
+                selected = self._timeline_from_index(actor, limit)
+            else:
+                self._m_cache_misses.inc(("timeline_index",))
+                selected = self._timeline_from_scan(actor, limit)
+            feed = []
+            for uri in selected:
+                post = self._hydrate_post(uri)
+                if post is not None:
+                    feed.append({"post": post})
+            return {"feed": feed}
+
+    def _timeline_from_index(self, actor: str, limit: int) -> list:
+        """Walk the (time-ascending) timeline index backwards, reversing
+        each equal-``time_us`` tie group so the result is ordered by
+        ``(-time_us, uri)``.  Deleted posts never appear (the index is
+        maintained at ingest); takedowns are filtered here because they
+        are reversible labels, not index removals."""
+        timeline = self._timelines.get(actor, ())
+        selected: list = []
+        i = len(timeline) - 1
+        while i >= 0 and len(selected) < limit:
+            time_us = timeline[i][0]
+            j = i
+            while j >= 0 and timeline[j][0] == time_us:
+                j -= 1
+            for k in range(j + 1, i + 1):
+                uri = timeline[k][1]
+                if uri not in self._takedowns:
+                    selected.append(uri)
+            i = j
+        return selected[:limit]
+
+    def _timeline_from_scan(self, actor: str, limit: int) -> list:
+        """Reference implementation: scan every followed author.  Live
+        posts are filtered *before* the per-author ``[-limit:]`` cut (a
+        taken-down post must not push a live one out of the window) and
+        authors are visited in sorted order so ties resolve identically
+        under any hash seed."""
         followed = self.index.following.get(actor, set())
-        candidates: list[PostView] = []
-        for did in followed:
-            for uri in reversed(self.index.posts_by_author.get(did, ())[-limit:]):
-                view = self.index.posts.get(uri)
-                if view is not None and uri not in self._takedowns:
-                    candidates.append(view)
-        candidates.sort(key=lambda view: -view.time_us)
-        feed = []
-        for view in candidates[:limit]:
-            feed.append(
-                {
-                    "post": {
-                        "uri": view.uri,
-                        "author": view.author,
-                        "record": {
-                            "text": view.text,
-                            "langs": list(view.langs),
-                            "createdAt": view.created_at,
-                        },
-                        "likeCount": self.index.like_counts.get(view.uri, 0),
-                        "repostCount": self.index.repost_counts.get(view.uri, 0),
-                        "indexedAt": view.time_us,
-                        "labels": [
-                            {"src": l.src, "val": l.val} for l in self.labels_for(view.uri)
-                        ],
-                    }
-                }
-            )
-        return {"feed": feed}
+        posts = self.index.posts
+        candidates: list = []
+        for did in sorted(followed):
+            live = [
+                uri
+                for uri in self.index.posts_by_author.get(did, ())
+                if uri in posts and uri not in self._takedowns
+            ]
+            for uri in live[-limit:]:
+                candidates.append((-posts[uri].time_us, uri))
+        candidates.sort()
+        return [uri for _neg_time_us, uri in candidates[:limit]]
 
     def xrpc_getProfile(self, actor: str) -> dict:
-        profile = self.index.profiles.get(actor, {})
-        return {
-            "did": actor,
-            "handle": self.index.handles.get(actor, ""),
-            "displayName": profile.get("displayName", ""),
-            "description": profile.get("description", ""),
-            "followersCount": self.index.follower_counts.get(actor, 0),
-            "followsCount": self.index.following_counts.get(actor, 0),
-        }
+        with self.telemetry.tracer.span("read.getProfile", cat="read", sample=True):
+            if self.cache_views:
+                cached = self._profile_views.get(actor)
+                if cached is not None:
+                    self._m_cache_hits.inc(("profile_view",))
+                    return dict(cached)
+                self._m_cache_misses.inc(("profile_view",))
+            profile = self.index.profiles.get(actor, {})
+            view = {
+                "did": actor,
+                "handle": self.index.handles.get(actor, ""),
+                "displayName": profile.get("displayName", ""),
+                "description": profile.get("description", ""),
+                "followersCount": self.index.follower_counts.get(actor, 0),
+                "followsCount": self.index.following_counts.get(actor, 0),
+            }
+            if self.cache_views:
+                self._profile_views[actor] = view
+                return dict(view)
+            return view

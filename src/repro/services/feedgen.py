@@ -25,6 +25,8 @@ from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+from repro.obs.metrics import read_cache_counters
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.services.xrpc import XrpcError, XrpcService
 
 _TOKEN_RE = re.compile(r"[a-z0-9#][a-z0-9'-]*")
@@ -106,9 +108,38 @@ class Feed:
 
     def __init__(self, uri: str):
         self.uri = uri
+        # (now_us, token, entries): the materialised newest-first entry
+        # list, valid for one (crawl instant, ingest version) pair.  A
+        # paginated sweep shares one ``now_us`` across its pages, so every
+        # page after the first reuses the list; the next day's sweep (new
+        # ``now_us``) and any ingest (new token) invalidate it — the
+        # day-barrier invalidation rule.
+        self._entries_cache: Optional[tuple] = None
+        # "hit" / "miss" after a cached skeleton call, None when the feed
+        # is uncacheable (viewer-dependent); hosts read this to count.
+        self.last_cache_outcome: Optional[str] = None
 
     def entries(self, viewer: Optional[str], now_us: int) -> list[tuple[str, int]]:
         raise NotImplementedError
+
+    def _cache_token(self, viewer: Optional[str]):
+        """Ingest-version token for the entry cache; None disables caching
+        (the default — viewer-dependent feeds must not share entries)."""
+        return None
+
+    def _cached_entries(self, viewer: Optional[str], now_us: int) -> list[tuple[str, int]]:
+        token = self._cache_token(viewer)
+        if token is None:
+            self.last_cache_outcome = None
+            return self.entries(viewer, now_us)
+        cached = self._entries_cache
+        if cached is not None and cached[0] == now_us and cached[1] == token:
+            self.last_cache_outcome = "hit"
+            return cached[2]
+        self.last_cache_outcome = "miss"
+        entries = self.entries(viewer, now_us)
+        self._entries_cache = (now_us, token, entries)
+        return entries
 
     def skeleton(
         self,
@@ -117,7 +148,7 @@ class Feed:
         limit: int = 50,
         cursor: Optional[str] = None,
     ) -> dict:
-        entries = self.entries(viewer, now_us)  # newest first
+        entries = self._cached_entries(viewer, now_us)  # newest first
         start = 0
         if cursor is not None:
             cut = int(cursor)
@@ -187,6 +218,11 @@ class CuratedFeed(Feed):
             items = items[low:]
         return list(reversed(items))
 
+    def _cache_token(self, viewer: Optional[str]):
+        # Viewer-independent; any ingest (including retention trims, which
+        # only happen on ingest) bumps total_ingested and invalidates.
+        return self.total_ingested
+
     def post_count(self, now_us: int) -> int:
         return len(self.entries(None, now_us))
 
@@ -214,10 +250,16 @@ class PersonalizedFeed(Feed):
 class FeedGeneratorHost(XrpcService):
     """One feed-generator service endpoint hosting one or more feeds."""
 
-    def __init__(self, service_did: str, endpoint: str):
+    def __init__(self, service_did: str, endpoint: str, telemetry=None):
         self.service_did = service_did
         self.endpoint = endpoint.rstrip("/")
         self._feeds: dict[str, Feed] = {}
+        self.set_telemetry(telemetry if telemetry is not None else NULL_TELEMETRY)
+
+    def set_telemetry(self, telemetry) -> None:
+        """(Re)bind the skeleton-cache counter families and the tracer."""
+        self.telemetry = telemetry
+        self._m_cache_hits, self._m_cache_misses = read_cache_counters(telemetry.registry)
 
     def add_feed(self, feed: Feed) -> None:
         if feed.uri in self._feeds:
@@ -247,7 +289,13 @@ class FeedGeneratorHost(XrpcService):
         target = self._feeds.get(feed)
         if target is None:
             raise XrpcError(404, "unknown feed %s" % feed)
-        return target.skeleton(viewer, now_us, limit=limit, cursor=cursor)
+        with self.telemetry.tracer.span("read.getFeedSkeleton", cat="read", sample=True):
+            skeleton = target.skeleton(viewer, now_us, limit=limit, cursor=cursor)
+        if target.last_cache_outcome == "hit":
+            self._m_cache_hits.inc(("feed_skeleton",))
+        elif target.last_cache_outcome == "miss":
+            self._m_cache_misses.inc(("feed_skeleton",))
+        return skeleton
 
     def xrpc_describeFeedGenerator(self) -> dict:
         return {

@@ -178,8 +178,14 @@ class FeedServicePlatform(FeedGeneratorHost):
     hosting association stays with the platform, not the creator.
     """
 
-    def __init__(self, profile: PlatformProfile, service_did: str, endpoint: str):
-        super().__init__(service_did, endpoint)
+    def __init__(
+        self,
+        profile: PlatformProfile,
+        service_did: str,
+        endpoint: str,
+        telemetry=None,
+    ):
+        super().__init__(service_did, endpoint, telemetry=telemetry)
         self.profile = profile
         self._creators: dict[str, str] = {}  # feed uri -> creator did
 

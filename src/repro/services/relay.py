@@ -31,10 +31,16 @@ from repro.atproto.events import (
     TombstoneEvent,
 )
 from repro.atproto.repo import CommitMeta, Repo
+from repro.obs.metrics import read_cache_counters
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.services.pds import Pds
 from repro.services.xrpc import XrpcError, XrpcService
 
 RETENTION_US = 3 * 24 * 60 * 60 * 1_000_000  # three days
+
+#: Exported-CAR cache bound: enough for a crawl's working set without
+#: pinning every repo's serialized bytes in memory at paper scale.
+CAR_CACHE_MAX = 256
 
 
 class Firehose:
@@ -85,14 +91,20 @@ class Firehose:
         sequence number still available and the number of events that were
         dropped — the consumer learns exactly how large its gap is instead
         of silently receiving a stream with a hole in it.
+
+        ``limit`` caps the number of *frames* returned, gap frame
+        included: a consumer that asked for at most N frames must never
+        receive N + 1, so the limit is applied after the gap frame is
+        prepended (a resume at the retention boundary with ``limit=1``
+        yields just the notice; the next page starts the real replay).
         """
         start = max(0, cursor + 1 - self._first_index_seq)
         events: list[FirehoseEvent] = list(self._events[start:])
-        if limit is not None:
-            events = events[:limit]
         gap = self.gap_for_cursor(cursor)
         if gap is not None:
             events.insert(0, gap)
+        if limit is not None:
+            events = events[:limit]
         return events
 
     def gap_for_cursor(self, cursor: int) -> Optional[InfoEvent]:
@@ -126,12 +138,24 @@ class Firehose:
 class Relay(XrpcService):
     """The Relay service: PDS aggregator + Firehose publisher + repo cache."""
 
-    def __init__(self, url: str = "https://bsky.network", retention_us: int = RETENTION_US):
+    def __init__(
+        self,
+        url: str = "https://bsky.network",
+        retention_us: int = RETENTION_US,
+        cache_reads: bool = True,
+    ):
         self.url = url.rstrip("/")
         self.firehose = Firehose(retention_us)
         self._pdses: list[Pds] = []
         self._repo_locations: dict[str, Pds] = {}  # did -> hosting PDS
         self._tombstoned: set[str] = set()
+        # did -> (head cid string, CAR bytes): serialized exports served
+        # to repeat getRepo calls at an unchanged head.  Bounded (oldest
+        # insertion evicted first — deterministic, no wall clock) and
+        # explicitly invalidated by publish_commit / publish_tombstone.
+        self.cache_reads = cache_reads
+        self._car_cache: dict[str, tuple[str, bytes]] = {}
+        self.set_telemetry(NULL_TELEMETRY)
         # did -> (head CID string, rev), maintained on every published
         # commit.  In sharded mode the relay's local PDS replicas hold no
         # records, so the sync surface answers from this map instead of
@@ -141,6 +165,15 @@ class Relay(XrpcService):
         # sharded engine: repos live in worker processes, and getRepo
         # fetches them through this hook instead of the local cache.
         self.repo_reader: Optional[Callable[[str], Optional[bytes]]] = None
+
+    def set_telemetry(self, telemetry) -> None:
+        """(Re)bind the read-cache counter families and the tracer."""
+        self.telemetry = telemetry
+        self._m_cache_hits, self._m_cache_misses = read_cache_counters(telemetry.registry)
+
+    def flush_read_caches(self) -> None:
+        """Drop cached CAR exports (journal-boundary cache flush)."""
+        self._car_cache.clear()
 
     # -- crawling / federation -------------------------------------------------
 
@@ -178,6 +211,7 @@ class Relay(XrpcService):
         """Ingest one commit: update cache bookkeeping, emit ``#commit``."""
         self._repo_locations[did] = pds
         self._heads[did] = (str(meta.commit_cid), meta.rev)
+        self._car_cache.pop(did, None)  # new head: cached export is stale
         if self.repo_reader is not None:
             # Sharded mode: the hosting PDS replica never saw the write;
             # keep its own sync surface (listRepos) consistent.
@@ -201,6 +235,7 @@ class Relay(XrpcService):
     def publish_tombstone(self, did: str, now_us: int) -> None:
         """Ingest an account removal: drop the cache entry, emit ``#tombstone``."""
         self._tombstoned.add(did)
+        self._car_cache.pop(did, None)
         pds = self._repo_locations.pop(did, None)
         if pds is not None:
             pds.drop_remote_head(did)
@@ -265,7 +300,37 @@ class Relay(XrpcService):
         return {"repos": repos, "cursor": next_cursor}
 
     def xrpc_getRepo(self, did: str) -> bytes:
-        """Serve a repo CAR from the relay's cache (not the origin PDS)."""
+        """Serve a repo CAR from the relay's cache (not the origin PDS).
+
+        Serialized exports are cached per DID and keyed by the head CID,
+        so repeat fetches at an unchanged head skip re-serialization (and,
+        in sharded mode, the worker round-trip)."""
+        with self.telemetry.tracer.span("read.getRepo", cat="read", sample=True):
+            head = self._current_head(did)
+            if self.cache_reads and head is not None:
+                cached = self._car_cache.get(did)
+                if cached is not None and cached[0] == head:
+                    self._m_cache_hits.inc(("repo_car",))
+                    return cached[1]
+                self._m_cache_misses.inc(("repo_car",))
+            car = self._fetch_car(did)
+            if self.cache_reads and head is not None:
+                while len(self._car_cache) >= CAR_CACHE_MAX:
+                    del self._car_cache[next(iter(self._car_cache))]
+                self._car_cache[did] = (head, car)
+            return car
+
+    def _current_head(self, did: str) -> Optional[str]:
+        """Head CID string of a mirrored repo, or None when unknown."""
+        if self.repo_reader is not None:
+            head = self._heads.get(did)
+            return head[0] if head is not None else None
+        repo = self.cached_repo(did)
+        if repo is None or repo.head is None:
+            return None
+        return str(repo.head)
+
+    def _fetch_car(self, did: str) -> bytes:
         if self.repo_reader is not None:
             car = self.repo_reader(did)
             if car is None:
@@ -275,6 +340,32 @@ class Relay(XrpcService):
         if repo is None or repo.head is None:
             raise XrpcError(404, "repo %s not mirrored" % did)
         return repo.export_car()
+
+    def xrpc_getBlocks(self, did: str, cids: list) -> dict:
+        """Batched block fetch (``com.atproto.sync.getBlocks``): many CIDs
+        resolved in one call against a single per-head block map, instead
+        of one tree walk per block.  The map is built lazily by the repo
+        and reused for every batch at the same head."""
+        if self.repo_reader is not None:
+            # Worker repos only ship whole CARs (same split as getRecord).
+            raise XrpcError(501, "sync.getBlocks is unavailable in sharded mode")
+        with self.telemetry.tracer.span("read.getBlocks", cat="read", sample=True):
+            repo = self.cached_repo(did)
+            if repo is None or repo.head is None:
+                raise XrpcError(404, "repo %s not mirrored" % did)
+            mapping = repo.block_map_cached()
+            if mapping is not None:
+                self._m_cache_hits.inc(("repo_blocks",))
+            else:
+                self._m_cache_misses.inc(("repo_blocks",))
+                mapping = repo.block_map()
+            blocks = []
+            for cid in cids:
+                block = mapping.get(str(cid))
+                if block is None:
+                    raise XrpcError(404, "block %s not in repo %s" % (cid, did))
+                blocks.append({"cid": str(cid), "block": block})
+            return {"blocks": blocks}
 
     def xrpc_subscribeRepos(self, cursor: int = 0, limit: Optional[int] = None) -> list:
         """Cursor-based replay of the firehose backlog."""

@@ -113,7 +113,8 @@ class World:
             for index in range(N_DEFAULT_PDS_SHARDS)
         ]
         self.self_hosted_pdses: list[Pds] = []
-        self.relay = Relay("https://bsky.network")
+        self.relay = Relay("https://bsky.network", cache_reads=config.read_caches)
+        self.relay.set_telemetry(self.telemetry)
         for shard in self.pds_shards:
             # Registered, not crawled: the engine publishes every commit
             # explicitly in deterministic merged order (see engine.py).
@@ -125,9 +126,15 @@ class World:
             self.resolver,
             self.services,
             index_posts=config.index_posts,
+            index_timelines=config.read_caches,
+            cache_views=config.read_caches,
+            telemetry=self.telemetry,
         )
         self.appview.attach(self.relay)
         self.services.register(self.appview.url, self.appview)
+        # Self-hosted feed-generator hosts created mid-run (create_feed);
+        # tracked so telemetry rebinds reach them too.
+        self._self_hosted_feed_hosts: list[FeedGeneratorHost] = []
 
         # --- population & ecosystem plans ---
         self.population: PopulationPlan = build_population(config)
@@ -167,6 +174,27 @@ class World:
         telemetry.bind_now_virtual(lambda: self.services.now_us)
         self.telemetry = telemetry
         self.services.set_telemetry(telemetry)
+        # Rebind every service keeping read-path caches/counters.  Guarded
+        # with getattr: the first call happens from __init__ before the
+        # relay/appview/feed hosts exist.
+        for service in self._read_path_services():
+            service.set_telemetry(telemetry)
+
+    def _read_path_services(self) -> list:
+        services = [getattr(self, "appview", None), getattr(self, "relay", None)]
+        services.extend(getattr(self, "feed_platforms", {}).values())
+        services.extend(getattr(self, "_self_hosted_feed_hosts", ()))
+        return [service for service in services if service is not None]
+
+    def flush_read_caches(self) -> None:
+        """Drop read-path cache contents everywhere.
+
+        The pipeline calls this at every journal boundary so cache warmth
+        never crosses an action: a crash/resume run (which skips completed
+        actions instead of replaying their reads) then reports exactly the
+        hit/miss totals of an uninterrupted run."""
+        self.appview.flush_read_caches()
+        self.relay.flush_read_caches()
 
     def _register_domains(self) -> None:
         """Register every custom handle domain in WHOIS (+ Tranco filler)."""
@@ -194,7 +222,9 @@ class World:
         profile_by_name: dict[str, PlatformProfile] = {p.name: p for p in ALL_PROFILES}
         for name, endpoint in endpoints.items():
             host = endpoint[len("https://") :]
-            platform = FeedServicePlatform(profile_by_name[name], "did:web:" + host, endpoint)
+            platform = FeedServicePlatform(
+                profile_by_name[name], "did:web:" + host, endpoint, telemetry=self.telemetry
+            )
             self.services.register(endpoint, platform)
             self.ip_allocator.allocate(host, HostingClass.CLOUD)
             self.feed_platforms[name] = platform
@@ -399,7 +429,8 @@ class World:
             host_fqdn = "feed-%05d.self.example" % spec.index
             endpoint = "https://" + host_fqdn
             service_did = "did:web:" + host_fqdn
-            host = FeedGeneratorHost(service_did, endpoint)
+            host = FeedGeneratorHost(service_did, endpoint, telemetry=self.telemetry)
+            self._self_hosted_feed_hosts.append(host)
             self.services.register(endpoint, host)
             self.ip_allocator.allocate(host_fqdn, HostingClass.CLOUD)
         else:

@@ -138,6 +138,42 @@ class TestUnsortedSetIter:
         )
         assert rule_ids(findings) == ["unsorted-set-iter"]
 
+    def test_get_with_set_default_fires(self):
+        # ``mapping.get(key, set())`` iterates a set-valued mapping entry
+        # in hash order — the pattern behind the getTimeline tie-break bug.
+        findings = run(
+            """
+            def timeline(following, actor):
+                for did in following.get(actor, set()):
+                    yield did
+            """
+        )
+        assert rule_ids(findings) == ["unsorted-set-iter"]
+
+    def test_get_with_set_default_in_comprehension_fires(self):
+        findings = run("dids = [d for d in follows.get(actor, frozenset())]\n")
+        assert rule_ids(findings) == ["unsorted-set-iter"]
+
+    def test_get_with_non_set_default_quiet(self):
+        findings = run(
+            """
+            for uri in posts_by_author.get(did, ()):
+                print(uri)
+            for uri in posts_by_author.get(did, []):
+                print(uri)
+            """
+        )
+        assert findings == []
+
+    def test_get_with_set_default_sorted_quiet(self):
+        findings = run(
+            """
+            for did in sorted(following.get(actor, set())):
+                print(did)
+            """
+        )
+        assert findings == []
+
     def test_sorted_wrapper_quiet(self):
         findings = run(
             """

@@ -110,12 +110,45 @@ class TestRetentionGaps:
         assert firehose.gap_for_cursor(4) is None
         assert firehose.gap_for_cursor(3) is not None
 
-    def test_gap_frame_not_counted_against_limit_members(self):
+    def test_limit_caps_total_frames_including_gap(self):
+        firehose = self.make_pruned()
+        # ``limit`` bounds the frames on the wire: a consumer asking for
+        # at most 2 must never receive 3 (the old code prepended the gap
+        # frame *after* cutting, overflowing the budget by one).
+        events = firehose.events_since(0, limit=2)
+        assert len(events) == 2
+        assert events[0].kind == KIND_INFO
+        assert events[1].seq == 5
+
+    def test_limit_one_at_retention_boundary_yields_only_the_notice(self):
         firehose = self.make_pruned()
         events = firehose.events_since(0, limit=1)
-        # One real event plus the leading notice.
-        assert [e.kind for e in events].count(KIND_INFO) == 1
-        assert len([e for e in events if e.kind != KIND_INFO]) == 1
+        assert len(events) == 1
+        assert events[0].kind == KIND_INFO
+
+    def test_resume_at_retention_boundary_with_limit_loses_nothing(self):
+        # A consumer resuming from a pre-retention cursor pages with a
+        # small limit: frame counts never exceed the limit and the pages
+        # cover every retained event exactly once.
+        firehose = self.make_pruned()
+        cursor = 0
+        replayed = []
+        saw_gap = False
+        while True:
+            page = firehose.events_since(cursor, limit=2)
+            assert len(page) <= 2
+            if not page:
+                break
+            for event in page:
+                if event.kind == KIND_INFO:
+                    saw_gap = True
+                    # The notice tells the consumer where replay resumes.
+                    cursor = event.oldest_seq - 1
+                else:
+                    replayed.append(event.seq)
+                    cursor = event.seq
+        assert saw_gap
+        assert replayed == [5, 6]
 
     def test_fresh_firehose_has_no_gap(self):
         firehose = Firehose(retention_us=DAY_US)
