@@ -7,7 +7,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test test-fast test-faults test-integrity test-telemetry test-shard bench bench-perf lint lint-determinism report trace check
+.PHONY: test test-fast test-faults test-integrity test-telemetry test-shard test-supervision bench bench-perf lint lint-determinism report trace check
 
 test:  ## tier-1 suite (must stay green)
 	$(PYTHON) -m pytest -x -q
@@ -26,6 +26,9 @@ test-telemetry:  ## metrics registry + tracer + telemetry determinism suite only
 
 test-shard:  ## sharded-engine determinism suite (workers 1/2/4 byte-identity)
 	$(PYTHON) -m pytest -x -q tests/simulation/test_sharding.py
+
+test-supervision:  ## worker-supervision chaos suite (kill/hang/budget-exhaustion byte-identity)
+	$(PYTHON) -m pytest -x -q tests/simulation/test_supervision.py
 
 bench:  ## run the perf harness, write + guard BENCH_perf.json
 	$(PYTHON) -m repro bench
@@ -52,4 +55,4 @@ trace:  ## small traced study; validate the trace + metrics artefacts
 		--fault-seed 7 --trace-out trace.json --metrics-out metrics.json
 	$(PYTHON) scripts/check_trace.py trace.json metrics.json
 
-check: test test-faults test-integrity test-telemetry test-shard lint lint-determinism  ## what CI would run
+check: test test-faults test-integrity test-telemetry test-shard test-supervision lint lint-determinism  ## what CI would run

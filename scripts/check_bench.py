@@ -8,10 +8,16 @@ Fails (exit 1) if:
   * the cached variant is less than MIN_CACHE_SPEEDUP x the uncached
     variant measured in the same run, or
   * the deterministic read-cache hit/miss counters disappeared from the
-    benchmark output.
+    benchmark output, or
+  * the worker-supervision guardrails regress: the faulted workers=4
+    chaos leg is missing or no longer byte-identical, or the supervision
+    machinery's overhead on a fault-free run exceeds
+    MAX_SUPERVISION_OVERHEAD_PCT (with a small absolute-seconds slack so
+    a noisy single-core CI box can't flake the build on a 0.1s delta).
 
-The cached/uncached comparison is within-run, so it is robust to the
-absolute speed of the machine running CI.
+The cached/uncached and supervised/unsupervised comparisons are
+within-run, so they are robust to the absolute speed of the machine
+running CI.
 """
 
 from __future__ import annotations
@@ -21,6 +27,8 @@ import sys
 
 READ_METRICS = ("timeline_ops_per_s", "getfeed_ops_per_s", "search_ops_per_s")
 MIN_CACHE_SPEEDUP = 5.0
+MAX_SUPERVISION_OVERHEAD_PCT = 5.0
+SUPERVISION_OVERHEAD_SLACK_S = 0.75
 
 
 def check(document: dict) -> list[str]:
@@ -51,6 +59,40 @@ def check(document: dict) -> list[str]:
             problems.append("no read_cache_hits_total series in counters")
         if not any(key.startswith("read_cache_misses_total") for key in counters):
             problems.append("no read_cache_misses_total series in counters")
+    problems.extend(check_supervision(optimized))
+    return problems
+
+
+def check_supervision(optimized: dict) -> list[str]:
+    problems = []
+    if optimized.get("sharded_faulted_artefacts_identical") is not True:
+        problems.append(
+            "sharded_faulted_artefacts_identical is not True: the faulted "
+            "workers=4 chaos leg diverged (or was not run)"
+        )
+    faulted = optimized.get("pipeline_tiny_workers4_faulted_wall_s")
+    if not isinstance(faulted, (int, float)) or faulted <= 0:
+        problems.append("missing pipeline_tiny_workers4_faulted_wall_s")
+    supervised = optimized.get("pipeline_tiny_workers4_wall_s")
+    legacy = optimized.get("pipeline_tiny_workers4_nosupervision_wall_s")
+    if not isinstance(supervised, (int, float)) or not isinstance(
+        legacy, (int, float)
+    ) or legacy <= 0:
+        problems.append(
+            "missing workers=4 supervised/unsupervised wall metrics for the "
+            "supervision-overhead guardrail"
+        )
+        return problems
+    overhead_pct = (supervised - legacy) / legacy * 100
+    if (
+        overhead_pct > MAX_SUPERVISION_OVERHEAD_PCT
+        and supervised - legacy > SUPERVISION_OVERHEAD_SLACK_S
+    ):
+        problems.append(
+            "supervision overhead on a fault-free run is %.2f%% "
+            "(%.2fs supervised vs %.2fs heartbeats-off), above the %.1f%% "
+            "guardrail" % (overhead_pct, supervised, legacy, MAX_SUPERVISION_OVERHEAD_PCT)
+        )
     return problems
 
 
@@ -70,6 +112,11 @@ def main(argv: list[str]) -> int:
     for name in READ_METRICS:
         uncached = optimized[name.replace("_ops_per_s", "_uncached_ops_per_s")]
         ratios.append("%s %.1fx" % (name.split("_")[0], optimized[name] / uncached))
+    supervised = optimized["pipeline_tiny_workers4_wall_s"]
+    legacy = optimized["pipeline_tiny_workers4_nosupervision_wall_s"]
+    ratios.append(
+        "supervision overhead %+.1f%%" % ((supervised - legacy) / legacy * 100)
+    )
     print("ok: %s (%s)" % (argv[0], ", ".join(ratios)))
     return 0
 

@@ -99,6 +99,16 @@ def main(argv=None) -> int:
         "over the collection window (see the 'health' artefact)",
     )
     parser.add_argument(
+        "--worker-fault-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="inject seeded shard-worker process faults (SIGKILL, hangs, "
+        "slowdowns) into a --workers N run; the supervisor detects them via "
+        "heartbeat deadlines and recovers by restart-and-replay, keeping "
+        "every artefact byte-identical to a fault-free run",
+    )
+    parser.add_argument(
         "--adversary-seed",
         type=int,
         default=None,
@@ -193,6 +203,22 @@ def main(argv=None) -> int:
         fault_plan = FaultPlan.recoverable(
             args.fault_seed, FIREHOSE_COLLECT_START_US, FIREHOSE_COLLECT_END_US
         )
+    worker_fault_plan = None
+    if args.worker_fault_seed is not None:
+        if args.workers <= 1:
+            print(
+                "--worker-fault-seed has no effect with --workers 1 (no worker "
+                "processes to fault); ignoring",
+                file=sys.stderr,
+            )
+        else:
+            from repro.netsim.faults import WorkerFaultPlan
+            from repro.simulation.clock import US_PER_DAY
+
+            n_days = max(1, (config.end_us - config.start_us) // US_PER_DAY)
+            worker_fault_plan = WorkerFaultPlan.seeded(
+                args.worker_fault_seed, workers=args.workers, n_days=n_days
+            )
     adversarial_plan = None
     if args.adversary_seed is not None:
         from repro.netsim.faults import AdversarialPlan
@@ -233,6 +259,7 @@ def main(argv=None) -> int:
             crash_plan=crash_plan,
             telemetry=telemetry,
             workers=args.workers,
+            worker_fault_plan=worker_fault_plan,
         )
     except Exception as exc:
         from repro.netsim.faults import StudyCrashed

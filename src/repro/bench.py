@@ -203,6 +203,86 @@ def bench_sharded_pipeline(repeats: int = 1) -> dict:
         / results["pipeline_tiny_workers4_wall_s"],
         3,
     )
+
+    # --- supervision legs -------------------------------------------------
+    # (a) heartbeats off (the pre-supervision blocking-recv pool): the
+    #     reference against which the always-on supervision machinery's
+    #     overhead on a fault-free run is judged (guardrail: <5%).
+    # (b) worker faults on (SIGKILL + hang, restart-and-replay): the
+    #     recovery cost, recorded with its own byte-identity guardrail.
+    from repro.netsim.faults import (
+        WORKER_FAULT_HANG,
+        WORKER_FAULT_KILL,
+        WorkerFault,
+        WorkerFaultPlan,
+    )
+    from repro.simulation.workers import SupervisionPolicy
+
+    # Interleave the two legs (and fold the supervised times into the
+    # scaling metric's best-of) so slow machine-load drift between legs
+    # can't masquerade as supervision overhead.
+    supervised_wall = results["pipeline_tiny_workers4_wall_s"]
+    legacy_wall = None
+    for _ in range(max(2, repeats)):
+        for legacy in (False, True):
+            world = World(SimulationConfig.tiny())
+            pipeline = MeasurementPipeline(
+                world,
+                workers=4,
+                supervision=SupervisionPolicy(heartbeats=False) if legacy else None,
+            )
+            t0 = time.perf_counter()
+            pipeline.run()
+            elapsed = time.perf_counter() - t0
+            if legacy:
+                legacy_wall = (
+                    elapsed if legacy_wall is None else min(legacy_wall, elapsed)
+                )
+            else:
+                supervised_wall = min(supervised_wall, elapsed)
+    results["pipeline_tiny_workers4_wall_s"] = supervised_wall
+    results["pipeline_tiny_workers4_speedup_vs_workers1"] = round(
+        results["pipeline_tiny_workers1_wall_s"] / supervised_wall, 3
+    )
+    results["pipeline_tiny_workers4_nosupervision_wall_s"] = legacy_wall
+    results["supervision_overhead_pct"] = round(
+        (supervised_wall - legacy_wall) / legacy_wall * 100, 2
+    )
+
+    chaos_plan = WorkerFaultPlan(
+        seed=0,
+        faults=(
+            WorkerFault(0, 5, WORKER_FAULT_KILL),
+            WorkerFault(1, 9, WORKER_FAULT_HANG),
+        ),
+    )
+    chaos_policy = SupervisionPolicy(
+        poll_interval_s=0.02,
+        heartbeat_interval_s=0.05,
+        heartbeat_timeout_s=1.5,
+        restart_backoff_s=0.01,
+    )
+    faulted_wall = None
+    faulted_fingerprint = None
+    for _ in range(repeats):
+        world = World(SimulationConfig.tiny())
+        frame_digest = firehose_frame_observer(world)
+        pipeline = MeasurementPipeline(
+            world, workers=4, worker_fault_plan=chaos_plan, supervision=chaos_policy
+        )
+        t0 = time.perf_counter()
+        datasets = pipeline.run()
+        elapsed = time.perf_counter() - t0
+        faulted_wall = elapsed if faulted_wall is None else min(faulted_wall, elapsed)
+        faulted_fingerprint = study_fingerprint(datasets, frame_digest)
+    if faulted_fingerprint != fingerprints[1]:
+        raise AssertionError(
+            "supervision determinism guardrail violated: faulted workers=4 "
+            "fingerprint %r != fault-free workers=1 fingerprint %r"
+            % (faulted_fingerprint, fingerprints[1])
+        )
+    results["sharded_faulted_artefacts_identical"] = True
+    results["pipeline_tiny_workers4_faulted_wall_s"] = faulted_wall
     return results
 
 

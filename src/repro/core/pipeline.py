@@ -121,11 +121,19 @@ class MeasurementPipeline:
         crash_plan: Optional[CrashPlan] = None,
         telemetry: Optional[Telemetry] = None,
         workers: int = 1,
+        worker_fault_plan=None,
+        supervision=None,
     ):
         self.world = world
         # Worker processes for the sharded simulation engine; artefacts
         # are byte-identical at any value (deterministic relay merge).
+        # ``worker_fault_plan`` (testing/chaos) injects worker process
+        # kills/hangs/slowdowns; the supervisor recovers them without
+        # touching artefacts.  ``supervision`` overrides the detection
+        # deadlines and restart budget.
         self.workers = max(1, int(workers))
+        self.worker_fault_plan = worker_fault_plan
+        self.supervision = supervision
         # Per-shard digest segment restored from a checkpoint, verified
         # against the re-simulated world after ``world.run`` (the
         # simulation replays from scratch on resume; the digests prove
@@ -398,7 +406,12 @@ class MeasurementPipeline:
         # recounted, not accumulated across the checkpoint.
         self.telemetry.reset_phase("simulation")
         with self.telemetry.phase("simulation"):
-            self.world.run(progress=progress, workers=self.workers)
+            self.world.run(
+                progress=progress,
+                workers=self.workers,
+                worker_fault_plan=self.worker_fault_plan,
+                supervision=self.supervision,
+            )
         self._verify_shard_segment()
         # Close out any firehose disconnect window still open at the end
         # of the collection period: no further live frame will trigger the
@@ -487,6 +500,8 @@ def run_study(
     crash_plan: Optional[CrashPlan] = None,
     telemetry: Optional[Telemetry] = None,
     workers: int = 1,
+    worker_fault_plan=None,
+    supervision=None,
 ) -> tuple[World, StudyDatasets]:
     """Convenience: build a world, run the full pipeline, return both.
 
@@ -508,6 +523,8 @@ def run_study(
         crash_plan=crash_plan,
         telemetry=telemetry,
         workers=workers,
+        worker_fault_plan=worker_fault_plan,
+        supervision=supervision,
     )
     datasets = pipeline.run(progress=progress)
     return world, datasets

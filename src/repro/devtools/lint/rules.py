@@ -9,6 +9,7 @@ at import time; ids are stable and double as the pragma / allowlist keys.
 from __future__ import annotations
 
 import ast
+import fnmatch
 from typing import Iterator, Optional, Tuple
 
 from repro.devtools.lint.framework import DEFAULT_REGISTRY, ModuleContext, Rule
@@ -441,6 +442,55 @@ class WorkerClosureRule(Rule):
                 if ctx.is_module_level(node):
                     module_level.add(node.name)
         return frozenset(everywhere - module_level)
+
+
+@register
+class UnboundedRecvRule(Rule):
+    id = "unbounded-recv"
+    summary = (
+        "Connection.recv() without a poll(timeout)/deadline guard in "
+        "simulation code; a dead or hung peer blocks the study forever"
+    )
+    rationale = (
+        "The coordinator/worker day protocol is lockstep over pipes: a "
+        "bare Connection.recv() waits unboundedly, so a worker that "
+        "hangs (as opposed to dying, which at least raises EOFError) "
+        "wedges the whole study with no diagnosis.  Receive through the "
+        "supervised poll()-loop (WorkerPool._recv) which enforces "
+        "heartbeat and per-day deadlines, or guard the recv with "
+        "poll(timeout) in the same function."
+    )
+    node_types = (ast.Call,)
+
+    #: The protocol-critical tree; elsewhere (tests, tools) a blocking
+    #: recv can be legitimate.
+    _SCOPE = ("repro.simulation.*",)
+
+    def check(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Hit]:
+        if not any(fnmatch.fnmatchcase(ctx.module, p) for p in self._SCOPE):
+            return
+        func = node.func  # type: ignore[union-attr]
+        if not (isinstance(func, ast.Attribute) and func.attr == "recv"):
+            return
+        if node.args or node.keywords:  # type: ignore[union-attr]
+            # socket.recv(bufsize) etc. — not a Connection.recv().
+            return
+        scope: ast.AST = ctx.enclosing_function(node) or ctx.tree
+        for sub in ast.walk(scope):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "poll"
+                and (sub.args or sub.keywords)
+            ):
+                # A poll(timeout) in the same function is the deadline
+                # guard; poll() with no timeout blocks just like recv.
+                return
+        yield (
+            node,
+            "unbounded Connection.recv(); guard with poll(timeout) + "
+            "liveness checks or use the supervised receive path",
+        )
 
 
 _MUTABLE_CONSTRUCTORS = frozenset(

@@ -852,9 +852,17 @@ class SimProcess:
 class Engine:
     """Coordinator: executes a world's timeline over 1..N processes."""
 
-    def __init__(self, world: World, workers: int = 1):
+    def __init__(
+        self,
+        world: World,
+        workers: int = 1,
+        worker_fault_plan=None,
+        supervision=None,
+    ):
         self.world = world
         self.config: SimulationConfig = world.config
+        self.worker_fault_plan = worker_fault_plan
+        self.supervision = supervision
         n_shards = self.config.sim_shards
         self.workers = max(1, min(int(workers), n_shards))
         owned = range(n_shards) if self.workers == 1 else ()
@@ -895,14 +903,23 @@ class Engine:
         for family in (self._m_days, self._m_signups, self._m_commits, self._m_shard_commits):
             family.clear()
 
+        # The pool is created inside the protected region so every exit
+        # path — including a failure while the pool is only partially
+        # started — runs shutdown() and cannot leak worker processes.
         pool = None
-        if self.workers > 1:
-            from repro.simulation.workers import WorkerPool
-
-            pool = WorkerPool(config, self.workers)
-            world.relay.repo_reader = pool.repo_reader()
-        self._pool = pool
         try:
+            if self.workers > 1:
+                from repro.simulation.workers import WorkerPool
+
+                pool = WorkerPool(
+                    config,
+                    self.workers,
+                    fault_plan=self.worker_fault_plan,
+                    supervision=self.supervision,
+                    telemetry=world.telemetry,
+                )
+                world.relay.repo_reader = pool.repo_reader()
+            self._pool = pool
             pending_update: list[RecentPost] = []
             for day_us in day_range(config.start_us, config.end_us):
                 day_end = day_us + US_PER_DAY

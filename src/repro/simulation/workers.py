@@ -1,4 +1,4 @@
-"""Spawn-safe worker processes for the sharded simulation engine.
+"""Spawn-safe, *supervised* worker processes for the sharded engine.
 
 Each worker receives only the (picklable, scalar) :class:`SimulationConfig`
 plus the set of logical shards it owns, builds a full **replica world**
@@ -17,6 +17,12 @@ The protocol is a strict request/response lockstep per day tick:
     (signups / labeler / feed starts), generate the owned shards'
     activity, apply handle changes and tombstones (state only), and
     reply ``("batches", [DayBatch, ...])``.
+``("replay", day_us, update)``
+    Identical computation to ``"day"`` (the replica must advance every
+    RNG stream and state transition), but the batches are discarded and
+    the reply is the cheap ack ``("replayed", day_us)``.  Used by the
+    supervisor to fast-forward a freshly respawned worker through the
+    recorded day log.
 ``("repos", [did, ...])``
     Export CAR files for owned repos (the relay's ``repo_reader`` path,
     used by the coordinator's repo-snapshot collectors).  Replies
@@ -24,9 +30,32 @@ The protocol is a strict request/response lockstep per day tick:
 ``("stop",)``
     Clean shutdown.
 
-Worker-side exceptions are shipped back as ``("error", traceback_text)``
-and re-raised in the coordinator as :class:`WorkerError` — a silent hang
-would otherwise be indistinguishable from a slow day.
+Liveness: every worker runs a daemon heartbeat thread sending
+``("ping",)`` frames at a fixed interval, and the coordinator replaces
+the old unbounded ``conn.recv()`` with a ``poll()`` loop that enforces
+both a heartbeat deadline and a per-day wall-clock budget.  A dead pipe
+or dead process is classified as :class:`WorkerCrashed`; a silent worker
+whose process is still alive is classified as :class:`WorkerHung` —
+previously the two were indistinguishable and a hang wedged the study
+forever.
+
+Recovery: the supervisor reaps the failed worker, respawns it (spawn
+proves replicas rebuild from config alone), fast-forwards it by
+replaying the day/update log recorded since the start of the run, and
+re-issues the in-flight request.  Restarts per worker are bounded with
+exponential backoff; when the budget is exhausted the worker's shards
+are folded into an in-process :class:`_InlineReplica` owned by the
+coordinator instead of aborting the study.  Because every fault fires at
+a day-tick boundary *before* state mutation, and the replica replay is
+deterministic, artefacts stay byte-identical to a fault-free run —
+supervision surfaces only through volatile ``sim_worker_*`` metrics and
+``supervisor.*`` trace spans.
+
+Worker-side *application* exceptions are still shipped back as
+``("error", traceback_text)`` and re-raised as plain
+:class:`WorkerError`: an application error is deterministic, so a
+restarted replica would deterministically hit it again — restarting
+would loop, so it is fatal by design.
 
 Spawn (not fork) is used deliberately: it is the only start method that
 is safe on every platform, and it proves the replica state is genuinely
@@ -36,19 +65,162 @@ reconstructed from the config rather than inherited from a forked heap.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import signal
+import threading
 import time
 import traceback
+from dataclasses import dataclass
 from typing import Optional
 
+from repro.netsim.faults import (
+    WORKER_FAULT_HANG,
+    WORKER_FAULT_KILL,
+    WORKER_FAULT_SLOW,
+    WorkerFaultPlan,
+)
 from repro.simulation.config import SimulationConfig
 
 
+def _now_s() -> float:
+    """Supervision wall clock (never reaches simulated state/artefacts)."""
+    return time.monotonic()  # repro: allow(wallclock) -- supervision deadlines only; never reaches artefacts
+
+
 class WorkerError(RuntimeError):
-    """A worker process raised; carries the remote traceback text."""
+    """A worker failed fatally; carries the remote traceback when known."""
 
 
-def _worker_main(conn, config: SimulationConfig, owned_shards: tuple) -> None:
-    """Entry point of a spawned worker (module-level: must be picklable)."""
+class WorkerCrashed(WorkerError):
+    """A worker process died (pipe EOF / dead process): recoverable."""
+
+
+class WorkerHung(WorkerError):
+    """A live worker missed its heartbeat or day deadline: recoverable."""
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Knobs for worker liveness detection and restart budgeting.
+
+    The defaults are production-shaped (generous deadlines); the chaos
+    tests shrink them so hang detection completes in ~a second.
+    """
+
+    #: How long each ``Connection.poll`` waits before re-checking liveness.
+    poll_interval_s: float = 0.05
+    #: Worker-side ping period.  ``0`` disables the heartbeat thread.
+    heartbeat_interval_s: float = 0.25
+    #: Silence longer than this from a live worker ⇒ :class:`WorkerHung`.
+    heartbeat_timeout_s: float = 10.0
+    #: Heartbeat deadline for an incarnation that has not sent anything
+    #: yet: interpreter bootstrap after spawn is silent, so judging it by
+    #: ``heartbeat_timeout_s`` would misread a slow start as a hang (and
+    #: make the restart metrics load-dependent).  Pings begin before the
+    #: replica world is even built, so this only needs to cover process
+    #: startup + imports.
+    spawn_grace_s: float = 30.0
+    #: Per-request wall budget (a full day's generation) ⇒ hang if blown.
+    day_deadline_s: float = 900.0
+    #: Restarts allowed per worker slot before degrading to in-process.
+    max_restarts_per_worker: int = 3
+    #: Exponential backoff before each respawn (RetryPolicy-style).
+    restart_backoff_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 2.0
+    #: ``False`` restores the legacy unbounded blocking recv (bench baseline).
+    heartbeats: bool = True
+    #: On budget exhaustion: fold shards into the coordinator (``True``)
+    #: or raise :class:`WorkerError` (``False``).
+    fallback_in_process: bool = True
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff before restart ``attempt`` (1-based), capped."""
+        raw = self.restart_backoff_s * (self.backoff_multiplier ** max(0, attempt - 1))
+        return min(raw, self.max_backoff_s)
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+
+def _run_replica_day(sim, day_us: int, update) -> tuple:
+    """One full replica day; returns (batches, gen_wall_us)."""
+    sim.apply_cross_shard_update(update)
+    sim.begin_day(day_us)
+    wall0 = time.perf_counter()  # repro: allow(wallclock) -- worker timing telemetry; excluded from batch digests
+    batches = sim.generate_owned(day_us)
+    gen_wall_us = (time.perf_counter() - wall0) * 1e6  # repro: allow(wallclock) -- worker timing telemetry; excluded from batch digests
+    sim.replica_end_day(day_us)
+    return batches, gen_wall_us
+
+
+def _worker_main(
+    conn,
+    config: SimulationConfig,
+    owned_shards: tuple,
+    faults: tuple = (),
+    heartbeat_interval_s: float = 0.0,
+) -> None:
+    """Entry point of a spawned worker (module-level: must be picklable).
+
+    ``faults`` is this worker's slice of a :class:`WorkerFaultPlan`,
+    pre-pruned by the supervisor so a respawned incarnation never re-fires
+    a fault it already consumed.  Faults key on the **absolute day
+    index** — ``"replay"`` ticks advance the day counter but never fire
+    faults, keeping indices aligned after a restart.
+    """
+    send_lock = threading.Lock()
+    hb_stop = threading.Event()
+    hb_pause = threading.Event()
+
+    def _heartbeat() -> None:
+        while not hb_stop.wait(heartbeat_interval_s):
+            if hb_pause.is_set():
+                continue
+            try:
+                with send_lock:
+                    conn.send(("ping",))
+            except (BrokenPipeError, OSError):
+                return
+
+    hb_thread = None
+    if heartbeat_interval_s > 0:
+        hb_thread = threading.Thread(
+            target=_heartbeat, name="repro-heartbeat", daemon=True
+        )
+        hb_thread.start()
+
+    def _send(message) -> None:
+        with send_lock:
+            conn.send(message)
+
+    faults_by_day = {}
+    for fault in faults:
+        faults_by_day.setdefault(fault.day_index, fault)
+
+    def _maybe_fault(day_index: int) -> None:
+        fault = faults_by_day.get(day_index)
+        if fault is None:
+            return
+        if fault.kind == WORKER_FAULT_KILL:
+            # Die without any cleanup, exactly like an OOM kill.
+            try:
+                os.kill(os.getpid(), signal.SIGKILL)
+            except (OSError, AttributeError):  # pragma: no cover - non-POSIX
+                os._exit(70)
+        elif fault.kind == WORKER_FAULT_HANG:
+            # Stop heartbeating *and* stop answering: a true wedge, not
+            # a crash — the pipe stays open and the process stays alive.
+            hb_pause.set()
+            while True:
+                time.sleep(60)  # wedge until the supervisor reaps us
+        elif fault.kind == WORKER_FAULT_SLOW:
+            # Delay the reply but keep heartbeating: the supervisor must
+            # classify this as slow-not-hung and do nothing.
+            time.sleep(fault.slow_s)
+
     try:
         # Imports happen here, in the child, after spawn.
         from repro.obs.telemetry import Telemetry
@@ -57,126 +229,533 @@ def _worker_main(conn, config: SimulationConfig, owned_shards: tuple) -> None:
 
         world = World(config, telemetry=Telemetry.disabled())
         sim = SimProcess(world, owned_shards)
+        days_seen = 0
         while True:
-            message = conn.recv()
+            message = conn.recv()  # repro: allow(unbounded-recv) -- worker side: coordinator death closes the pipe and raises EOFError
             op = message[0]
             if op == "day":
                 _, day_us, update = message
-                sim.apply_cross_shard_update(update)
-                sim.begin_day(day_us)
-                wall0 = time.perf_counter()  # repro: allow(wallclock) -- worker timing telemetry; excluded from batch digests
-                batches = sim.generate_owned(day_us)
-                gen_wall_us = (time.perf_counter() - wall0) * 1e6  # repro: allow(wallclock) -- worker timing telemetry; excluded from batch digests
-                sim.replica_end_day(day_us)
+                _maybe_fault(days_seen)
+                days_seen += 1
+                batches, gen_wall_us = _run_replica_day(sim, day_us, update)
                 for batch in batches:
                     batch.gen_wall_us = gen_wall_us / max(1, len(batches))
-                conn.send(("batches", batches))
+                _send(("batches", batches))
+            elif op == "replay":
+                _, day_us, update = message
+                days_seen += 1
+                _run_replica_day(sim, day_us, update)
+                _send(("replayed", day_us))
             elif op == "repos":
                 _, dids = message
-                conn.send(("repos", {did: sim.export_repo_car(did) for did in dids}))
+                _send(("repos", {did: sim.export_repo_car(did) for did in dids}))
             elif op == "stop":
                 break
-            else:  # pragma: no cover - protocol misuse
+            else:
                 raise RuntimeError("unknown worker op %r" % (op,))
     except EOFError:  # coordinator went away; exit quietly
         pass
     except BaseException:
         try:
-            conn.send(("error", traceback.format_exc()))
+            _send(("error", traceback.format_exc()))
         except (BrokenPipeError, OSError):  # pragma: no cover
             pass
     finally:
+        hb_stop.set()
+        if hb_thread is not None:
+            hb_thread.join(timeout=1.0)
         conn.close()
 
 
-class WorkerPool:
-    """The coordinator's handle on the spawned shard workers.
+# ---------------------------------------------------------------------------
+# In-process fallback replica
+# ---------------------------------------------------------------------------
 
-    Shard ``s`` is owned by worker ``s % workers``, so every worker holds
-    a contiguous-stride set of shards and the mapping is a pure function
-    of the configuration.
+
+class _InlineReplica:
+    """A worker replica run inside the coordinator process.
+
+    Installed when a worker slot exhausts its restart budget: the study
+    degrades gracefully (slower, but correct) instead of aborting.  The
+    replica is built fresh from the config and fast-forwarded through
+    the recorded day log — exactly what a respawned process would do,
+    minus the process.
     """
 
-    def __init__(self, config: SimulationConfig, workers: int):
+    def __init__(self, config: SimulationConfig, owned_shards: tuple):
+        from repro.obs.telemetry import Telemetry
+        from repro.simulation.engine import SimProcess
+        from repro.simulation.world import World
+
+        self._world = World(config, telemetry=Telemetry.disabled())
+        self._sim = SimProcess(self._world, owned_shards)
+
+    def replay_day(self, day_us: int, update) -> None:
+        _run_replica_day(self._sim, day_us, update)
+
+    def run_day(self, day_us: int, update) -> list:
+        batches, gen_wall_us = _run_replica_day(self._sim, day_us, update)
+        for batch in batches:
+            batch.gen_wall_us = gen_wall_us / max(1, len(batches))
+        return batches
+
+    def export_repo_car(self, did: str):
+        return self._sim.export_repo_car(did)
+
+
+# ---------------------------------------------------------------------------
+# Supervisor / pool
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Handle:
+    """Mutable supervision state for one worker slot."""
+
+    index: int
+    owned: tuple
+    faults: tuple = ()
+    proc: object = None
+    conn: object = None
+    restarts: int = 0
+    #: True while the slot owes batches for the last ``send_day``.
+    outstanding: bool = False
+    #: A ``send`` to this slot failed; recover lazily at collect time.
+    send_failed: bool = False
+    #: The current incarnation has sent at least one message; until it
+    #: does, the (longer) spawn grace deadline applies instead of the
+    #: heartbeat deadline.
+    seen_beat: bool = False
+    inline: Optional[_InlineReplica] = None
+    incarnation: int = 0
+
+
+class WorkerPool:
+    """The coordinator's supervised handle on the spawned shard workers.
+
+    Shard ``s`` is owned by worker slot ``s % workers``, so every slot
+    holds a contiguous-stride set of shards and the mapping is a pure
+    function of the configuration.  The pool is a context manager;
+    ``shutdown()`` runs on every exit path and escalates
+    terminate → kill so no worker process can be leaked.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        workers: int,
+        fault_plan: Optional[WorkerFaultPlan] = None,
+        supervision: Optional[SupervisionPolicy] = None,
+        telemetry=None,
+    ):
         n_shards = config.sim_shards
+        self.config = config
         self.workers = max(1, min(workers, n_shards))
-        ctx = multiprocessing.get_context("spawn")
-        self._conns = []
-        self._procs = []
-        self._owned = [
-            tuple(s for s in range(n_shards) if s % self.workers == w)
-            for w in range(self.workers)
-        ]
-        # did -> worker index, for routing repo-reader fetches.
+        self.policy = supervision or SupervisionPolicy()
+        self.fault_plan = fault_plan or WorkerFaultPlan()
+        self._ctx = multiprocessing.get_context("spawn")
+        self._telemetry = telemetry
+        if telemetry is not None:
+            registry = telemetry.registry
+            self._tracer = telemetry.tracer
+        else:
+            from repro.obs.metrics import NullRegistry
+            from repro.obs.trace import NullTracer
+
+            registry = NullRegistry()
+            self._tracer = NullTracer()
+        # Supervision metrics are volatile by contract: deterministic
+        # given the fault-plan seed, but kept out of metrics.json so a
+        # faulted run's artefacts stay byte-identical to a fault-free
+        # run's (study_fingerprint folds metrics.json in).
+        self._m_restarts = registry.counter(
+            "sim_worker_restarts_total", label_names=("shard",), volatile=True
+        )
+        self._m_hangs = registry.counter(
+            "sim_worker_hangs_detected_total", volatile=True
+        )
+        self._m_fallbacks = registry.counter(
+            "sim_worker_fallbacks_total", label_names=("shard",), volatile=True
+        )
+        # The replay log: every (day_us, update) shipped since run start.
+        # A respawned worker is fast-forwarded through this before it
+        # rejoins the lockstep; an exhausted slot's inline replica is
+        # fast-forwarded the same way.
+        self._day_log: list = []
+        # did -> worker slot, for routing repo-reader fetches.
         self._repo_home: dict[str, int] = {}
-        for w in range(self.workers):
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(child_conn, config, self._owned[w]),
-                daemon=True,
-                name="repro-shard-w%d" % w,
+        self._handles: list[_Handle] = []
+        try:
+            for w in range(self.workers):
+                owned = tuple(s for s in range(n_shards) if s % self.workers == w)
+                handle = _Handle(
+                    index=w, owned=owned, faults=self.fault_plan.schedule_for(w)
+                )
+                self._spawn(handle)
+                self._handles.append(handle)
+        except BaseException:
+            # A partially started pool must not leak the survivors.
+            self.shutdown()
+            raise
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def _spawn(self, handle: _Handle) -> None:
+        """(Re)start a worker process for the slot."""
+        hb_interval = (
+            self.policy.heartbeat_interval_s if self.policy.heartbeats else 0.0
+        )
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self.config, handle.owned, handle.faults, hb_interval),
+            daemon=True,
+            name="repro-shard-w%d.%d" % (handle.index, handle.incarnation),
+        )
+        proc.start()
+        child_conn.close()
+        handle.conn = parent_conn
+        handle.proc = proc
+        handle.seen_beat = False
+        handle.incarnation += 1
+
+    def _reap(self, handle: _Handle) -> None:
+        """Take the slot's process down for sure and close its pipe."""
+        proc, conn = handle.proc, handle.conn
+        handle.proc = handle.conn = None
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        if proc is None:
+            return
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=5)
+        if proc.is_alive():  # pragma: no cover - terminate ignored
+            proc.kill()
+        proc.join(timeout=5)
+
+    def shutdown(self) -> None:
+        """Stop every worker; never leaks a process, even when stuck.
+
+        Escalation ladder per slot: cooperative ``("stop",)`` →
+        ``join(10)`` → ``terminate()`` + ``join(5)`` → ``kill()`` +
+        final join.  Pipe connections are closed in a ``finally`` so a
+        raising send cannot leak descriptors.
+        """
+        try:
+            for handle in self._handles:
+                if handle.conn is None:
+                    continue
+                try:
+                    handle.conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+            for handle in self._handles:
+                proc = handle.proc
+                if proc is None:
+                    continue
+                proc.join(timeout=10)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5)
+                if proc.is_alive():  # pragma: no cover - stuck worker
+                    proc.kill()
+                proc.join(timeout=5)
+        finally:
+            for handle in self._handles:
+                conn, handle.conn = handle.conn, None
+                handle.proc = None
+                if conn is not None:
+                    try:
+                        conn.close()
+                    except OSError:  # pragma: no cover
+                        pass
+
+    def live_workers(self) -> int:
+        """Worker processes currently alive (observability/tests)."""
+        return sum(
+            1
+            for handle in self._handles
+            if handle.proc is not None and handle.proc.is_alive()
+        )
+
+    # -- supervised receive --------------------------------------------------
+
+    def _recv(self, handle: _Handle):
+        """One protocol reply from the slot, under liveness supervision.
+
+        Raises :class:`WorkerCrashed` for a dead process/pipe,
+        :class:`WorkerHung` for a live-but-silent worker (missed
+        heartbeat deadline or blown per-day budget), and plain
+        :class:`WorkerError` for an application error shipped back by
+        the worker (fatal: deterministic, a restart would loop).
+        """
+        conn, proc = handle.conn, handle.proc
+        policy = self.policy
+        if not policy.heartbeats:
+            # Legacy unbounded path, kept for bench baselines: a hang
+            # here blocks forever by design.
+            try:
+                reply = conn.recv()  # repro: allow(unbounded-recv) -- legacy heartbeat-free mode, selected explicitly via SupervisionPolicy(heartbeats=False)
+            except (EOFError, OSError):
+                raise WorkerCrashed(
+                    "shard worker %d exited unexpectedly (exitcode=%s)"
+                    % (handle.index, proc.exitcode if proc is not None else None)
+                )
+            if reply[0] == "error":
+                raise WorkerError(
+                    "shard worker %d failed:\n%s" % (handle.index, reply[1])
+                )
+            return reply
+        deadline = _now_s() + policy.day_deadline_s
+        last_beat = _now_s()
+        while True:
+            try:
+                ready = conn.poll(policy.poll_interval_s)
+            except (OSError, ValueError):
+                raise WorkerCrashed(
+                    "shard worker %d pipe broke (exitcode=%s)"
+                    % (handle.index, proc.exitcode if proc is not None else None)
+                )
+            if ready:
+                try:
+                    reply = conn.recv()
+                except (EOFError, OSError):
+                    raise WorkerCrashed(
+                        "shard worker %d exited unexpectedly (exitcode=%s)"
+                        % (handle.index, proc.exitcode if proc is not None else None)
+                    )
+                handle.seen_beat = True
+                if reply[0] == "ping":
+                    last_beat = _now_s()
+                    continue
+                if reply[0] == "error":
+                    raise WorkerError(
+                        "shard worker %d failed:\n%s" % (handle.index, reply[1])
+                    )
+                return reply
+            now = _now_s()
+            if not proc.is_alive():
+                # Drain race: the reply may have been written right
+                # before death; one zero-timeout poll settles it.
+                if conn.poll(0):
+                    continue
+                raise WorkerCrashed(
+                    "shard worker %d died mid-request (exitcode=%s)"
+                    % (handle.index, proc.exitcode)
+                )
+            beat_limit = policy.heartbeat_timeout_s
+            if not handle.seen_beat:
+                # Still bootstrapping (spawn + imports): silence is
+                # expected, so apply the startup grace instead.
+                beat_limit = max(beat_limit, policy.spawn_grace_s)
+            if now - last_beat > beat_limit:
+                raise WorkerHung(
+                    "shard worker %d missed its heartbeat deadline "
+                    "(%.2fs silent, limit %.2fs; process alive)"
+                    % (handle.index, now - last_beat, beat_limit)
+                )
+            if now > deadline:
+                raise WorkerHung(
+                    "shard worker %d blew its per-day budget (%.1fs; process alive)"
+                    % (handle.index, policy.day_deadline_s)
+                )
+
+    # -- recovery ------------------------------------------------------------
+
+    def _recover(self, handle: _Handle, failure: WorkerError) -> None:
+        """Bring the slot back to a healthy state after ``failure``.
+
+        Loops restart attempts (a respawn can itself fail) until the
+        slot is healthy, the restart budget is exhausted (→ inline
+        fallback or raise), or a fatal error surfaces.  On return the
+        slot either has a live fast-forwarded process with the
+        in-flight day re-sent, or an inline replica ready to serve it.
+        """
+        policy = self.policy
+        tracer = self._tracer
+        while True:
+            handle.send_failed = False
+            self._reap(handle)
+            if isinstance(failure, WorkerHung):
+                self._m_hangs.inc()
+                tracer.instant(
+                    "supervisor.hang_detected",
+                    "supervisor",
+                    args={"worker": handle.index},
+                    sample=False,
+                )
+            if handle.restarts >= policy.max_restarts_per_worker:
+                if not policy.fallback_in_process:
+                    raise WorkerError(
+                        "shard worker %d exhausted its restart budget (%d): %s"
+                        % (handle.index, policy.max_restarts_per_worker, failure)
+                    ) from failure
+                self._install_fallback(handle)
+                return
+            handle.restarts += 1
+            for shard in handle.owned:
+                self._m_restarts.inc(("s%02d" % shard,))
+            time.sleep(policy.backoff_s(handle.restarts))  # wall-only backoff; artefacts unaffected
+            wall0 = tracer.wall_us()
+            try:
+                self._respawn_and_replay(handle)
+            except (WorkerCrashed, WorkerHung) as refailure:
+                failure = refailure
+                continue
+            tracer.complete(
+                "supervisor.restart w%d" % handle.index,
+                "supervisor",
+                wall0,
+                args={
+                    "worker": handle.index,
+                    "attempt": handle.restarts,
+                    "replayed_days": len(self._day_log)
+                    - (1 if handle.outstanding else 0),
+                    "hung": isinstance(failure, WorkerHung),
+                },
             )
-            proc.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
-            self._procs.append(proc)
+            return
+
+    def _remaining_faults(self, handle: _Handle) -> tuple:
+        """The slot's faults that have not yet fired.
+
+        The in-flight day (``day_log[-1]`` when outstanding) is where
+        the failure happened, so its fault — and everything before it —
+        is consumed; only strictly later days may still fault.
+        """
+        horizon = len(self._day_log) - 1
+        return tuple(f for f in handle.faults if f.day_index > horizon)
+
+    def _respawn_and_replay(self, handle: _Handle) -> None:
+        """Fresh process, fast-forwarded; re-sends the in-flight day."""
+        handle.faults = self._remaining_faults(handle)
+        self._spawn(handle)
+        replay = self._day_log[:-1] if handle.outstanding else self._day_log
+        try:
+            for day_us, update in replay:
+                handle.conn.send(("replay", day_us, update))
+                reply = self._recv(handle)
+                if reply[0] != "replayed":  # pragma: no cover - protocol bug
+                    raise WorkerError(
+                        "shard worker %d sent %r during replay"
+                        % (handle.index, reply[0])
+                    )
+            if handle.outstanding:
+                day_us, update = self._day_log[-1]
+                handle.conn.send(("day", day_us, update))
+        except (BrokenPipeError, OSError):
+            raise WorkerCrashed(
+                "shard worker %d died during replay fast-forward" % handle.index
+            )
+
+    def _install_fallback(self, handle: _Handle) -> None:
+        """Fold the slot's shards into the coordinator process."""
+        tracer = self._tracer
+        wall0 = tracer.wall_us()
+        replica = _InlineReplica(self.config, handle.owned)
+        replay = self._day_log[:-1] if handle.outstanding else self._day_log
+        for day_us, update in replay:
+            replica.replay_day(day_us, update)
+        handle.inline = replica
+        for shard in handle.owned:
+            self._m_fallbacks.inc(("s%02d" % shard,))
+        tracer.complete(
+            "supervisor.fallback w%d" % handle.index,
+            "supervisor",
+            wall0,
+            args={
+                "worker": handle.index,
+                "shards": list(handle.owned),
+                "replayed_days": len(replay),
+            },
+        )
 
     # -- protocol ------------------------------------------------------------
 
-    def _recv(self, worker: int):
-        try:
-            reply = self._conns[worker].recv()
-        except EOFError:
-            raise WorkerError(
-                "shard worker %d exited unexpectedly (exitcode=%s)"
-                % (worker, self._procs[worker].exitcode)
-            )
-        if reply[0] == "error":
-            raise WorkerError("shard worker %d failed:\n%s" % (worker, reply[1]))
-        return reply
-
     def send_day(self, day_us: int, update: list) -> None:
-        for conn in self._conns:
-            conn.send(("day", day_us, update))
+        """Ship the day tick; failures are recovered at collect time."""
+        self._day_log.append((day_us, update))
+        for handle in self._handles:
+            handle.outstanding = True
+            if handle.inline is not None:
+                continue
+            try:
+                handle.conn.send(("day", day_us, update))
+            except (BrokenPipeError, OSError):
+                handle.send_failed = True
 
     def collect_batches(self) -> list:
-        """Collect every worker's day batches, ordered by shard id."""
+        """Collect every slot's day batches, ordered by shard id."""
         batches = []
-        for w in range(self.workers):
-            _, worker_batches = self._recv(w)
-            batches.extend(worker_batches)
+        for handle in self._handles:
+            batches.extend(self._collect_from(handle))
         batches.sort(key=lambda batch: batch.shard_id)
         return batches
+
+    def _collect_from(self, handle: _Handle) -> list:
+        while True:
+            if handle.inline is not None:
+                day_us, update = self._day_log[-1]
+                result = handle.inline.run_day(day_us, update)
+                handle.outstanding = False
+                return result
+            try:
+                if handle.send_failed:
+                    raise WorkerCrashed(
+                        "shard worker %d pipe was closed at day send" % handle.index
+                    )
+                reply = self._recv(handle)
+                handle.outstanding = False
+                return reply[1]
+            except (WorkerCrashed, WorkerHung) as failure:
+                self._recover(handle, failure)
 
     # -- repo reading --------------------------------------------------------
 
     def fetch_repo_cars(self, dids) -> dict:
-        """CAR bytes for the given DIDs, fanned out to the owning workers."""
-        from repro.simulation.sharding import shard_of
-
+        """CAR bytes for the given DIDs, routed to the owning slots."""
         by_worker: dict[int, list] = {}
-        unrouted = []
+        result: dict = {}
         for did in dids:
             worker = self._repo_home.get(did)
             if worker is None:
-                unrouted.append(did)
+                result[did] = None
             else:
                 by_worker.setdefault(worker, []).append(did)
-        result: dict = {}
-        for did in unrouted:
-            result[did] = None
-        sent = []
-        for worker, worker_dids in by_worker.items():
-            self._conns[worker].send(("repos", worker_dids))
-            sent.append(worker)
-        for worker in sent:
-            _, cars = self._recv(worker)
-            result.update(cars)
+        for worker in sorted(by_worker):
+            result.update(self._fetch_from(self._handles[worker], by_worker[worker]))
         return result
 
+    def _fetch_from(self, handle: _Handle, dids: list) -> dict:
+        while True:
+            if handle.inline is not None:
+                return {did: handle.inline.export_repo_car(did) for did in dids}
+            try:
+                handle.conn.send(("repos", dids))
+                reply = self._recv(handle)
+                return reply[1]
+            except (BrokenPipeError, OSError):
+                self._recover(
+                    handle,
+                    WorkerCrashed(
+                        "shard worker %d pipe was closed at repo fetch" % handle.index
+                    ),
+                )
+            except (WorkerCrashed, WorkerHung) as failure:
+                self._recover(handle, failure)
+
     def note_repo_home(self, did: str, shard_id: int) -> None:
-        """Record which worker owns a repo (called once per first commit)."""
+        """Record which slot owns a repo (called once per first commit)."""
         self._repo_home[did] = shard_id % self.workers
 
     def repo_reader(self):
@@ -190,19 +769,3 @@ class WorkerPool:
     def close_reader(self):
         """The reader to leave installed after shutdown (nothing)."""
         return None
-
-    # -- lifecycle -----------------------------------------------------------
-
-    def shutdown(self) -> None:
-        for conn in self._conns:
-            try:
-                conn.send(("stop",))
-            except (BrokenPipeError, OSError):
-                pass
-        for proc in self._procs:
-            proc.join(timeout=10)
-            if proc.is_alive():  # pragma: no cover - stuck worker
-                proc.terminate()
-                proc.join(timeout=5)
-        for conn in self._conns:
-            conn.close()

@@ -510,19 +510,30 @@ class World:
     # -- running ---------------------------------------------------------------------------
 
     def run(
-        self, progress: Optional[Callable[[str], None]] = None, workers: int = 1
+        self,
+        progress: Optional[Callable[[str], None]] = None,
+        workers: int = 1,
+        worker_fault_plan=None,
+        supervision=None,
     ) -> "World":
         """Execute the timeline; idempotent.
 
         ``workers > 1`` spreads the logical shards over that many spawned
         worker processes; every artefact is byte-identical to ``workers=1``
-        for the same seed (the deterministic-merge guarantee).
+        for the same seed (the deterministic-merge guarantee) — including
+        under a ``worker_fault_plan`` injecting worker kills/hangs, which
+        the supervisor recovers by deterministic restart-and-replay.
         """
         if self._ran:
             return self
         from repro.simulation.engine import Engine
 
-        Engine(self, workers=workers).run(progress=progress)
+        Engine(
+            self,
+            workers=workers,
+            worker_fault_plan=worker_fault_plan,
+            supervision=supervision,
+        ).run(progress=progress)
         self._ran = True
         return self
 

@@ -330,6 +330,72 @@ class TestWorkerClosure:
         assert findings == []
 
 
+class TestUnboundedRecv:
+    def test_bare_recv_fires_in_simulation_tree(self):
+        findings = run(
+            """
+            def collect(conn):
+                return conn.recv()
+            """,
+            module="repro.simulation.workers",
+        )
+        assert rule_ids(findings) == ["unbounded-recv"]
+
+    def test_poll_guard_in_same_function_quiet(self):
+        findings = run(
+            """
+            def collect(conn):
+                while not conn.poll(0.05):
+                    pass
+                return conn.recv()
+            """,
+            module="repro.simulation.workers",
+        )
+        assert findings == []
+
+    def test_poll_without_timeout_is_no_guard(self):
+        # poll() with no timeout blocks exactly like recv() does.
+        findings = run(
+            """
+            def collect(conn):
+                conn.poll()
+                return conn.recv()
+            """,
+            module="repro.simulation.workers",
+        )
+        assert rule_ids(findings) == ["unbounded-recv"]
+
+    def test_outside_simulation_tree_quiet(self):
+        findings = run(
+            """
+            def collect(conn):
+                return conn.recv()
+            """
+        )
+        assert findings == []
+
+    def test_socket_recv_with_bufsize_quiet(self):
+        findings = run(
+            """
+            def read(sock):
+                return sock.recv(4096)
+            """,
+            module="repro.simulation.workers",
+        )
+        assert findings == []
+
+    def test_pragma_suppresses_with_reason(self):
+        findings = run(
+            """
+            def worker_loop(conn):
+                return conn.recv()  # repro: allow(unbounded-recv) -- worker side: coordinator death raises EOFError
+            """,
+            module="repro.simulation.workers",
+        )
+        assert rule_ids(findings) == []
+        assert rule_ids(findings, include_suppressed=True) == ["unbounded-recv"]
+
+
 class TestModuleMutableState:
     def test_module_level_dict_fires_in_spawn_module(self):
         findings = run("CACHE = {}\n", module="repro.simulation.workers")

@@ -1,0 +1,365 @@
+"""Worker supervision: fault injection, detection, and recovery.
+
+The acceptance criteria from the issue: a ``--workers 4`` study whose
+workers are killed and hung mid-run completes with artefacts
+byte-identical to the fault-free ``--workers 1`` run; a run whose
+restart budget is deliberately exhausted finishes via the in-process
+fallback instead of raising; and supervision is visible only through
+the volatile ``sim_worker_*`` metrics and ``supervisor.*`` spans.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.core import report
+from repro.core.export import firehose_frame_observer, study_fingerprint
+from repro.core.pipeline import MeasurementPipeline
+from repro.netsim.faults import (
+    WORKER_FAULT_HANG,
+    WORKER_FAULT_KILL,
+    WORKER_FAULT_SLOW,
+    CrashPlan,
+    FaultPlan,
+    StudyCrashed,
+    WorkerFault,
+    WorkerFaultPlan,
+)
+from repro.simulation.config import (
+    FIREHOSE_COLLECT_END_US,
+    FIREHOSE_COLLECT_START_US,
+    SimulationConfig,
+)
+from repro.simulation.workers import SupervisionPolicy, WorkerError, WorkerPool
+from repro.simulation.world import World
+
+
+def _run(workers: int, **kwargs):
+    """One tiny study; mirrors ``test_sharding._run_with_fingerprint``
+    but also surfaces the registry so tests can assert on the volatile
+    supervision counters (which never reach the snapshot)."""
+    world = World(SimulationConfig.tiny())
+    frame_digest = firehose_frame_observer(world)
+    datasets = MeasurementPipeline(world, workers=workers, **kwargs).run()
+    return {
+        "frames": frame_digest(),
+        "table1": report.render_table1(datasets),
+        "metrics": datasets.telemetry.metrics_json(),
+        "fingerprint": study_fingerprint(datasets, frame_digest),
+        "shard_digests": dict(world.shard_digest_log),
+        "registry": world.telemetry.registry,
+    }
+
+# Tight deadlines so chaos tests detect a hang in ~a second instead of
+# the production-shaped ten; semantics are identical.
+TEST_POLICY = SupervisionPolicy(
+    poll_interval_s=0.02,
+    heartbeat_interval_s=0.05,
+    heartbeat_timeout_s=1.5,
+    restart_backoff_s=0.01,
+)
+
+
+def _no_fallback_policy(**overrides):
+    merged = dict(
+        poll_interval_s=0.02,
+        heartbeat_interval_s=0.05,
+        heartbeat_timeout_s=1.5,
+        restart_backoff_s=0.01,
+        max_restarts_per_worker=0,
+        fallback_in_process=False,
+    )
+    merged.update(overrides)
+    return SupervisionPolicy(**merged)
+
+
+# ---------------------------------------------------------------------------
+# The fault plan itself
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerFaultPlan:
+    def test_seeded_deterministic(self):
+        a = WorkerFaultPlan.seeded(7, workers=4, n_days=100)
+        b = WorkerFaultPlan.seeded(7, workers=4, n_days=100)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = WorkerFaultPlan.seeded(7, workers=4, n_days=100)
+        b = WorkerFaultPlan.seeded(8, workers=4, n_days=100)
+        assert a != b
+
+    def test_seeded_contains_kill_and_hang(self):
+        # Kinds cycle, so any plan with >= 2 faults exercises both the
+        # crash-detection and the hang-detection paths.
+        plan = WorkerFaultPlan.seeded(3, workers=4, n_days=100)
+        kinds = {fault.kind for fault in plan.faults}
+        assert WORKER_FAULT_KILL in kinds
+        assert WORKER_FAULT_HANG in kinds
+
+    def test_days_within_first_80_percent(self):
+        for seed in range(10):
+            plan = WorkerFaultPlan.seeded(seed, workers=4, n_days=100)
+            assert all(1 <= f.day_index <= 80 for f in plan.faults)
+
+    def test_workers_within_range(self):
+        plan = WorkerFaultPlan.seeded(5, workers=3, n_days=50)
+        assert all(0 <= f.worker < 3 for f in plan.faults)
+
+    def test_schedule_for_orders_and_dedupes(self):
+        plan = WorkerFaultPlan(
+            seed=0,
+            faults=(
+                WorkerFault(0, 9, WORKER_FAULT_KILL),
+                WorkerFault(0, 3, WORKER_FAULT_HANG),
+                WorkerFault(0, 9, WORKER_FAULT_SLOW, slow_s=0.1),  # dup day: ignored
+                WorkerFault(1, 5, WORKER_FAULT_KILL),
+            ),
+        )
+        schedule = plan.schedule_for(0)
+        assert [f.day_index for f in schedule] == [3, 9]
+        assert schedule[1].kind == WORKER_FAULT_KILL
+        assert plan.schedule_for(2) == ()
+
+    def test_empty(self):
+        assert WorkerFaultPlan().is_empty()
+        assert not WorkerFaultPlan.seeded(1, workers=2, n_days=50).is_empty()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerFault(0, 1, "explode")
+
+
+class TestSupervisionPolicy:
+    def test_backoff_exponential_and_capped(self):
+        policy = SupervisionPolicy(
+            restart_backoff_s=0.1, backoff_multiplier=2.0, max_backoff_s=0.5
+        )
+        assert policy.backoff_s(1) == pytest.approx(0.1)
+        assert policy.backoff_s(2) == pytest.approx(0.2)
+        assert policy.backoff_s(3) == pytest.approx(0.4)
+        assert policy.backoff_s(4) == pytest.approx(0.5)  # capped
+        assert policy.backoff_s(10) == pytest.approx(0.5)
+
+
+# ---------------------------------------------------------------------------
+# Day-protocol error paths (direct pool tests)
+# ---------------------------------------------------------------------------
+
+
+class TestProtocolErrorPaths:
+    def test_unknown_op_is_fatal_worker_error(self):
+        with WorkerPool(
+            SimulationConfig.tiny(), 2, supervision=TEST_POLICY
+        ) as pool:
+            handle = pool._handles[0]
+            handle.conn.send(("bogus",))
+            with pytest.raises(WorkerError, match="unknown worker op"):
+                pool._recv(handle)
+        assert pool.live_workers() == 0
+
+    def test_error_reply_during_repo_fetch_is_fatal(self):
+        # A malformed repos payload makes the replica raise while
+        # exporting; the traceback must come back as a WorkerError, not
+        # hang the coordinator or trigger a pointless restart loop.
+        with WorkerPool(
+            SimulationConfig.tiny(), 2, supervision=TEST_POLICY
+        ) as pool:
+            handle = pool._handles[0]
+            handle.conn.send(("repos", [["unhashable-did"]]))
+            with pytest.raises(WorkerError, match="TypeError"):
+                pool._recv(handle)
+        assert pool.live_workers() == 0
+
+    def test_worker_death_during_collect_raises_when_unsupervised(self):
+        # max_restarts=0 + no fallback restores the old fail-fast
+        # contract — but unlike the old code the pool's context manager
+        # still reaps the survivors (the leak this PR fixes).
+        config = SimulationConfig.tiny()
+        plan = WorkerFaultPlan(seed=0, faults=(WorkerFault(0, 0, WORKER_FAULT_KILL),))
+        with WorkerPool(
+            config, 2, fault_plan=plan, supervision=_no_fallback_policy()
+        ) as pool:
+            assert pool.live_workers() == 2
+            pool.send_day(config.start_us, [])
+            with pytest.raises(WorkerError, match="restart budget"):
+                pool.collect_batches()
+        assert pool.live_workers() == 0
+
+    def test_context_manager_shuts_down_on_normal_exit(self):
+        with WorkerPool(SimulationConfig.tiny(), 2) as pool:
+            assert pool.live_workers() == 2
+        assert pool.live_workers() == 0
+        assert all(handle.conn is None for handle in pool._handles)
+
+    def test_shutdown_idempotent(self):
+        pool = WorkerPool(SimulationConfig.tiny(), 2)
+        pool.shutdown()
+        pool.shutdown()
+        assert pool.live_workers() == 0
+
+    def test_hung_worker_is_reaped_not_leaked_at_shutdown(self):
+        # A worker wedged in a hang fault ignores ("stop",); shutdown
+        # must escalate (terminate -> kill) instead of leaking it.
+        config = SimulationConfig.tiny()
+        plan = WorkerFaultPlan(seed=0, faults=(WorkerFault(0, 0, WORKER_FAULT_HANG),))
+        pool = WorkerPool(config, 2, fault_plan=plan, supervision=TEST_POLICY)
+        pool.send_day(config.start_us, [])  # trips the hang in worker 0
+        pool.shutdown()
+        assert pool.live_workers() == 0
+        assert not multiprocessing.active_children()
+
+
+# ---------------------------------------------------------------------------
+# Recovery: restart-and-replay, byte-identical artefacts
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+class TestSupervisedRecoveryByteIdentity:
+    """Kill + hang + slow a workers=4 run; artefacts match workers=1."""
+
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return _run(1)
+
+    @pytest.fixture(scope="class")
+    def faulted(self):
+        plan = WorkerFaultPlan(
+            seed=7,
+            faults=(
+                WorkerFault(0, 5, WORKER_FAULT_KILL),
+                WorkerFault(1, 9, WORKER_FAULT_HANG),
+                WorkerFault(2, 13, WORKER_FAULT_SLOW, slow_s=0.3),
+            ),
+        )
+        return _run(4, worker_fault_plan=plan, supervision=TEST_POLICY)
+
+    def test_fingerprint_identical(self, baseline, faulted):
+        assert faulted["fingerprint"] == baseline["fingerprint"]
+
+    def test_frames_and_table1_identical(self, baseline, faulted):
+        assert faulted["frames"] == baseline["frames"]
+        assert faulted["table1"] == baseline["table1"]
+
+    def test_metrics_json_identical_and_free_of_supervision(self, baseline, faulted):
+        # The supervision counters are volatile: real in the registry,
+        # absent from the deterministic snapshot that artefacts embed.
+        assert faulted["metrics"] == baseline["metrics"]
+        assert "sim_worker" not in faulted["metrics"]
+
+    def test_restart_metrics_deterministic(self, faulted):
+        registry = faulted["registry"]
+        restarts = registry.family("sim_worker_restarts_total")
+        # One restart for the killed worker's shard, one for the hung
+        # worker's; the slowed worker kept heartbeating and was left
+        # alone (slow != hung — the detection must distinguish them).
+        assert dict(restarts.items()) == {("s00",): 1, ("s01",): 1}
+        assert registry.family("sim_worker_hangs_detected_total").total() == 1
+        assert registry.family("sim_worker_fallbacks_total").total() == 0
+
+    def test_no_worker_processes_leaked(self, faulted):
+        assert not multiprocessing.active_children()
+
+
+@pytest.mark.slow
+class TestSeededPlanByteIdentity:
+    """The CLI path: ``--workers 4 --worker-fault-seed <s>``."""
+
+    def test_seeded_kills_and_hangs_match_fault_free_workers1(self):
+        baseline = _run(1)
+        plan = WorkerFaultPlan.seeded(2024, workers=4, n_days=60)
+        kinds = {f.kind for f in plan.faults}
+        assert WORKER_FAULT_KILL in kinds and WORKER_FAULT_HANG in kinds
+        faulted = _run(4, worker_fault_plan=plan, supervision=TEST_POLICY)
+        assert faulted["fingerprint"] == baseline["fingerprint"]
+        restarts = faulted["registry"].family("sim_worker_restarts_total")
+        expected = sum(
+            1 for f in plan.faults if f.kind in (WORKER_FAULT_KILL, WORKER_FAULT_HANG)
+        )
+        assert restarts.total() == expected
+
+
+@pytest.mark.slow
+class TestRestartBudgetExhaustion:
+    """Budget gone -> the shards fold into the coordinator, not an abort."""
+
+    def test_exhausted_budget_falls_back_in_process(self):
+        baseline = _run(1)
+        # Two kills against a budget of one: the second detection folds
+        # worker 0's shards (s00, s02 at workers=2) inline.
+        plan = WorkerFaultPlan(
+            seed=1,
+            faults=(
+                WorkerFault(0, 4, WORKER_FAULT_KILL),
+                WorkerFault(0, 8, WORKER_FAULT_KILL),
+            ),
+        )
+        policy = SupervisionPolicy(
+            poll_interval_s=0.02,
+            heartbeat_interval_s=0.05,
+            heartbeat_timeout_s=1.5,
+            restart_backoff_s=0.01,
+            max_restarts_per_worker=1,
+        )
+        faulted = _run(2, worker_fault_plan=plan, supervision=policy)
+        assert faulted["fingerprint"] == baseline["fingerprint"]
+        registry = faulted["registry"]
+        assert dict(registry.family("sim_worker_restarts_total").items()) == {
+            ("s00",): 1,
+            ("s02",): 1,
+        }
+        assert dict(registry.family("sim_worker_fallbacks_total").items()) == {
+            ("s00",): 1,
+            ("s02",): 1,
+        }
+        assert not multiprocessing.active_children()
+
+
+@pytest.mark.slow
+class TestCombinedFaultsCrashResume:
+    """Worker faults stay invisible under --fault-seed + crash/resume."""
+
+    @staticmethod
+    def _crash_resume(tmp_path_factory, workers, **kwargs):
+        def fault_plan():
+            return FaultPlan.recoverable(
+                11, FIREHOSE_COLLECT_START_US, FIREHOSE_COLLECT_END_US
+            )
+
+        checkpoint_dir = str(tmp_path_factory.mktemp("ckpt-supervise"))
+        with pytest.raises(StudyCrashed):
+            MeasurementPipeline(
+                World(SimulationConfig.tiny()),
+                fault_plan=fault_plan(),
+                checkpoint_dir=checkpoint_dir,
+                crash_plan=CrashPlan(points=(900,)),
+                workers=workers,
+                **kwargs,
+            ).run()
+        return _run(
+            workers,
+            fault_plan=fault_plan(),
+            checkpoint_dir=checkpoint_dir,
+            resume=True,
+            **kwargs,
+        )
+
+    def test_workers4_with_faults_matches_workers1(self, tmp_path_factory):
+        baseline = self._crash_resume(tmp_path_factory, 1)
+        plan = WorkerFaultPlan(
+            seed=3,
+            faults=(
+                WorkerFault(0, 6, WORKER_FAULT_KILL),
+                WorkerFault(1, 11, WORKER_FAULT_HANG),
+            ),
+        )
+        faulted = self._crash_resume(
+            tmp_path_factory,
+            4,
+            worker_fault_plan=plan,
+            supervision=TEST_POLICY,
+        )
+        assert faulted["fingerprint"] == baseline["fingerprint"]
+        assert faulted["frames"] == baseline["frames"]
+        assert faulted["shard_digests"] == baseline["shard_digests"]
