@@ -7,7 +7,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test test-fast test-faults test-integrity test-telemetry test-shard test-supervision bench bench-perf lint lint-determinism report trace check
+.PHONY: test test-fast test-faults test-integrity test-telemetry test-shard test-supervision bench bench-perf lint lint-determinism report trace slo check
 
 test:  ## tier-1 suite (must stay green)
 	$(PYTHON) -m pytest -x -q
@@ -50,9 +50,16 @@ lint:  ## ruff, when available (not part of the baked toolchain)
 report:  ## full study at default scale, all tables and figures
 	$(PYTHON) -m repro
 
-trace:  ## small traced study; validate the trace + metrics artefacts
+trace:  ## small traced study; validate the trace + metrics + event-log artefacts
 	$(PYTHON) -m repro telemetry --scale 60000 --feed-scale 1200 --quiet \
-		--fault-seed 7 --trace-out trace.json --metrics-out metrics.json
-	$(PYTHON) scripts/check_trace.py trace.json metrics.json
+		--fault-seed 7 --trace-out trace.json --metrics-out metrics.json \
+		--events-out events.jsonl
+	$(PYTHON) scripts/check_trace.py trace.json metrics.json events.jsonl
 
-check: test test-faults test-integrity test-telemetry test-shard test-supervision lint lint-determinism  ## what CI would run
+slo:  ## small study; validate the slo.json + metrics.prom SLO artefacts
+	$(PYTHON) -m repro telemetry --scale 60000 --feed-scale 1200 --quiet \
+		--fault-seed 7 --metrics-out metrics.json --slo-out slo.json \
+		--events-out events.jsonl
+	$(PYTHON) scripts/check_slo.py slo.json metrics.prom
+
+check: test test-faults test-integrity test-telemetry test-shard test-supervision slo lint lint-determinism  ## what CI would run

@@ -13,7 +13,10 @@ Fails (exit 1) if:
     chaos leg is missing or no longer byte-identical, or the supervision
     machinery's overhead on a fault-free run exceeds
     MAX_SUPERVISION_OVERHEAD_PCT (with a small absolute-seconds slack so
-    a noisy single-core CI box can't flake the build on a 0.1s delta).
+    a noisy single-core CI box can't flake the build on a 0.1s delta), or
+  * the SLO/observability export (metrics.prom + slo.json + events.jsonl
+    rendering) costs more than MAX_SLO_OVERHEAD_PCT of the pipeline wall
+    it reports on (same absolute-slack escape hatch).
 
 The cached/uncached and supervised/unsupervised comparisons are
 within-run, so they are robust to the absolute speed of the machine
@@ -29,6 +32,8 @@ READ_METRICS = ("timeline_ops_per_s", "getfeed_ops_per_s", "search_ops_per_s")
 MIN_CACHE_SPEEDUP = 5.0
 MAX_SUPERVISION_OVERHEAD_PCT = 5.0
 SUPERVISION_OVERHEAD_SLACK_S = 0.75
+MAX_SLO_OVERHEAD_PCT = 5.0
+SLO_OVERHEAD_SLACK_S = 0.25
 
 
 def check(document: dict) -> list[str]:
@@ -60,6 +65,7 @@ def check(document: dict) -> list[str]:
         if not any(key.startswith("read_cache_misses_total") for key in counters):
             problems.append("no read_cache_misses_total series in counters")
     problems.extend(check_supervision(optimized))
+    problems.extend(check_slo_overhead(optimized))
     return problems
 
 
@@ -96,6 +102,28 @@ def check_supervision(optimized: dict) -> list[str]:
     return problems
 
 
+def check_slo_overhead(optimized: dict) -> list[str]:
+    problems = []
+    export_wall = optimized.get("slo_export_wall_s")
+    reference = optimized.get("slo_pipeline_reference_wall_s")
+    if not isinstance(export_wall, (int, float)) or not isinstance(
+        reference, (int, float)
+    ) or reference <= 0:
+        problems.append(
+            "missing slo_export_wall_s / slo_pipeline_reference_wall_s for "
+            "the SLO-export overhead guardrail"
+        )
+        return problems
+    overhead_pct = export_wall / reference * 100
+    if overhead_pct > MAX_SLO_OVERHEAD_PCT and export_wall > SLO_OVERHEAD_SLACK_S:
+        problems.append(
+            "SLO/observability export costs %.2f%% of the pipeline wall "
+            "(%.3fs export vs %.2fs pipeline), above the %.1f%% guardrail"
+            % (overhead_pct, export_wall, reference, MAX_SLO_OVERHEAD_PCT)
+        )
+    return problems
+
+
 def main(argv: list[str]) -> int:
     if not argv:
         print(__doc__.strip(), file=sys.stderr)
@@ -116,6 +144,14 @@ def main(argv: list[str]) -> int:
     legacy = optimized["pipeline_tiny_workers4_nosupervision_wall_s"]
     ratios.append(
         "supervision overhead %+.1f%%" % ((supervised - legacy) / legacy * 100)
+    )
+    ratios.append(
+        "slo export %.2f%%"
+        % (
+            optimized["slo_export_wall_s"]
+            / optimized["slo_pipeline_reference_wall_s"]
+            * 100
+        )
     )
     print("ok: %s (%s)" % (argv[0], ", ".join(ratios)))
     return 0

@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Validate the SLO-report artefacts (``make slo``).
+
+Usage: python scripts/check_slo.py SLO.json [METRICS.prom]
+
+Checks ``slo.json`` against the ``repro-slo-v1`` schema: every objective
+carries the full grading row, the breach count matches the per-objective
+verdicts, the error-budget arithmetic is internally consistent, and the
+reported latency quantiles are monotone (p50 <= p95 <= p99 <= p999 —
+the property the bucket-walk estimator guarantees).  The optional
+OpenMetrics exposition is checked for parseability: a ``# EOF``
+terminator, well-formed ``# TYPE`` declarations, and every sample line
+belonging to a declared family.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+
+QUANTILE_ORDER = ("p50", "p95", "p99", "p999")
+
+OBJECTIVE_KEYS = (
+    "name",
+    "scope",
+    "match",
+    "quantile",
+    "threshold_us",
+    "observed_us",
+    "latency_ok",
+    "calls",
+    "errors",
+    "error_rate",
+    "error_budget",
+    "budget_consumed",
+    "budget_burn_per_day",
+    "budget_ok",
+    "ok",
+)
+
+_TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$")
+_SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$")
+
+
+def check_slo(path: str) -> list[str]:
+    with open(path) as handle:
+        document = json.load(handle)
+    problems: list[str] = []
+    if document.get("schema") != "repro-slo-v1":
+        problems.append("slo schema is %r" % document.get("schema"))
+    if not document.get("bundle"):
+        problems.append("slo bundle name missing")
+    window = document.get("window_days")
+    if not isinstance(window, (int, float)) or window <= 0:
+        problems.append("window_days %r is not a positive number" % window)
+    objectives = document.get("objectives")
+    if not isinstance(objectives, list) or not objectives:
+        problems.append("objectives missing or empty")
+        objectives = []
+    breaches = 0
+    for objective in objectives:
+        name = objective.get("name", "?")
+        missing = [key for key in OBJECTIVE_KEYS if key not in objective]
+        if missing:
+            problems.append("objective %r missing keys %r" % (name, missing))
+            continue
+        if not objective["ok"]:
+            breaches += 1
+        if objective["ok"] != (objective["latency_ok"] and objective["budget_ok"]):
+            problems.append("objective %r verdict is inconsistent" % name)
+        if objective["errors"] > objective["calls"]:
+            problems.append("objective %r has more errors than calls" % name)
+        budget = objective["error_budget"]
+        if budget > 0:
+            expected = min(1.0, objective["error_rate"] / budget)
+            if abs(objective["budget_consumed"] - expected) > 1e-4:
+                problems.append(
+                    "objective %r budget_consumed %.6f != error_rate/budget %.6f"
+                    % (name, objective["budget_consumed"], expected)
+                )
+    if objectives and document.get("breaches") != breaches:
+        problems.append(
+            "breaches is %r but %d objectives failed"
+            % (document.get("breaches"), breaches)
+        )
+    latency = document.get("latency")
+    if not isinstance(latency, dict):
+        problems.append("latency section missing")
+        latency = {}
+    for section in ("by_method", "by_host"):
+        rows = latency.get(section)
+        if not isinstance(rows, dict):
+            problems.append("latency.%s missing" % section)
+            continue
+        if rows and "*" not in rows:
+            problems.append("latency.%s has rows but no '*' aggregate" % section)
+        for series, row in rows.items():
+            quantiles = [
+                row.get(q) for q in QUANTILE_ORDER if row.get(q) is not None
+            ]
+            if quantiles != sorted(quantiles):
+                problems.append(
+                    "latency.%s[%r] quantiles not monotone: %r"
+                    % (section, series, quantiles)
+                )
+    return problems
+
+
+def check_openmetrics(path: str) -> list[str]:
+    with open(path) as handle:
+        text = handle.read()
+    problems: list[str] = []
+    if not text.endswith("# EOF\n"):
+        return ["openmetrics exposition does not end with '# EOF'"]
+    declared: set[str] = set()
+    lines = text.splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        if line == "# EOF":
+            if lineno != len(lines):
+                problems.append("content after the '# EOF' terminator")
+            continue
+        if line.startswith("#"):
+            match = _TYPE_RE.match(line)
+            if match is None:
+                problems.append("line %d: bad comment %r" % (lineno, line))
+                continue
+            if match.group(1) in declared:
+                problems.append("line %d: duplicate TYPE for %r" % (lineno, match.group(1)))
+            declared.add(match.group(1))
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append("line %d: unparseable sample %r" % (lineno, line))
+            continue
+        name = match.group(1)
+        candidates = {name}
+        for suffix in ("_total", "_bucket", "_sum", "_count"):
+            if name.endswith(suffix):
+                candidates.add(name[: -len(suffix)])
+        if not candidates & declared:
+            problems.append("line %d: sample %r has no TYPE declaration" % (lineno, name))
+        try:
+            float(match.group(3))
+        except ValueError:
+            problems.append("line %d: bad value %r" % (lineno, match.group(3)))
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    problems = check_slo(argv[0])
+    if argv[1:]:
+        problems += check_openmetrics(argv[1])
+    if problems:
+        for problem in problems:
+            print("FAIL: %s" % problem, file=sys.stderr)
+        return 1
+    with open(argv[0]) as handle:
+        document = json.load(handle)
+    print(
+        "ok: %s (bundle %s, %d objectives, %d breaches over %.0f virtual days)"
+        % (
+            argv[0],
+            document["bundle"],
+            len(document["objectives"]),
+            document["breaches"],
+            document["window_days"],
+        )
+    )
+    if argv[1:]:
+        print("ok: %s" % argv[1])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,10 +1,12 @@
 #!/usr/bin/env python
-"""Sanity-check a Chrome trace_event JSON file (``make trace``).
+"""Sanity-check the traced-study artefacts (``make trace``).
 
-Usage: python scripts/check_trace.py TRACE.json [METRICS.json]
+Usage: python scripts/check_trace.py TRACE.json [METRICS.json [EVENTS.jsonl]]
 
 Exits non-zero if the trace would not load in chrome://tracing /
-Perfetto, or if the optional metrics snapshot is malformed.
+Perfetto, if its phase/study spans fail to nest, if the wall track is
+not recorded in completion order, or if the optional metrics snapshot /
+event log is malformed.
 """
 
 from __future__ import annotations
@@ -15,7 +17,12 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.obs.trace import validate_trace  # noqa: E402
+from repro.obs.events import validate_events_lines  # noqa: E402
+from repro.obs.trace import (  # noqa: E402
+    validate_span_nesting,
+    validate_trace,
+    validate_wall_monotonic,
+)
 
 
 def check_metrics(path: str) -> list[str]:
@@ -30,6 +37,11 @@ def check_metrics(path: str) -> list[str]:
     return problems
 
 
+def check_events(path: str) -> list[str]:
+    with open(path) as handle:
+        return ["events: %s" % problem for problem in validate_events_lines(handle)]
+
+
 def main(argv: list[str]) -> int:
     if not argv:
         print(__doc__.strip(), file=sys.stderr)
@@ -37,16 +49,20 @@ def main(argv: list[str]) -> int:
     with open(argv[0]) as handle:
         document = json.load(handle)
     problems = validate_trace(document)
+    problems += validate_span_nesting(document)
+    problems += validate_wall_monotonic(document)
     events = document.get("traceEvents") or []
     if argv[1:]:
         problems += check_metrics(argv[1])
+    if argv[2:]:
+        problems += check_events(argv[2])
     if problems:
         for problem in problems:
             print("FAIL: %s" % problem, file=sys.stderr)
         return 1
-    print("ok: %s (%d events)" % (argv[0], len(events)))
-    if argv[1:]:
-        print("ok: %s" % argv[1])
+    print("ok: %s (%d events, spans nested, wall track monotone)" % (argv[0], len(events)))
+    for extra in argv[1:3]:
+        print("ok: %s" % extra)
     return 0
 
 

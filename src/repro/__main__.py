@@ -35,6 +35,7 @@ ARTEFACTS = {
     "health": report.render_collection_health,
     "integrity": report.render_integrity,
     "telemetry": report.render_telemetry,
+    "slo": report.render_slo,
 }
 
 
@@ -50,11 +51,17 @@ def main(argv=None) -> int:
         from repro.devtools.lint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv[:1] == ["top"]:
+        # The live dashboard likewise owns its options.
+        from repro.obs.top import main as top_main
+
+        return top_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce 'Looking AT the Blue Skies of Bluesky' (IMC 2024).",
         epilog="'python -m repro lint' runs the determinism & shard-safety "
-        "static analyzer (see its own --help).",
+        "static analyzer; 'python -m repro top' is the live study "
+        "dashboard (each has its own --help).",
     )
     parser.add_argument(
         "artefact",
@@ -148,7 +155,28 @@ def main(argv=None) -> int:
         "--metrics-out",
         metavar="PATH",
         help="write the study's metrics registry snapshot (deterministic "
-        "JSON; see the 'telemetry' artefact) to PATH",
+        "JSON; see the 'telemetry' artefact) to PATH, plus an OpenMetrics "
+        "text rendering of the same registry next to it (.prom)",
+    )
+    parser.add_argument(
+        "--slo-out",
+        metavar="PATH",
+        help="write the tail-latency SLO evaluation (deterministic JSON; "
+        "see the 'slo' artefact) to PATH",
+    )
+    parser.add_argument(
+        "--events-out",
+        metavar="PATH",
+        help="write the structured study event log (JSONL: phase "
+        "transitions, fault injections, quarantines, supervisor "
+        "recoveries; dual virtual+wall clocks) to PATH",
+    )
+    parser.add_argument(
+        "--flight-dir",
+        metavar="DIR",
+        help="with --workers N: dump a crash flight recorder "
+        "(flight-w<idx>.json, the worker's last protocol steps) into DIR "
+        "whenever the supervisor recovers a crashed or hung shard worker",
     )
     parser.add_argument(
         "--trace-out",
@@ -172,8 +200,13 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.no_telemetry and (args.metrics_out or args.trace_out):
-        parser.error("--no-telemetry is incompatible with --metrics-out/--trace-out")
+    if args.no_telemetry and (
+        args.metrics_out or args.trace_out or args.slo_out or args.events_out
+    ):
+        parser.error(
+            "--no-telemetry is incompatible with "
+            "--metrics-out/--trace-out/--slo-out/--events-out"
+        )
 
     config = SimulationConfig(
         seed=args.seed, scale=1 / args.scale, feed_scale=1 / args.feed_scale
@@ -230,6 +263,18 @@ def main(argv=None) -> int:
             relay_url="https://bsky.network",
             decoy_pds=shards[3],
         )
+    supervision = None
+    if args.flight_dir is not None:
+        if args.workers <= 1:
+            print(
+                "--flight-dir has no effect with --workers 1 (no worker "
+                "processes to record); ignoring",
+                file=sys.stderr,
+            )
+        else:
+            from repro.simulation.workers import SupervisionPolicy
+
+            supervision = SupervisionPolicy(flight_dir=args.flight_dir)
     crash_plan = None
     if args.crash_seed is not None:
         from repro.netsim.faults import CrashPlan
@@ -260,6 +305,7 @@ def main(argv=None) -> int:
             telemetry=telemetry,
             workers=args.workers,
             worker_fault_plan=worker_fault_plan,
+            supervision=supervision,
         )
     except Exception as exc:
         from repro.netsim.faults import StudyCrashed
@@ -288,8 +334,37 @@ def main(argv=None) -> int:
         from repro.core.atomicio import atomic_write_text
 
         atomic_write_text(args.metrics_out, telemetry.metrics_json())
+        base = args.metrics_out
+        if base.endswith(".json"):
+            base = base[: -len(".json")]
+        prom_path = base + ".prom"
+        atomic_write_text(prom_path, telemetry.metrics_openmetrics())
         if not args.quiet:
-            print("wrote metrics snapshot to %s" % args.metrics_out, file=sys.stderr)
+            print(
+                "wrote metrics snapshot to %s (OpenMetrics: %s)"
+                % (args.metrics_out, prom_path),
+                file=sys.stderr,
+            )
+    if args.slo_out:
+        from repro.core.atomicio import atomic_write_text
+        from repro.obs.slo import slo_json, study_window_days
+
+        atomic_write_text(
+            args.slo_out,
+            slo_json(telemetry.metrics_snapshot(), window_days=study_window_days()),
+        )
+        if not args.quiet:
+            print("wrote SLO evaluation to %s" % args.slo_out, file=sys.stderr)
+    if args.events_out:
+        from repro.core.atomicio import atomic_write_text
+
+        atomic_write_text(args.events_out, telemetry.events_jsonl())
+        if not args.quiet:
+            print(
+                "wrote %d study events to %s"
+                % (telemetry.events.stats()["events"], args.events_out),
+                file=sys.stderr,
+            )
     if args.trace_out:
         from repro.core.atomicio import atomic_write_json
 

@@ -154,7 +154,43 @@ class StudyCheckpointer:
             state["done"] = set(self.done)
             self.journal.save(state)
         self._m_saves.inc()
+        # Volatile: *when* saves happen depends on crash timing and the
+        # resume chain, so the event must stay out of the deterministic
+        # stream (and out of the journal — it describes this process).
+        self.telemetry.emit_event(
+            "checkpoint.save",
+            fields={"ticks": self.ticks, "done": len(self.done)},
+            volatile=True,
+        )
+        self._write_status()
         self._since_save = 0
+
+    def _write_status(self) -> None:
+        """Publish the live dashboard feed (``status.json``).
+
+        A small atomically-replaced JSON next to the journal that
+        ``python -m repro top`` tails: the full registry snapshot
+        (volatile families included — the dashboard is exactly where
+        wall-clock and supervision counters belong) plus the newest
+        events.  Purely informational: never read back, never
+        fingerprinted.
+        """
+        telemetry = self.telemetry
+        if not getattr(telemetry, "enabled", False):
+            return
+        import json
+
+        from repro.core.atomicio import atomic_write_text
+
+        status = {
+            "schema": "repro-status-v1",
+            "ticks": self.ticks,
+            "done_actions": len(self.done),
+            "metrics": telemetry.registry.snapshot(include_volatile=True),
+            "events_tail": telemetry.events.events[-30:],
+        }
+        path = os.path.join(self.journal.directory, "status.json")
+        atomic_write_text(path, json.dumps(status, sort_keys=True) + "\n")
 
     def restore(self) -> Optional[dict]:
         """Load the journal (if any); re-adopts the done-action set."""

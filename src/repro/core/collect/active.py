@@ -11,13 +11,17 @@ Three probes the paper ran from university machines:
 
 from __future__ import annotations
 
-import random
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro.identity.handles import HandleResolver
-from repro.netsim.faults import DEFAULT_RETRY_POLICY, TARGET_DNS, TARGET_WHOIS
+from repro.netsim.faults import (
+    DEFAULT_RETRY_POLICY,
+    TARGET_DNS,
+    TARGET_WHOIS,
+    retry_jitter_rng,
+)
 from repro.netsim.psl import PublicSuffixList
 from repro.obs.telemetry import NULL_TELEMETRY
 from repro.netsim.tranco import TrancoList
@@ -107,7 +111,6 @@ class ActiveMeasurements:
         self.on_progress = on_progress
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.dataset = ActiveMeasurementDataset()
-        self._retry_rng = random.Random(0xAC71)
         self._now_us = 0  # advances with retry backoffs across a campaign
 
     def _gate(self, target: str) -> bool:
@@ -119,6 +122,7 @@ class ActiveMeasurements:
         if self.injector is None:
             return True
         attempt = 0
+        retry_rng = retry_jitter_rng("active:%s" % target, self._now_us)
         while True:
             attempt += 1
             try:
@@ -128,7 +132,7 @@ class ActiveMeasurements:
                     self.dataset.probes_exhausted += 1
                     return False
                 self.dataset.transient_retries += 1
-                self._now_us += self.retry_policy.backoff_us(attempt, self._retry_rng)
+                self._now_us += self.retry_policy.backoff_us(attempt, retry_rng)
                 continue
             return True
 

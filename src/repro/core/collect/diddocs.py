@@ -13,13 +13,12 @@ only records a DID as failed when the resolver truly has no document.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro.identity.plc import PlcDirectory
 from repro.identity.resolver import DidResolver
-from repro.netsim.faults import DEFAULT_RETRY_POLICY, TARGET_IDENTITY
+from repro.netsim.faults import DEFAULT_RETRY_POLICY, TARGET_IDENTITY, retry_jitter_rng
 from repro.obs.telemetry import NULL_TELEMETRY
 from repro.services.xrpc import XrpcError
 
@@ -89,7 +88,6 @@ class DidDocumentCollector:
         self.on_progress = on_progress
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.dataset = DidDocumentDataset()
-        self._retry_rng = random.Random(0xD1DD0C)
 
     def crawl(self, dids: Iterable[str], now_us: int) -> DidDocumentDataset:
         with self.telemetry.tracer.span("diddoc-crawl", cat="collector"):
@@ -140,6 +138,7 @@ class DidDocumentCollector:
         failures exhausted the retry budget.
         """
         attempt = 0
+        retry_rng = retry_jitter_rng("diddocs", now_us, did)
         while True:
             attempt += 1
             if self.injector is not None:
@@ -150,6 +149,6 @@ class DidDocumentCollector:
                         self.dataset.unresolved_transient += 1
                         return None, now_us
                     self.dataset.transient_retries += 1
-                    now_us += self.retry_policy.backoff_us(attempt, self._retry_rng)
+                    now_us += self.retry_policy.backoff_us(attempt, retry_rng)
                     continue
             return (self.resolver.resolve(did),), now_us

@@ -9,12 +9,11 @@ feed's posts bi-weekly through ``getFeed`` with an *empty* crawler account
 
 from __future__ import annotations
 
-import random
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.netsim.faults import DEFAULT_RETRY_POLICY, call_with_retries
+from repro.netsim.faults import DEFAULT_RETRY_POLICY, call_with_retries, retry_jitter_rng
 from repro.obs.telemetry import NULL_TELEMETRY
 from repro.services.xrpc import ServiceDirectory, XrpcError
 
@@ -88,7 +87,6 @@ class FeedGeneratorCollector:
         self.on_progress = on_progress
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.dataset = FeedGeneratorDataset()
-        self._retry_rng = random.Random(0xFEED)
         self._retry_counters: Counter = Counter()
 
     def _call(self, method: str, at_us: int, **params):
@@ -105,7 +103,7 @@ class FeedGeneratorCollector:
                 method,
                 now_us=at_us,
                 policy=self.retry_policy,
-                rng=self._retry_rng,
+                rng=retry_jitter_rng("feedgens:%s" % method, at_us),
                 counters=self._retry_counters,
                 params=params,
             )

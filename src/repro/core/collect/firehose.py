@@ -17,7 +17,6 @@ stream was continuous (Section 2's "slow subscriber" failure mode).
 
 from __future__ import annotations
 
-import random
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Optional
@@ -30,7 +29,13 @@ from repro.atproto.events import (
     InfoEvent,
     TombstoneEvent,
 )
-from repro.netsim.faults import DEFAULT_RETRY_POLICY, FaultPlan, RetryPolicy, call_with_retries
+from repro.netsim.faults import (
+    DEFAULT_RETRY_POLICY,
+    FaultPlan,
+    RetryPolicy,
+    call_with_retries,
+    retry_jitter_rng,
+)
 from repro.obs.telemetry import NULL_TELEMETRY
 from repro.services.xrpc import XrpcError
 
@@ -113,7 +118,7 @@ class FirehoseCollector:
         self.retry_counters: Counter = Counter()
         self._connected = True
         self._relay = None  # direct fallback when no service directory is wired
-        self._retry_rng = random.Random((fault_plan.seed if fault_plan else 0) ^ 0xF1EE)
+        self._fault_seed = fault_plan.seed if fault_plan else 0
         # Live counters mirror the dataset's bookkeeping at the same
         # guarded sites, so they inherit its exactly-once semantics
         # across disconnects, replays, and checkpoint resumes.
@@ -186,7 +191,9 @@ class FirehoseCollector:
                     "com.atproto.sync.subscribeRepos",
                     now_us=now_us,
                     policy=self.retry_policy,
-                    rng=self._retry_rng,
+                    rng=retry_jitter_rng(
+                        "firehose:%d" % self._fault_seed, now_us, str(self.cursor)
+                    ),
                     counters=self.retry_counters,
                     cursor=self.cursor,
                 )

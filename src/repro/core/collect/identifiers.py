@@ -8,10 +8,9 @@ changed between snapshots.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 
-from repro.netsim.faults import DEFAULT_RETRY_POLICY, call_with_retries
+from repro.netsim.faults import DEFAULT_RETRY_POLICY, call_with_retries, retry_jitter_rng
 from repro.obs.telemetry import NULL_TELEMETRY
 from repro.services.xrpc import ServiceDirectory
 from repro.simulation.clock import US_PER_DAY
@@ -81,7 +80,6 @@ class ListReposCollector:
         self.on_progress = on_progress
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.dataset = UserIdentifierDataset()
-        self._retry_rng = random.Random(0x11D5)
 
     def crawl(self, now_us: int) -> IdentifierSnapshot:
         with self.telemetry.tracer.span("identifiers-crawl", cat="collector"):
@@ -104,6 +102,7 @@ class ListReposCollector:
         counters: Counter = Counter()
         cursor = None
         virtual_now = now_us
+        retry_rng = retry_jitter_rng("identifiers", now_us)
         try:
             while True:
                 page, virtual_now = call_with_retries(
@@ -112,7 +111,7 @@ class ListReposCollector:
                     "com.atproto.sync.listRepos",
                     now_us=virtual_now,
                     policy=self.retry_policy,
-                    rng=self._retry_rng,
+                    rng=retry_rng,
                     counters=counters,
                     cursor=cursor,
                     limit=self.page_size,

@@ -10,14 +10,13 @@ analysis.
 
 from __future__ import annotations
 
-import random
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.identity.resolver import DidResolver
 from repro.netsim.dns import DnsRecordType, DnsResolver, DnsError
-from repro.netsim.faults import DEFAULT_RETRY_POLICY, call_with_retries
+from repro.netsim.faults import DEFAULT_RETRY_POLICY, call_with_retries, retry_jitter_rng
 from repro.obs.telemetry import NULL_TELEMETRY
 from repro.services.labeler import Label
 from repro.services.xrpc import ServiceDirectory, XrpcError
@@ -85,7 +84,6 @@ class LabelerCollector:
         self.on_progress = on_progress
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._verify_keys: dict[str, object] = {}
-        self._retry_rng = random.Random(0x1AB5)
         self.dataset = LabelerDataset()
 
     def discover(self, dids) -> None:
@@ -106,6 +104,7 @@ class LabelerCollector:
 
     def _connect_and_backfill(self, now_us: int) -> int:
         pulled = 0
+        retry_rng = retry_jitter_rng("labelers", now_us)
         for status in self.dataset.statuses.values():
             if status.endpoint is None:
                 doc = self.resolver.resolve(status.did)
@@ -121,7 +120,7 @@ class LabelerCollector:
                     "com.atproto.label.subscribeLabels",
                     now_us=now_us,
                     policy=self.retry_policy,
-                    rng=self._retry_rng,
+                    rng=retry_rng,
                     counters=counters,
                     cursor=status.cursor,
                 )

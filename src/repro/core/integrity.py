@@ -139,6 +139,13 @@ class IntegrityMonitor:
         self._seen.add(key)
         self.report.quarantined.append(QuarantinedItem(host, kind, item, detail))
         self.report.counts[(host, kind)] += 1
+        if self.directory is not None:
+            # Behind the idempotence guard, so the event stream is
+            # exactly-once across crash/resume like the ledger itself.
+            self.directory.telemetry.emit_event(
+                "integrity.quarantine",
+                fields={"host": host, "kind": kind, "item": item},
+            )
 
     def _checked(self, kind: str) -> None:
         self.report.checked[kind] += 1

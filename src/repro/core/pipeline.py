@@ -263,6 +263,9 @@ class MeasurementPipeline:
             "integrity": self.integrity.report,
             "integrity_members": self.integrity.members_state(),
             "adversary": self.adversary.stats if self.adversary else None,
+            "faults": (
+                self.fault_injector.state() if self.fault_injector else None
+            ),
             "telemetry": self.telemetry.state(),
             # Per-shard checkpoint segment: the latest per-shard running
             # digests the engine has produced.  Enough to prove a resumed
@@ -301,6 +304,8 @@ class MeasurementPipeline:
         self.integrity.adopt_members(state.get("integrity_members"))
         if self.adversary is not None and state.get("adversary") is not None:
             self.adversary.stats = state["adversary"]
+        if self.fault_injector is not None and state.get("faults") is not None:
+            self.fault_injector.adopt_state(state["faults"])
         self.telemetry.adopt(state.get("telemetry"))
 
     def _add_action(self, time_us: int, name: str, fn) -> None:
@@ -320,6 +325,7 @@ class MeasurementPipeline:
             # replayed vs skipped after a crash/resume.
             with ckpt.deferred_saves(), self.telemetry.phase(name):
                 self.world.flush_read_caches()
+                self.telemetry.emit_event("cache.flush", fields={"phase": name})
                 fn(now_us)
             ckpt.mark_done(action_id)
             ckpt.save()
@@ -334,6 +340,7 @@ class MeasurementPipeline:
             return
         with ckpt.deferred_saves(), self.telemetry.phase(name):
             self.world.flush_read_caches()
+            self.telemetry.emit_event("cache.flush", fields={"phase": name})
             fn()
         ckpt.mark_done(name)
         ckpt.save()

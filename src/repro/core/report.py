@@ -457,6 +457,9 @@ def render_telemetry(datasets: StudyDatasets) -> str:
             + ", ".join("%s=%d" % (outcome, count) for outcome, count in outcomes)
         )
 
+    lines.append("")
+    lines.append(_slo_summary(datasets))
+
     stats = telemetry.tracer.stats()
     if telemetry.tracer.enabled:
         lines.append(
@@ -465,6 +468,92 @@ def render_telemetry(datasets: StudyDatasets) -> str:
         )
     else:
         lines.append("trace: off (enable with --trace-out)")
+    event_stats = telemetry.events.stats()
+    if event_stats["events"]:
+        lines.append(
+            "events: %d recorded (%d dropped past cap)"
+            % (event_stats["events"], event_stats["dropped"])
+        )
+    return "\n".join(lines)
+
+
+def _slo_summary(datasets: StudyDatasets) -> str:
+    """The objectives table shared by 'telemetry' and 'slo' artefacts."""
+    from repro.obs.slo import evaluate_slos, study_window_days
+
+    document = evaluate_slos(
+        datasets.telemetry.metrics_snapshot(), window_days=study_window_days()
+    )
+    rows = [
+        (
+            obj["name"],
+            obj["quantile"],
+            _fmt_us(obj["observed_us"]),
+            _fmt_us(obj["threshold_us"]),
+            "%.4f" % obj["error_rate"],
+            "%.4f" % obj["budget_burn_per_day"],
+            "ok" if obj["ok"] else "BREACH",
+        )
+        for obj in document["objectives"]
+    ]
+    table = format_table(
+        ("objective", "q", "observed", "target", "err-rate", "burn/day", "status"),
+        rows,
+    )
+    return "SLOs (bundle %s, %d breach%s over %.0f virtual days):\n%s" % (
+        document["bundle"],
+        document["breaches"],
+        "" if document["breaches"] == 1 else "es",
+        document["window_days"],
+        table,
+    )
+
+
+def render_slo(datasets: StudyDatasets) -> str:
+    """Tail-latency SLO artefact: objectives plus per-NSID/per-host tails.
+
+    Everything derives from the deterministic registry snapshot — the
+    same data ``slo.json`` exports — so the numbers here match the
+    artefact byte-for-byte semantics (p50/p95/p99/p999 are bucket
+    upper-bound estimates from the widened log-spaced buckets).
+    """
+    lines = ["SLO report: tail latency and error budgets"]
+    telemetry = datasets.telemetry
+    if telemetry is None or not telemetry.enabled:
+        lines.append("telemetry: disabled (--no-telemetry run)")
+        return "\n".join(lines)
+    from repro.obs.slo import evaluate_slos, study_window_days
+
+    document = evaluate_slos(
+        telemetry.metrics_snapshot(), window_days=study_window_days()
+    )
+    lines.append("")
+    lines.append(_slo_summary(datasets))
+    for title, key in (
+        ("per-NSID latency (virtual, injected):", "by_method"),
+        ("per-host latency (virtual, injected):", "by_host"),
+    ):
+        entries = document["latency"][key]
+        if not entries:
+            continue
+        lines.append("")
+        lines.append(title)
+        lines.append(
+            format_table(
+                ("series", "calls", "p50", "p95", "p99", "p999"),
+                [
+                    (
+                        name,
+                        row["count"],
+                        _fmt_us(row["p50"]),
+                        _fmt_us(row["p95"]),
+                        _fmt_us(row["p99"]),
+                        _fmt_us(row["p999"]),
+                    )
+                    for name, row in entries.items()
+                ],
+            )
+        )
     return "\n".join(lines)
 
 

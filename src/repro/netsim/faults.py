@@ -212,12 +212,45 @@ class FaultStats:
 
 
 class FaultInjector:
-    """Draws faults from a plan, in call order, from one seeded stream."""
+    """Draws faults from a plan with one seeded stream *per call*.
+
+    Each dispatch draws from an RNG keyed by ``(plan seed, target,
+    method, virtual time, occurrence)`` — never by global call order —
+    so a crash/resume chain that skips already-completed work cannot
+    shift later draws (the same stateless design as
+    :class:`AdversarialPlan`).  That is what keeps the observability
+    artefacts byte-identical between a resumed and an uninterrupted
+    faulted run.
+    """
 
     def __init__(self, plan: FaultPlan):
         self.plan = plan
         self.stats = FaultStats()
-        self._rng = random.Random(plan.seed ^ 0xFA_175)
+        self._draws: Counter = Counter()
+
+    def _call_rng(self, target: str, method: str, now_us: int) -> random.Random:
+        key = (target, method, now_us)
+        nth = self._draws[key]
+        self._draws[key] = nth + 1
+        return random.Random(
+            "fault:%d:%s:%s:%d:%d" % (self.plan.seed, target, method, now_us, nth)
+        )
+
+    # -- checkpoint support --------------------------------------------------
+
+    def state(self) -> dict:
+        """Snapshot for the study checkpoint journal.
+
+        Stats and draw-occurrence counters only mutate inside deferred-
+        save action boundaries, so a boundary snapshot plus an exact
+        replay of the redone action reproduces them — the resumed run's
+        fault accounting equals an uninterrupted run's.
+        """
+        return {"stats": self.stats, "draws": Counter(self._draws)}
+
+    def adopt_state(self, state: dict) -> None:
+        self.stats = state["stats"]
+        self._draws = Counter(state["draws"])
 
     # -- XRPC path (ServiceDirectory.before dispatch) ------------------------
 
@@ -228,6 +261,7 @@ class FaultInjector:
         the injected latency in microseconds (0 when the host is healthy).
         """
         self.stats.calls_seen += 1
+        rng = self._call_rng(url, method, now_us)
         for outage in self.plan.outages:
             if outage.applies(url, now_us):
                 self._count("outage", outage.status, url)
@@ -243,8 +277,8 @@ class FaultInjector:
                 continue
             drawn = slow.base_latency_us
             if slow.jitter_us:
-                drawn += int(self._rng.random() * slow.jitter_us)
-            if slow.timeout_probability and self._rng.random() < slow.timeout_probability:
+                drawn += int(rng.random() * slow.jitter_us)
+            if slow.timeout_probability and rng.random() < slow.timeout_probability:
                 self.stats.injected_latency_us += slow.timeout_us
                 self._count("timeout", 408, url)
                 raise XrpcError(
@@ -257,8 +291,8 @@ class FaultInjector:
             latency += min(drawn, slow.timeout_us)
         for rule in self.plan.flaky:
             if rule.probability and rule.applies(url, now_us):
-                if self._rng.random() < rule.probability:
-                    status = rule.statuses[self._rng.randrange(len(rule.statuses))]
+                if rng.random() < rule.probability:
+                    status = rule.statuses[rng.randrange(len(rule.statuses))]
                     self._count("flaky", status, url)
                     if latency:
                         # Slow-host latency already accrued before the flaky
@@ -282,10 +316,11 @@ class FaultInjector:
         ``target`` is one of the ``TARGET_*`` pseudo-URLs; a matching
         flaky rule may raise a transient :class:`XrpcError`.
         """
+        rng = self._call_rng(target, "probe", now_us)
         for rule in self.plan.flaky:
             if rule.probability and rule.applies(target, now_us):
-                if self._rng.random() < rule.probability:
-                    status = rule.statuses[self._rng.randrange(len(rule.statuses))]
+                if rng.random() < rule.probability:
+                    status = rule.statuses[rng.randrange(len(rule.statuses))]
                     self._count("flaky", status, target)
                     raise XrpcError(
                         status,
@@ -762,6 +797,18 @@ class RetryPolicy:
 
 #: The default policy collectors share; a fault-free run never consults it.
 DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+def retry_jitter_rng(tag: str, now_us: int, extra: str = "") -> random.Random:
+    """A replay-stable RNG for retry backoff jitter.
+
+    Keyed by call identity (collector tag, virtual time, optional item)
+    instead of process-lifetime draw order, so a checkpoint-resumed run
+    that skips completed actions draws the same jitter for the work it
+    redoes — the clocks (and with them the deterministic event stream)
+    stay byte-identical to an uninterrupted run.
+    """
+    return random.Random("retry:%s:%d:%s" % (tag, now_us, extra))
 
 
 def call_with_retries(

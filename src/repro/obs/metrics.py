@@ -26,19 +26,30 @@ from bisect import bisect_right
 from typing import Iterable, Optional
 
 #: Default histogram bounds for injected/virtual latencies, in µs:
-#: sub-millisecond up to the minute-scale backoff ceiling.
+#: log-spaced (~1-2.5-5 per decade) from sub-millisecond through the
+#: minute-scale backoff ceiling and into the multi-minute tail.  The
+#: tail buckets exist so p999 is *resolvable*: with the old coarse
+#: bounds every tail quantile collapsed into the same bucket and
+#: p99 == p999 by construction (see ``repro.obs.slo``).
 LATENCY_BUCKETS_US = (
     1_000,
+    2_500,
+    5_000,
     10_000,
+    25_000,
     50_000,
     100_000,
     250_000,
     500_000,
     1_000_000,
-    2_000_000,
+    2_500_000,
     5_000_000,
-    15_000_000,
+    10_000_000,
+    25_000_000,
     60_000_000,
+    150_000_000,
+    300_000_000,
+    600_000_000,
 )
 
 
@@ -110,8 +121,12 @@ class GaugeFamily(_Family):
 class HistogramFamily(_Family):
     """Fixed upper-bound buckets; one extra overflow bucket.
 
-    Per-series storage is ``[bucket_counts, sum, count]`` so an observe
-    is a bisect plus three in-place updates.
+    Per-series storage is ``[bucket_counts, sum, count, overflow_sum]``
+    so an observe is a bisect plus in-place updates.  ``overflow_sum``
+    tracks only the observations that landed past ``bounds[-1]``, so the
+    overflow quantile estimate is the mean of the *overflow* population,
+    not the mean of everything (the global mean is dragged down by the
+    finite buckets and produced tail estimates below the last bound).
     """
 
     kind = "histogram"
@@ -129,11 +144,14 @@ class HistogramFamily(_Family):
     def observe(self, labels: tuple = (), value=0) -> None:
         record = self._data.get(labels)
         if record is None:
-            record = [[0] * (len(self.bounds) + 1), 0, 0]
+            record = [[0] * (len(self.bounds) + 1), 0, 0, 0]
             self._data[labels] = record
-        record[0][bisect_right(self.bounds, value)] += 1
+        index = bisect_right(self.bounds, value)
+        record[0][index] += 1
         record[1] += value
         record[2] += 1
+        if index == len(self.bounds):
+            record[3] += value
 
     def count(self, labels: tuple = ()) -> int:
         record = self._data.get(labels)
@@ -144,22 +162,51 @@ class HistogramFamily(_Family):
         return record[1] if record is not None else 0
 
     def percentile(self, labels: tuple, q: float):
-        """Bucket-resolution quantile estimate (upper bound of the
-        bucket holding the q-th observation); None without data."""
+        """Bucket-resolution quantile estimate; None without data.
+
+        For a quantile landing in a finite bucket the estimate is that
+        bucket's upper bound, so the error is bounded by the bucket
+        width: the true quantile lies in ``(bounds[i-1], bounds[i]]``
+        and the estimate never undershoots it.  For the overflow bucket
+        the estimate is the mean of the overflow observations clamped to
+        ``max(bounds[-1], overflow_mean)``.  Both halves are constant
+        within a bucket and cumulative across buckets, so the estimate
+        is monotone non-decreasing in ``q`` — the property the SLO
+        report relies on (p50 <= p95 <= p99 <= p999).
+        """
         record = self._data.get(labels)
         if record is None or record[2] == 0:
             return None
-        target = q * record[2]
-        seen = 0
-        for index, bucket_count in enumerate(record[0]):
-            seen += bucket_count
-            if seen >= target:
-                if index < len(self.bounds):
-                    return self.bounds[index]
-                # Overflow bucket: the best bound we have is the mean of
-                # what landed there, floored at the last finite bound.
-                return max(self.bounds[-1], record[1] // max(1, record[2]))
-        return self.bounds[-1]
+        return percentile_from_record(
+            self.bounds, record[0], record[2], record[3], q
+        )
+
+
+def percentile_from_record(bounds, counts, count: int, overflow_sum, q: float):
+    """Shared bucket-walk quantile estimate (see ``HistogramFamily.percentile``).
+
+    Module-level so the SLO evaluator and the live dashboard can compute
+    the same estimate from a *snapshot* dict (``le``/``counts``/``count``/
+    ``overflow_sum``) without holding the family object.
+    """
+    if not count:
+        return None
+    target = q * count
+    seen = 0
+    last = len(bounds)
+    for index, bucket_count in enumerate(counts):
+        seen += bucket_count
+        if seen >= target and bucket_count:
+            if index < last:
+                return bounds[index]
+            # Overflow bucket: the mean of the overflow population,
+            # clamped so the tail estimate never dips below the last
+            # finite bound (which the cumulative walk already crossed).
+            return max(bounds[-1], int(overflow_sum) // max(1, counts[-1]))
+    # q above 1.0 (or float slack at exactly 1.0): the max-ish estimate.
+    if counts[-1]:
+        return max(bounds[-1], int(overflow_sum) // max(1, counts[-1]))
+    return bounds[-1]
 
 
 class MetricsRegistry:
@@ -228,6 +275,7 @@ class MetricsRegistry:
                         "counts": list(record[0]),
                         "sum": record[1],
                         "count": record[2],
+                        "overflow_sum": record[3],
                     }
             else:
                 target = counters if isinstance(family, CounterFamily) else gauges
@@ -247,6 +295,65 @@ class MetricsRegistry:
             json.dumps(self.snapshot(include_volatile), indent=2, sort_keys=True) + "\n"
         )
 
+    # -- OpenMetrics text exposition ------------------------------------------
+
+    def render_openmetrics(self, include_volatile: bool = False) -> str:
+        """The registry as OpenMetrics text (``metrics.prom``).
+
+        Deterministic by the same construction as :meth:`snapshot`:
+        families are visited in sorted name order, series in sorted
+        label order, and volatile families stay out — so the rendering
+        is byte-identical across worker counts, hash seeds, and
+        crash/resume chains.  Counters follow the spec's naming rule
+        (the ``_total`` suffix belongs to the sample, not the family);
+        histograms render cumulative ``_bucket`` series plus ``_sum``
+        and ``_count``; the document ends with the mandatory ``# EOF``.
+        """
+        lines: list[str] = []
+        for name in sorted(self.families):
+            family = self.families[name]
+            if (family.volatile and not include_volatile) or not family._data:
+                continue
+            if isinstance(family, HistogramFamily):
+                lines.append("# TYPE %s histogram" % name)
+                for labels in sorted(family._data, key=_label_sort_key):
+                    record = family._data[labels]
+                    cumulative = 0
+                    for bound, bucket_count in zip(
+                        list(family.bounds) + ["+Inf"], record[0]
+                    ):
+                        cumulative += bucket_count
+                        lines.append(
+                            "%s_bucket{%s} %d"
+                            % (
+                                name,
+                                _openmetrics_labels(
+                                    family.label_names, labels, ("le", str(bound))
+                                ),
+                                cumulative,
+                            )
+                        )
+                    series = _openmetrics_labels(family.label_names, labels)
+                    suffix = "{%s}" % series if series else ""
+                    lines.append("%s_sum%s %s" % (name, suffix, _om_number(record[1])))
+                    lines.append("%s_count%s %d" % (name, suffix, record[2]))
+                continue
+            if isinstance(family, CounterFamily):
+                base = name[:-6] if name.endswith("_total") else name
+                sample = base + "_total"
+                lines.append("# TYPE %s counter" % base)
+            else:
+                sample = name
+                lines.append("# TYPE %s gauge" % name)
+            for labels in sorted(family._data, key=_label_sort_key):
+                series = _openmetrics_labels(family.label_names, labels)
+                suffix = "{%s}" % series if series else ""
+                lines.append(
+                    "%s%s %s" % (sample, suffix, _om_number(family._data[labels]))
+                )
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
+
     # -- checkpoint plumbing ---------------------------------------------------
 
     def state(self) -> dict:
@@ -257,7 +364,7 @@ class MetricsRegistry:
                 continue
             if isinstance(family, HistogramFamily):
                 data = {
-                    labels: [list(rec[0]), rec[1], rec[2]]
+                    labels: [list(rec[0]), rec[1], rec[2], rec[3]]
                     for labels, rec in family._data.items()
                 }
             else:
@@ -286,7 +393,10 @@ class MetricsRegistry:
                     name, entry["label_names"], bounds=entry["bounds"]
                 )
                 family._data = {
-                    labels: [list(rec[0]), rec[1], rec[2]]
+                    # rec[3] defaults for states written before the
+                    # overflow-sum slot existed (same-version journals
+                    # only carry 4-element records).
+                    labels: [list(rec[0]), rec[1], rec[2], rec[3] if len(rec) > 3 else 0]
                     for labels, rec in entry["data"].items()
                 }
             else:
@@ -297,6 +407,36 @@ class MetricsRegistry:
 
 def _label_sort_key(labels: tuple) -> tuple:
     return tuple(str(part) for part in labels)
+
+
+def _om_escape(value) -> str:
+    """OpenMetrics label-value escaping (backslash, quote, newline)."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _openmetrics_labels(label_names: tuple, labels: tuple, extra=None) -> str:
+    pairs = ['%s="%s"' % (name, _om_escape(value)) for name, value in zip(label_names, labels)]
+    if extra is not None:
+        pairs.append('%s="%s"' % (extra[0], _om_escape(extra[1])))
+    return ",".join(pairs)
+
+
+def _om_number(value) -> str:
+    """Exposition-format number: ints verbatim, floats via repr.
+
+    ``repr`` is exact and platform-independent for Python floats, so the
+    rendering stays byte-identical wherever the snapshot is.
+    """
+    if isinstance(value, bool):  # bools are ints; be explicit anyway
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
 
 
 # -- disabled variants --------------------------------------------------------
@@ -368,6 +508,9 @@ class NullRegistry(MetricsRegistry):
 
     def adopt(self, state: dict) -> None:
         pass
+
+    def render_openmetrics(self, include_volatile: bool = False) -> str:
+        return "# EOF\n"
 
 
 # -- read-path cache families --------------------------------------------------

@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 from typing import Optional
 
+from repro.obs.events import EventLog, NullEventLog
 from repro.obs.metrics import MetricsRegistry, NullRegistry
 from repro.obs.trace import NullTracer, SpanTracer, _NULL_CONTEXT
 
@@ -25,7 +26,7 @@ from repro.obs.trace import NullTracer, SpanTracer, _NULL_CONTEXT
 class _Phase:
     """Context manager timing one pipeline phase on both clocks."""
 
-    __slots__ = ("telemetry", "name", "_span", "_wall0", "_virtual0")
+    __slots__ = ("telemetry", "name", "_span", "_event_span", "_wall0", "_virtual0")
 
     def __init__(self, telemetry: "Telemetry", name: str):
         self.telemetry = telemetry
@@ -33,8 +34,18 @@ class _Phase:
 
     def __enter__(self):
         tel = self.telemetry
-        self._span = tel.tracer.span(self.name, cat="phase")
+        self._event_span = tel.events.phase_span(self.name)
+        self._span = tel.tracer.span(
+            self.name, cat="phase", args={"span": self._event_span}
+        )
         self._span.__enter__()
+        tel._phase_spans.append(self._event_span)
+        tel.events.emit(
+            "phase.start",
+            tel.now_virtual(),
+            fields={"phase": self.name},
+            span=self._event_span,
+        )
         self._wall0 = time.perf_counter()
         self._virtual0 = tel.now_virtual()
         return self
@@ -42,6 +53,8 @@ class _Phase:
     def __exit__(self, exc_type, exc, tb):
         tel = self.telemetry
         self._span.__exit__(exc_type, exc, tb)
+        if tel._phase_spans:
+            tel._phase_spans.pop()
         if exc_type is not None:
             # A crashed phase records nothing: the journal never saw it
             # either, so the redo after resume counts it exactly once.
@@ -52,6 +65,12 @@ class _Phase:
         if virtual_dur > 0:
             tel._phase_virtual.inc(key, virtual_dur)
         tel._phase_wall.inc(key, int((time.perf_counter() - self._wall0) * 1e6))
+        tel.events.emit(
+            "phase.end",
+            tel.now_virtual(),
+            fields={"phase": self.name},
+            span=self._event_span,
+        )
         return False
 
 
@@ -79,6 +98,8 @@ class Telemetry:
             )
         else:
             self.tracer = NullTracer()
+        self.events = EventLog() if enabled else NullEventLog()
+        self._phase_spans: list = []
         self._phase_runs = self.registry.counter("phase_runs_total", ("phase",))
         self._phase_virtual = self.registry.counter("phase_virtual_us_total", ("phase",))
         self._phase_wall = self.registry.counter(
@@ -114,13 +135,18 @@ class Telemetry:
         process (the engine deterministically replays the whole world),
         so its checkpointed series must be dropped before the replay
         recounts it — the same recount-from-zero contract the engine's
-        ``sim_*`` families follow.
+        ``sim_*`` families follow.  The event log takes the opposite
+        tack: journaled ``phase.start``/``phase.end`` events *stay* (the
+        stream is append-only) and the replay's re-emissions are
+        suppressed instead, so a resumed run reproduces the exact event
+        stream of an uninterrupted one.
         """
         if not self.enabled:
             return
         key = (name,)
         for family in (self._phase_runs, self._phase_virtual, self._phase_wall):
             family._data.pop(key, None)
+        self.events.suppress_phase(name)
 
     def phase_rows(self) -> list[tuple]:
         """(phase, runs, virtual_us, wall_us) rows for the report."""
@@ -136,6 +162,35 @@ class Telemetry:
             )
         return rows
 
+    # -- events ---------------------------------------------------------------
+
+    @property
+    def current_span(self) -> Optional[str]:
+        """The innermost open phase's correlation id (None outside)."""
+        return self._phase_spans[-1] if self._phase_spans else None
+
+    def emit_event(
+        self,
+        kind: str,
+        fields: Optional[dict] = None,
+        span: Optional[str] = None,
+        volatile: bool = False,
+    ) -> None:
+        """Record a structured event at the current virtual instant.
+
+        Defaults the correlation id to the enclosing phase span, so an
+        event in ``events.jsonl`` joins its phase in ``trace.json``.
+        """
+        if not self.enabled:
+            return
+        self.events.emit(
+            kind,
+            self.now_virtual(),
+            fields=fields,
+            span=span if span is not None else self.current_span,
+            volatile=volatile,
+        )
+
     # -- artefacts ------------------------------------------------------------
 
     def metrics_snapshot(self) -> dict:
@@ -144,11 +199,17 @@ class Telemetry:
     def metrics_json(self) -> str:
         return self.registry.snapshot_json()
 
+    def metrics_openmetrics(self) -> str:
+        return self.registry.render_openmetrics()
+
+    def events_jsonl(self, include_volatile: bool = True) -> str:
+        return self.events.to_jsonl(include_volatile=include_volatile)
+
     # -- checkpoint plumbing ---------------------------------------------------
 
     def state(self) -> dict:
         """What the study journal persists for this telemetry."""
-        return {"metrics": self.registry.state()}
+        return {"metrics": self.registry.state(), "events": self.events.state()}
 
     def adopt(self, state: Optional[dict]) -> None:
         if not self.enabled or not state:
@@ -156,6 +217,7 @@ class Telemetry:
         metrics = state.get("metrics")
         if metrics is not None:
             self.registry.adopt(metrics)
+        self.events.adopt(state.get("events"))
 
 
 #: Shared disabled instance, the default for components constructed

@@ -1,0 +1,274 @@
+"""Live study dashboard: ``python -m repro top <dir-or-file>``.
+
+Tails the ``status.json`` feed a checkpointed run publishes on every
+journal save (see ``StudyCheckpointer._write_status``) — or, post-hoc,
+any exported ``metrics.json`` snapshot — and renders the run at a
+glance: current phase, call throughput, per-endpoint tail latency,
+worker health, and SLO error-budget burn.
+
+Rendering is curses when a terminal is available, with a plain-text
+fallback (``--plain`` / non-tty / no curses module) that prints one
+frame per refresh.  ``--once`` prints a single frame and exits, which
+is what the tests drive.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Optional
+
+from repro.obs.metrics import percentile_from_record
+from repro.obs.slo import (
+    METHOD_LATENCY_FAMILY,
+    evaluate_slos,
+    parse_series_key,
+    study_window_days,
+)
+
+REFRESH_DEFAULT_S = 2.0
+
+
+def _resolve_path(path: str) -> Optional[str]:
+    """A concrete feed file from a path argument (file or directory)."""
+    if os.path.isdir(path):
+        for name in ("status.json", "metrics.json"):
+            candidate = os.path.join(path, name)
+            if os.path.exists(candidate):
+                return candidate
+        return None
+    return path if os.path.exists(path) else None
+
+
+def _load(path: str) -> Optional[dict]:
+    """Parse one feed frame; None when missing/torn (retry next tick)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(document, dict):
+        return None
+    if document.get("schema") == "repro-status-v1":
+        return document
+    if document.get("schema") == "repro-metrics-v1":
+        return {"schema": "repro-status-v1", "metrics": document}
+    return None
+
+
+def _counter_total(metrics: dict, family: str) -> int:
+    total = 0
+    for key, value in metrics.get("counters", {}).items():
+        if parse_series_key(key)[0] == family:
+            total += value
+    return total
+
+
+def _fmt_us(value) -> str:
+    if value is None:
+        return "-"
+    if value >= 60_000_000:
+        return "%.1fm" % (value / 60_000_000)
+    if value >= 1_000_000:
+        return "%.1fs" % (value / 1_000_000)
+    if value >= 1_000:
+        return "%.1fms" % (value / 1_000)
+    return "%dus" % value
+
+
+def _current_phase(status: dict) -> str:
+    """The innermost phase still open in the event tail."""
+    stack: list = []
+    for event in status.get("events_tail", ()):
+        kind = event.get("kind")
+        name = event.get("fields", {}).get("phase")
+        if kind == "phase.start":
+            stack.append(name)
+        elif kind == "phase.end" and name in stack:
+            stack.remove(name)
+    return stack[-1] if stack else "(idle)"
+
+
+def _method_p99_rows(metrics: dict, top_n: int = 8) -> list:
+    rows = []
+    for key, entry in metrics.get("histograms", {}).items():
+        name, labels = parse_series_key(key)
+        if name != METHOD_LATENCY_FAMILY:
+            continue
+        bounds = tuple(b for b in entry["le"] if b != "+Inf")
+        p99 = percentile_from_record(
+            bounds, entry["counts"], entry["count"], entry.get("overflow_sum", 0), 0.99
+        )
+        rows.append((labels.get("method", "?"), entry["count"], p99))
+    rows.sort(key=lambda row: (-row[1], row[0]))
+    return rows[:top_n]
+
+
+def _worker_health(metrics: dict) -> str:
+    restarts = _counter_total(metrics, "sim_worker_restarts_total")
+    hangs = _counter_total(metrics, "sim_worker_hangs_detected_total")
+    fallbacks = _counter_total(metrics, "sim_worker_fallbacks_total")
+    if not (restarts or hangs or fallbacks):
+        return "workers: healthy (no restarts, hangs, or fallbacks)"
+    return "workers: %d shard-restarts, %d hangs detected, %d shard-fallbacks" % (
+        restarts,
+        hangs,
+        fallbacks,
+    )
+
+
+def render_frame(
+    status: dict,
+    previous: Optional[dict] = None,
+    interval_s: float = REFRESH_DEFAULT_S,
+    source: str = "",
+) -> str:
+    """One dashboard frame as plain text (shared by curses and plain)."""
+    metrics = status.get("metrics", {})
+    lines = []
+    lines.append("repro top — %s" % (source or "study telemetry"))
+    lines.append(
+        "phase: %-24s  ticks: %-10s  done actions: %s"
+        % (
+            _current_phase(status),
+            status.get("ticks", "-"),
+            status.get("done_actions", "-"),
+        )
+    )
+
+    calls = _counter_total(metrics, "xrpc_calls_total")
+    rate = ""
+    if previous is not None and interval_s > 0:
+        prev_calls = _counter_total(previous.get("metrics", {}), "xrpc_calls_total")
+        rate = "  (%.0f calls/s)" % (max(0, calls - prev_calls) / interval_s)
+    lines.append("xrpc calls: %d%s" % (calls, rate))
+    lines.append(_worker_health(metrics))
+
+    rows = _method_p99_rows(metrics)
+    if rows:
+        lines.append("")
+        lines.append("  %-44s %10s %10s" % ("endpoint", "calls", "p99"))
+        for method, count, p99 in rows:
+            lines.append("  %-44s %10d %10s" % (method, count, _fmt_us(p99)))
+
+    slo = evaluate_slos(metrics, window_days=study_window_days())
+    lines.append("")
+    lines.append(
+        "SLOs (%s bundle): %d breach(es)" % (slo["bundle"], slo["breaches"])
+    )
+    for objective in slo["objectives"]:
+        lines.append(
+            "  %-24s %-5s %10s / %-10s burn %.4f/day  %s"
+            % (
+                objective["name"],
+                objective["quantile"],
+                _fmt_us(objective["observed_us"]),
+                _fmt_us(objective["threshold_us"]),
+                objective["budget_burn_per_day"],
+                "ok" if objective["ok"] else "BREACH",
+            )
+        )
+    return "\n".join(lines)
+
+
+def _run_plain(path: str, interval_s: float, once: bool) -> int:
+    previous = None
+    while True:
+        status = _load(path)
+        if status is None:
+            print("repro top: waiting for %s ..." % path, file=sys.stderr)
+        else:
+            print(render_frame(status, previous, interval_s, source=path))
+            previous = status
+        if once:
+            return 0 if status is not None else 1
+        print("-" * 72)
+        time.sleep(interval_s)
+
+
+def _run_curses(path: str, interval_s: float) -> int:
+    import curses
+
+    def loop(screen) -> None:
+        curses.curs_set(0)
+        screen.timeout(int(interval_s * 1000))
+        previous = None
+        while True:
+            status = _load(path)
+            screen.erase()
+            text = (
+                render_frame(status, previous, interval_s, source=path)
+                if status is not None
+                else "repro top: waiting for %s ..." % path
+            )
+            max_y, max_x = screen.getmaxyx()
+            for y, line in enumerate(text.splitlines()):
+                if y >= max_y - 1:
+                    break
+                screen.addnstr(y, 0, line, max_x - 1)
+            screen.addnstr(
+                min(max_y - 1, text.count("\n") + 2), 0, "press q to quit", max_x - 1
+            )
+            screen.refresh()
+            if status is not None:
+                previous = status
+            key = screen.getch()
+            if key in (ord("q"), ord("Q")):
+                return
+
+    curses.wrapper(loop)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro top",
+        description="Live dashboard over a running (or finished) study: "
+        "tails the status.json feed written on every checkpoint save, or "
+        "renders a metrics.json snapshot post-hoc.",
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default=".",
+        help="checkpoint directory (status.json), export directory, or a "
+        "status.json/metrics.json file (default: current directory)",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=REFRESH_DEFAULT_S,
+        metavar="SECONDS",
+        help="refresh period (default %.1fs)" % REFRESH_DEFAULT_S,
+    )
+    parser.add_argument(
+        "--once", action="store_true", help="print one frame and exit"
+    )
+    parser.add_argument(
+        "--plain",
+        action="store_true",
+        help="plain text frames instead of the curses screen",
+    )
+    args = parser.parse_args(sys.argv[1:] if argv is None else list(argv))
+
+    path = _resolve_path(args.path)
+    if path is None:
+        print(
+            "repro top: no status.json or metrics.json at %r" % args.path,
+            file=sys.stderr,
+        )
+        return 1
+    if args.once or args.plain or not sys.stdout.isatty():
+        return _run_plain(path, max(0.1, args.interval), args.once)
+    try:
+        return _run_curses(path, max(0.1, args.interval))
+    except Exception:
+        # No terminal support (dumb TERM, missing curses): degrade.
+        return _run_plain(path, max(0.1, args.interval), args.once)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    sys.exit(main())

@@ -303,3 +303,86 @@ def validate_trace(document: dict) -> list[str]:
     if events and PID_WALL not in pids:
         problems.append("no wall-clock (pid %d) events" % PID_WALL)
     return problems
+
+
+#: Float slack for the structural checks below: ``ts``/``dur`` are
+#: rounded to 3 decimal µs at record time, so two independently rounded
+#: sums can disagree by a couple of thousandths.
+_TS_EPSILON_US = 0.01
+
+#: Categories whose spans are strictly-nested context managers on the
+#: coordinator thread.  Sampled high-frequency cats and the per-shard
+#: day spans legitimately overlap on the wall track, so nesting is only
+#: an invariant for these.
+NESTED_CATS = ("phase", "study")
+
+
+def validate_span_nesting(document: dict, cats=NESTED_CATS) -> list[str]:
+    """Check that wall-track spans in ``cats`` nest (no partial overlap).
+
+    Phases enter/exit as context managers on one thread, so any two of
+    their spans must be either disjoint or fully contained — a span that
+    straddles another's boundary means the tracer recorded a structurally
+    impossible timeline.
+    """
+    problems: list[str] = []
+    spans = [
+        event
+        for event in document.get("traceEvents") or []
+        if isinstance(event, dict)
+        and event.get("ph") == "X"
+        and event.get("pid") == PID_WALL
+        and event.get("cat") in cats
+    ]
+    # Outer-first order: by start, longest duration first on ties.
+    spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+    stack: list[dict] = []
+    for span in spans:
+        start, end = span["ts"], span["ts"] + span["dur"]
+        while stack and stack[-1]["ts"] + stack[-1]["dur"] <= start + _TS_EPSILON_US:
+            stack.pop()
+        if stack:
+            parent_end = stack[-1]["ts"] + stack[-1]["dur"]
+            if end > parent_end + _TS_EPSILON_US:
+                problems.append(
+                    "span %r [%0.3f, %0.3f] straddles the end of %r [.., %0.3f]"
+                    % (span["name"], start, end, stack[-1]["name"], parent_end)
+                )
+                continue
+        stack.append(span)
+    return problems
+
+
+def validate_wall_monotonic(document: dict) -> list[str]:
+    """Check that the wall track records events in completion order.
+
+    Complete spans are appended when they finish and instants when they
+    fire, all from one recording thread over one monotonic clock — so in
+    array order, each wall event's completion timestamp (``ts + dur``
+    for ``X``, ``ts`` for ``i``) must be non-decreasing.  A violation
+    means the clock ran backwards or events were reordered.  The virtual
+    track is exempt by design: spans are stamped at their scheduled
+    virtual instants, which do not follow completion order.
+    """
+    problems: list[str] = []
+    last = None
+    last_name = None
+    for index, event in enumerate(document.get("traceEvents") or []):
+        if not isinstance(event, dict) or event.get("pid") != PID_WALL:
+            continue
+        phase = event.get("ph")
+        if phase == "X":
+            stamp = event["ts"] + event["dur"]
+        elif phase == "i":
+            stamp = event["ts"]
+        else:
+            continue
+        if last is not None and stamp < last - _TS_EPSILON_US:
+            problems.append(
+                "event %d (%r) completion ts %.3f precedes %r at %.3f on the "
+                "wall track" % (index, event.get("name"), stamp, last_name, last)
+            )
+        if last is None or stamp > last:
+            last = stamp
+            last_name = event.get("name")
+    return problems

@@ -102,6 +102,9 @@ class ServiceDirectory:
         registry = telemetry.registry
         self._m_calls = registry.counter("xrpc_calls_total", ("host", "method", "outcome"))
         self._m_latency = registry.histogram("xrpc_latency_us", ("host",))
+        self._m_method_latency = registry.histogram(
+            "xrpc_method_latency_us", ("method",)
+        )
         self._m_injected = registry.counter("xrpc_injected_latency_us_total")
 
     # -- deprecated aliases (pre-registry attribute API) ----------------------
@@ -176,10 +179,24 @@ class ServiceDirectory:
                 self.last_call_latency_us = exc.latency_us
                 self._m_injected.inc((), exc.latency_us)
             outcome = exc.reason or ("error-%d" % exc.status)
+            if exc.injected:
+                # Structured record of every fault-gate hit, correlated
+                # to the enclosing pipeline phase.  Deterministic: the
+                # injector draws from the seeded plan on virtual time.
+                self.telemetry.emit_event(
+                    "fault.injected",
+                    fields={
+                        "host": normalized,
+                        "method": method,
+                        "reason": outcome,
+                        "latency_us": exc.latency_us,
+                    },
+                )
             raise
         finally:
             self._m_calls.inc((normalized, method, outcome))
             self._m_latency.observe((normalized,), self.last_call_latency_us)
+            self._m_method_latency.observe((method,), self.last_call_latency_us)
             if trace_this:
                 tracer.complete(
                     method,

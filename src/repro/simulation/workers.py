@@ -133,6 +133,13 @@ class SupervisionPolicy:
     #: On budget exhaustion: fold shards into the coordinator (``True``)
     #: or raise :class:`WorkerError` (``False``).
     fallback_in_process: bool = True
+    #: Directory for crash flight-recorder dumps (``flight-w<idx>.json``
+    #: written on WorkerCrashed/WorkerHung); ``None`` keeps the ring
+    #: in memory only.  Volatile by contract: never folded into
+    #: fingerprints — it describes *this process chain's* faults.
+    flight_dir: Optional[str] = None
+    #: Ring capacity of per-slot flight entries retained coordinator-side.
+    flight_capacity: int = 64
 
     def backoff_s(self, attempt: int) -> float:
         """Backoff before restart ``attempt`` (1-based), capped."""
@@ -196,6 +203,25 @@ def _worker_main(
         with send_lock:
             conn.send(message)
 
+    def _flight(op: str, stage: str, **extra) -> None:
+        """Ship one flight-recorder entry; best-effort by design.
+
+        Sent *immediately* (not buffered worker-side) so the receipt
+        entry for a day that SIGKILLs the worker mid-generation is
+        already in the coordinator's ring when the crash is detected.
+        """
+        entry = {
+            "op": op,
+            "stage": stage,
+            "pid": os.getpid(),
+            "wall_s": round(time.perf_counter(), 6),  # repro: allow(wallclock) -- flight-recorder forensics; never reaches artefacts
+        }
+        entry.update(extra)
+        try:
+            _send(("flight", entry))
+        except (BrokenPipeError, OSError):  # pragma: no cover - dying pipe
+            pass
+
     faults_by_day = {}
     for fault in faults:
         faults_by_day.setdefault(fault.day_index, fault)
@@ -235,11 +261,22 @@ def _worker_main(
             op = message[0]
             if op == "day":
                 _, day_us, update = message
+                # Receipt goes out before the fault gate: a SIGKILL that
+                # fires on this day still leaves the "what was it doing"
+                # record with the coordinator.
+                _flight("day", "recv", day_us=day_us, day_index=days_seen)
                 _maybe_fault(days_seen)
                 days_seen += 1
                 batches, gen_wall_us = _run_replica_day(sim, day_us, update)
                 for batch in batches:
                     batch.gen_wall_us = gen_wall_us / max(1, len(batches))
+                _flight(
+                    "day",
+                    "done",
+                    day_us=day_us,
+                    day_index=days_seen - 1,
+                    gen_wall_us=round(gen_wall_us, 3),
+                )
                 _send(("batches", batches))
             elif op == "replay":
                 _, day_us, update = message
@@ -248,6 +285,7 @@ def _worker_main(
                 _send(("replayed", day_us))
             elif op == "repos":
                 _, dids = message
+                _flight("repos", "recv", dids=len(dids))
                 _send(("repos", {did: sim.export_repo_car(did) for did in dids}))
             elif op == "stop":
                 break
@@ -328,6 +366,10 @@ class _Handle:
     seen_beat: bool = False
     inline: Optional[_InlineReplica] = None
     incarnation: int = 0
+    #: Ring buffer (deque) of the slot's latest flight-recorder entries,
+    #: shipped over the supervision channel; survives respawns so a dump
+    #: shows the whole incarnation chain's last moments.
+    flight: object = None
 
 
 class WorkerPool:
@@ -386,10 +428,15 @@ class WorkerPool:
         self._repo_home: dict[str, int] = {}
         self._handles: list[_Handle] = []
         try:
+            from collections import deque
+
             for w in range(self.workers):
                 owned = tuple(s for s in range(n_shards) if s % self.workers == w)
                 handle = _Handle(
-                    index=w, owned=owned, faults=self.fault_plan.schedule_for(w)
+                    index=w,
+                    owned=owned,
+                    faults=self.fault_plan.schedule_for(w),
+                    flight=deque(maxlen=max(1, self.policy.flight_capacity)),
                 )
                 self._spawn(handle)
                 self._handles.append(handle)
@@ -488,6 +535,12 @@ class WorkerPool:
             if handle.proc is not None and handle.proc.is_alive()
         )
 
+    def flight_records(self) -> dict:
+        """slot index → retained flight entries (observability/tests)."""
+        return {
+            handle.index: list(handle.flight or ()) for handle in self._handles
+        }
+
     # -- supervised receive --------------------------------------------------
 
     def _recv(self, handle: _Handle):
@@ -503,19 +556,26 @@ class WorkerPool:
         policy = self.policy
         if not policy.heartbeats:
             # Legacy unbounded path, kept for bench baselines: a hang
-            # here blocks forever by design.
-            try:
-                reply = conn.recv()  # repro: allow(unbounded-recv) -- legacy heartbeat-free mode, selected explicitly via SupervisionPolicy(heartbeats=False)
-            except (EOFError, OSError):
-                raise WorkerCrashed(
-                    "shard worker %d exited unexpectedly (exitcode=%s)"
-                    % (handle.index, proc.exitcode if proc is not None else None)
-                )
-            if reply[0] == "error":
-                raise WorkerError(
-                    "shard worker %d failed:\n%s" % (handle.index, reply[1])
-                )
-            return reply
+            # here blocks forever by design.  Out-of-band frames (pings
+            # from a policy mismatch, flight entries) are still absorbed.
+            while True:
+                try:
+                    reply = conn.recv()  # repro: allow(unbounded-recv) -- legacy heartbeat-free mode, selected explicitly via SupervisionPolicy(heartbeats=False)
+                except (EOFError, OSError):
+                    raise WorkerCrashed(
+                        "shard worker %d exited unexpectedly (exitcode=%s)"
+                        % (handle.index, proc.exitcode if proc is not None else None)
+                    )
+                if reply[0] == "ping":
+                    continue
+                if reply[0] == "flight":
+                    handle.flight.append(reply[1])
+                    continue
+                if reply[0] == "error":
+                    raise WorkerError(
+                        "shard worker %d failed:\n%s" % (handle.index, reply[1])
+                    )
+                return reply
         deadline = _now_s() + policy.day_deadline_s
         last_beat = _now_s()
         while True:
@@ -536,6 +596,11 @@ class WorkerPool:
                     )
                 handle.seen_beat = True
                 if reply[0] == "ping":
+                    last_beat = _now_s()
+                    continue
+                if reply[0] == "flight":
+                    # A flight entry proves liveness as well as a ping.
+                    handle.flight.append(reply[1])
                     last_beat = _now_s()
                     continue
                 if reply[0] == "error":
@@ -583,6 +648,8 @@ class WorkerPool:
         """
         policy = self.policy
         tracer = self._tracer
+        self._drain_flight(handle)
+        self._dump_flight(handle, failure)
         while True:
             handle.send_failed = False
             self._reap(handle)
@@ -593,6 +660,9 @@ class WorkerPool:
                     "supervisor",
                     args={"worker": handle.index},
                     sample=False,
+                )
+                self._emit_event(
+                    "supervisor.hang", {"worker": handle.index, "detail": str(failure)}
                 )
             if handle.restarts >= policy.max_restarts_per_worker:
                 if not policy.fallback_in_process:
@@ -624,7 +694,78 @@ class WorkerPool:
                     "hung": isinstance(failure, WorkerHung),
                 },
             )
+            self._emit_event(
+                "supervisor.restart",
+                {"worker": handle.index, "attempt": handle.restarts},
+            )
             return
+
+    def _emit_event(self, kind: str, fields: dict) -> None:
+        """A volatile supervision event (fault-timing-dependent by nature)."""
+        if self._telemetry is not None:
+            self._telemetry.emit_event(kind, fields=fields, volatile=True)
+
+    def _drain_flight(self, handle: _Handle) -> None:
+        """Absorb any flight/ping frames still queued in a dying pipe.
+
+        Called before the reap closes the pipe: the final receipt entry
+        of a killed worker is usually sitting here, and it is exactly
+        the record the dump exists for.
+        """
+        conn = handle.conn
+        if conn is None:
+            return
+        while True:
+            try:
+                if not conn.poll(0):
+                    return
+                reply = conn.recv()
+            except (EOFError, OSError, ValueError):
+                return
+            if reply[0] == "flight":
+                handle.flight.append(reply[1])
+            # Anything else (pings, a half-shipped reply) is discarded:
+            # the slot is being recovered, its request will be re-sent.
+
+    def _dump_flight(self, handle: _Handle, failure: WorkerError) -> None:
+        """Write ``flight-w<idx>.json`` for a crashed/hung slot.
+
+        The dump is forensic and volatile: it lands next to the study's
+        checkpoints/artefacts but is never folded into fingerprints, so
+        a faulted run's artefacts stay byte-identical to a fault-free
+        run's.
+        """
+        self._emit_event(
+            "flight.dump",
+            {
+                "worker": handle.index,
+                "entries": len(handle.flight),
+                "failure": type(failure).__name__,
+            },
+        )
+        directory = self.policy.flight_dir
+        if not directory:
+            return
+        from repro.core.atomicio import atomic_write_json
+
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, "flight-w%02d.json" % handle.index)
+        atomic_write_json(
+            path,
+            {
+                "schema": "repro-flight-v1",
+                "worker": handle.index,
+                "incarnation": handle.incarnation,
+                "restarts": handle.restarts,
+                "owned_shards": list(handle.owned),
+                "failure": {
+                    "type": type(failure).__name__,
+                    "detail": str(failure),
+                },
+                "day_log_length": len(self._day_log),
+                "entries": list(handle.flight),
+            },
+        )
 
     def _remaining_faults(self, handle: _Handle) -> tuple:
         """The slot's faults that have not yet fired.
@@ -669,6 +810,10 @@ class WorkerPool:
         handle.inline = replica
         for shard in handle.owned:
             self._m_fallbacks.inc(("s%02d" % shard,))
+        self._emit_event(
+            "supervisor.fallback",
+            {"worker": handle.index, "shards": list(handle.owned)},
+        )
         tracer.complete(
             "supervisor.fallback w%d" % handle.index,
             "supervisor",

@@ -1,0 +1,193 @@
+"""Tests for the SLO evaluator (``slo.json``)."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    CALLS_FAMILY,
+    HOST_LATENCY_FAMILY,
+    METHOD_LATENCY_FAMILY,
+    SloBundle,
+    SloObjective,
+    default_bundle,
+    evaluate_slos,
+    parse_series_key,
+    resolve_bundle,
+    slo_json,
+    strict_bundle,
+    study_window_days,
+)
+
+GET_REPO = "com.atproto.sync.getRepo"
+
+
+def seeded_registry(errors=0, tail_us=()):
+    """A registry shaped like a study's: call counters + latency pairs."""
+    registry = MetricsRegistry()
+    calls = registry.counter(CALLS_FAMILY, ("host", "method", "outcome"))
+    by_host = registry.histogram(HOST_LATENCY_FAMILY, ("host",))
+    by_method = registry.histogram(METHOD_LATENCY_FAMILY, ("method",))
+    for index in range(200):
+        latency = 2_000 + index * 40
+        calls.inc(("pds.test", GET_REPO, "ok"))
+        by_host.observe(("pds.test",), latency)
+        by_method.observe((GET_REPO,), latency)
+    for _ in range(errors):
+        calls.inc(("pds.test", GET_REPO, "error-500"))
+        by_host.observe(("pds.test",), 90_000_000)
+        by_method.observe((GET_REPO,), 90_000_000)
+    for value in tail_us:
+        calls.inc(("labeler.test", "com.atproto.label.queryLabels", "ok"))
+        by_host.observe(("labeler.test",), value)
+    # Announced-but-dead probing is study design, never budget spend.
+    calls.inc(("ghost.test", GET_REPO, "host-down"), 50)
+    calls.inc(("ghost.test", GET_REPO, "unknown-host"), 5)
+    return registry
+
+
+class TestParseSeriesKey:
+    def test_bare_name(self):
+        assert parse_series_key("a_total") == ("a_total", {})
+
+    def test_labels(self):
+        name, labels = parse_series_key("xrpc_calls_total{host=h.test,outcome=ok}")
+        assert name == "xrpc_calls_total"
+        assert labels == {"host": "h.test", "outcome": "ok"}
+
+
+class TestEvaluate:
+    def test_healthy_run_passes_default_bundle(self):
+        snapshot = seeded_registry().snapshot()
+        doc = evaluate_slos(snapshot)
+        assert doc["schema"] == "repro-slo-v1"
+        assert doc["bundle"] == "default"
+        assert doc["breaches"] == 0
+        assert all(obj["ok"] for obj in doc["objectives"])
+
+    def test_expected_outcomes_do_not_burn_budget(self):
+        snapshot = seeded_registry().snapshot()
+        doc = evaluate_slos(snapshot)
+        aggregate = next(o for o in doc["objectives"] if o["match"] == "*")
+        # 55 host-down/unknown-host calls are in the tally but not errors.
+        assert aggregate["errors"] == 0
+        assert aggregate["calls"] >= 255
+
+    def test_error_statuses_consume_budget(self):
+        snapshot = seeded_registry(errors=40).snapshot()
+        doc = evaluate_slos(snapshot)
+        repo = next(o for o in doc["objectives"] if o["match"] == GET_REPO)
+        assert repo["errors"] == 40
+        # 200 ok + 40 errors + 55 dead-host probes share the method label.
+        assert repo["error_rate"] == pytest.approx(40 / 295, abs=1e-6)
+        assert repo["budget_consumed"] == 1.0  # rate over the 5% budget
+        assert not repo["budget_ok"] and not repo["ok"]
+        assert doc["breaches"] >= 1
+
+    def test_latency_breach_detected(self):
+        registry = seeded_registry()
+        bundle = SloBundle(
+            name="tight",
+            objectives=(
+                SloObjective(
+                    name="repo-tight",
+                    scope="method",
+                    match=GET_REPO,
+                    quantile="p99",
+                    threshold_us=1_000,
+                    error_budget=0.5,
+                ),
+            ),
+        )
+        doc = evaluate_slos(registry.snapshot(), bundle)
+        objective = doc["objectives"][0]
+        assert objective["observed_us"] > 1_000
+        assert not objective["latency_ok"] and not objective["ok"]
+        assert objective["budget_ok"]  # only the latency half breached
+
+    def test_burn_normalised_per_window_day(self):
+        snapshot = seeded_registry(errors=40).snapshot()
+        one_day = evaluate_slos(snapshot, window_days=1.0)
+        ten_days = evaluate_slos(snapshot, window_days=10.0)
+        repo_1 = next(o for o in one_day["objectives"] if o["match"] == GET_REPO)
+        repo_10 = next(o for o in ten_days["objectives"] if o["match"] == GET_REPO)
+        assert repo_1["budget_burn_per_day"] == pytest.approx(
+            repo_10["budget_burn_per_day"] * 10, abs=1e-4
+        )
+
+    def test_quantiles_monotone_everywhere(self):
+        snapshot = seeded_registry(
+            errors=3, tail_us=(100, 5_000, 400_000, 70_000_000, 10**9)
+        ).snapshot()
+        doc = evaluate_slos(snapshot)
+        for section in ("by_method", "by_host"):
+            for row in doc["latency"][section].values():
+                quantiles = [
+                    row[q] for q in ("p50", "p95", "p99", "p999") if row[q] is not None
+                ]
+                assert quantiles == sorted(quantiles)
+
+    def test_aggregate_row_merges_all_series(self):
+        snapshot = seeded_registry(tail_us=(100, 200)).snapshot()
+        doc = evaluate_slos(snapshot)
+        hosts = doc["latency"]["by_host"]
+        assert "*" in hosts
+        assert hosts["*"]["count"] == sum(
+            row["count"] for key, row in hosts.items() if key != "*"
+        )
+
+    def test_p999_resolvable_in_the_tail(self):
+        # A 0.5% slow tail must surface in p999 while p99 stays fast —
+        # the property the widened bucket bounds exist to provide.
+        registry = MetricsRegistry()
+        hist = registry.histogram(HOST_LATENCY_FAMILY, ("host",))
+        for _ in range(995):
+            hist.observe(("h.test",), 3_000)
+        for _ in range(5):
+            hist.observe(("h.test",), 200_000_000)
+        doc = evaluate_slos(registry.snapshot())
+        row = doc["latency"]["by_host"]["h.test"]
+        assert row["p99"] <= 10_000
+        assert row["p999"] >= 200_000_000
+
+    def test_unknown_series_grades_vacuously(self):
+        doc = evaluate_slos(MetricsRegistry().snapshot())
+        assert doc["breaches"] == 0
+        for objective in doc["objectives"]:
+            assert objective["observed_us"] is None
+            assert objective["calls"] == 0 and objective["ok"]
+
+
+class TestBundles:
+    def test_default_and_strict_shapes(self):
+        assert default_bundle().name == "default"
+        assert strict_bundle().name == "strict"
+        names = {o.name for o in default_bundle().objectives}
+        assert "sync-get-repo-p99" in names
+
+    def test_strict_bundle_breaches_on_faulted_shape(self):
+        snapshot = seeded_registry(errors=40).snapshot()
+        doc = evaluate_slos(snapshot, strict_bundle())
+        assert doc["bundle"] == "strict"
+        assert doc["breaches"] >= 1
+
+    def test_resolve_bundle(self):
+        assert resolve_bundle("default").name == "default"
+        with pytest.raises(ValueError, match="unknown SLO bundle"):
+            resolve_bundle("nope")
+
+
+class TestArtefact:
+    def test_slo_json_deterministic_and_round_trips(self):
+        snapshot = seeded_registry(errors=7).snapshot()
+        first = slo_json(snapshot, window_days=3.5)
+        second = slo_json(snapshot, window_days=3.5)
+        assert first == second
+        assert first.endswith("\n")
+        decoded = json.loads(first)
+        assert decoded["window_days"] == 3.5
+
+    def test_study_window_days_is_positive_constant(self):
+        assert study_window_days() > 0
+        assert study_window_days() == study_window_days()

@@ -5,8 +5,17 @@ from repro.obs.trace import (
     PID_WALL,
     NullTracer,
     SpanTracer,
+    validate_span_nesting,
     validate_trace,
+    validate_wall_monotonic,
 )
+
+
+def _span(name, ts, dur, cat="phase", pid=PID_WALL):
+    return {
+        "name": name, "cat": cat, "ph": "X", "pid": pid, "tid": 1,
+        "ts": ts, "dur": dur, "args": {},
+    }
 
 
 class FakeClock:
@@ -103,6 +112,77 @@ class TestExportDocument:
         bad = {"traceEvents": [{"ph": "X", "name": "x", "cat": "c", "pid": 1,
                                 "tid": 1, "ts": -5, "dur": 1}]}
         assert any("bad ts" in p for p in validate_trace(bad))
+
+
+class TestSpanNesting:
+    def test_contained_and_sequential_spans_pass(self):
+        document = {"traceEvents": [
+            _span("study", 0, 100, cat="study"),
+            _span("simulation", 5, 40),
+            _span("analysis", 50, 45),
+        ]}
+        assert validate_span_nesting(document) == []
+
+    def test_straddling_span_flagged(self):
+        document = {"traceEvents": [
+            _span("simulation", 0, 50),
+            _span("analysis", 40, 30),  # starts inside, ends outside
+        ]}
+        problems = validate_span_nesting(document)
+        assert len(problems) == 1 and "straddles" in problems[0]
+
+    def test_other_categories_and_tracks_exempt(self):
+        document = {"traceEvents": [
+            _span("shard.day", 0, 50, cat="shard"),
+            _span("shard.day", 40, 30, cat="shard"),   # workers overlap: fine
+            _span("simulation", 0, 50, pid=PID_VIRTUAL),
+            _span("analysis", 40, 30, pid=PID_VIRTUAL),  # virtual track: fine
+        ]}
+        assert validate_span_nesting(document) == []
+
+    def test_real_tracer_output_nests(self):
+        tracer = SpanTracer(now_virtual=FakeClock())
+        with tracer.span("study", cat="study"):
+            with tracer.span("simulation", cat="phase"):
+                pass
+            with tracer.span("analysis", cat="phase"):
+                pass
+        assert validate_span_nesting(tracer.export()) == []
+
+
+class TestWallMonotonic:
+    def test_completion_order_passes(self):
+        # Inner completes first: earlier array position, earlier end.
+        document = {"traceEvents": [
+            _span("inner", 10, 20),
+            _span("outer", 0, 100),
+            {"name": "tick", "cat": "c", "ph": "i", "s": "t",
+             "pid": PID_WALL, "tid": 1, "ts": 150, "args": {}},
+        ]}
+        assert validate_wall_monotonic(document) == []
+
+    def test_backwards_completion_flagged(self):
+        document = {"traceEvents": [
+            _span("outer", 0, 100),
+            _span("late-appended", 10, 20),  # ends at 30, after 100: bad
+        ]}
+        problems = validate_wall_monotonic(document)
+        assert len(problems) == 1 and "precedes" in problems[0]
+
+    def test_virtual_track_exempt(self):
+        document = {"traceEvents": [
+            _span("a", 0, 100, pid=PID_VIRTUAL),
+            _span("b", 10, 20, pid=PID_VIRTUAL),
+        ]}
+        assert validate_wall_monotonic(document) == []
+
+    def test_real_tracer_output_monotone(self):
+        tracer = SpanTracer(now_virtual=FakeClock())
+        with tracer.span("study", cat="study"):
+            with tracer.span("simulation", cat="phase"):
+                pass
+        tracer.instant("tick", "sim", sample=False)
+        assert validate_wall_monotonic(tracer.export()) == []
 
 
 class TestNullTracer:

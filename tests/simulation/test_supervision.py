@@ -1,4 +1,4 @@
-"""Worker supervision: fault injection, detection, and recovery.
+"""Worker supervision: fault injection, detection, recovery, forensics.
 
 The acceptance criteria from the issue: a ``--workers 4`` study whose
 workers are killed and hung mid-run completes with artefacts
@@ -8,7 +8,10 @@ fallback instead of raising; and supervision is visible only through
 the volatile ``sim_worker_*`` metrics and ``supervisor.*`` spans.
 """
 
+import dataclasses
+import json
 import multiprocessing
+import os
 
 import pytest
 
@@ -48,6 +51,7 @@ def _run(workers: int, **kwargs):
         "fingerprint": study_fingerprint(datasets, frame_digest),
         "shard_digests": dict(world.shard_digest_log),
         "registry": world.telemetry.registry,
+        "events": list(world.telemetry.events.events),
     }
 
 # Tight deadlines so chaos tests detect a hang in ~a second instead of
@@ -314,6 +318,53 @@ class TestRestartBudgetExhaustion:
             ("s02",): 1,
         }
         assert not multiprocessing.active_children()
+
+
+@pytest.mark.slow
+class TestFlightRecorder:
+    """A killed worker leaves ``flight-w<idx>.json`` forensics behind —
+    and the dump never perturbs the artefact fingerprint."""
+
+    @pytest.fixture(scope="class")
+    def crashed(self, tmp_path_factory):
+        flight_dir = str(tmp_path_factory.mktemp("flight"))
+        plan = WorkerFaultPlan(
+            seed=5, faults=(WorkerFault(0, 5, WORKER_FAULT_KILL),)
+        )
+        policy = dataclasses.replace(TEST_POLICY, flight_dir=flight_dir)
+        faulted = _run(4, worker_fault_plan=plan, supervision=policy)
+        return flight_dir, faulted
+
+    def test_dump_written_for_the_killed_worker_only(self, crashed):
+        flight_dir, _ = crashed
+        assert sorted(os.listdir(flight_dir)) == ["flight-w00.json"]
+
+    def test_dump_schema_and_final_receipt(self, crashed):
+        flight_dir, _ = crashed
+        with open(os.path.join(flight_dir, "flight-w00.json")) as handle:
+            record = json.load(handle)
+        assert record["schema"] == "repro-flight-v1"
+        assert record["worker"] == 0
+        assert record["failure"]["type"] == "WorkerCrashed"
+        assert record["owned_shards"]
+        # The receipt for the day that killed the worker is shipped
+        # before the fault gate, so the ring holds it: the last entry
+        # must be a day "recv" with no matching "done".
+        entries = record["entries"]
+        assert entries
+        final = entries[-1]
+        assert (final["op"], final["stage"]) == ("day", "recv")
+        assert final["day_index"] == 5
+
+    def test_fingerprint_unperturbed_by_flight_dump(self, crashed):
+        _, faulted = crashed
+        assert faulted["fingerprint"] == _run(1)["fingerprint"]
+
+    def test_flight_dump_event_is_volatile(self, crashed):
+        _, faulted = crashed
+        dumps = [e for e in faulted["events"] if e["kind"] == "flight.dump"]
+        assert dumps and all(e.get("volatile") for e in dumps)
+        assert dumps[0]["fields"]["worker"] == 0
 
 
 @pytest.mark.slow
